@@ -1,0 +1,21 @@
+//! Criterion wrapper for the fig5 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::fig5(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("fig5_scalability");
+    group.sample_size(10);
+    group.bench_function("mcf_episode_tpcds_sf10", |b| {
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcDs, 10.0, 1));
+        let profile = bq_dbms::DbmsProfile::dbms_z();
+        b.iter(|| {
+            bq_core::run_episode(&mut bq_core::McfScheduler::new(), &workload, &profile, None, 1).makespan()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

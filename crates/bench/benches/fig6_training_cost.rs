@@ -1,0 +1,24 @@
+//! Criterion wrapper for the fig6 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::fig6(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("fig6_training_cost");
+    group.sample_size(10);
+    group.bench_function("simulator_training_step", |b| {
+        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcH, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
+        let agent = bq_sched::BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), bq_bench::RunScale::Quick.agent_config());
+        let config = bq_sched::SimulatorConfig { encoder: bq_encoder::StateEncoderConfig { plan_dim: agent.plan_embeddings().cols(), dim: 16, heads: 2, blocks: 1 }, ..Default::default() };
+        let samples = bq_sched::samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config);
+        b.iter(|| {
+            let mut model = bq_sched::SimulatorModel::new(agent.plan_embeddings().cols(), config, 1);
+            model.train(&samples[..samples.len().min(20)], 1, 0.01).mse
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

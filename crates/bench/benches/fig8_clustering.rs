@@ -1,0 +1,19 @@
+//! Criterion wrapper for the fig8 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::fig8(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("fig8_clustering");
+    group.sample_size(10);
+    group.bench_function("agglomerative_clustering", |b| {
+        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcDs, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
+        let gains = bq_sched::gains_from_history(&setup.history, setup.workload.len());
+        b.iter(|| bq_sched::QueryClustering::agglomerative(&gains, 20).num_clusters())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

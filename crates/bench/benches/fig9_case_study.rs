@@ -1,0 +1,19 @@
+//! Criterion wrapper for the fig9 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::fig9(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("fig9_case_study");
+    group.sample_size(10);
+    group.bench_function("gantt_extraction", |b| {
+        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcDs, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
+        let log = bq_core::run_episode(&mut bq_core::FifoScheduler::new(), &setup.workload, &setup.profile, None, 0);
+        b.iter(|| bq_core::GanttChart::from_log(&log).utilisation())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion wrapper for the table1 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::table1(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("table1_efficiency");
+    group.sample_size(10);
+    group.bench_function("fifo_episode_tpch", |b| {
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcH, 1.0, 1));
+        let profile = bq_dbms::DbmsProfile::dbms_x();
+        b.iter(|| {
+            bq_core::run_episode(&mut bq_core::FifoScheduler::new(), &workload, &profile, None, 0).makespan()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper for the table2 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::table2(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("table2_adaptability");
+    group.sample_size(10);
+    group.bench_function("perturb_query_set", |b| {
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcDs, 1.0, 1));
+        b.iter(|| bq_plan::perturb_query_set(&workload, 1.2, 1).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion wrapper for the table3 experiment: prints the reduced
+//! ("quick") rows into the bench log, then times a representative core
+//! operation so regressions in the underlying machinery are visible.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", bq_bench::table3(bq_bench::RunScale::Quick));
+    let mut group = c.benchmark_group("table3_simulator");
+    group.sample_size(10);
+    group.bench_function("simulator_sample_extraction", |b| {
+        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcH, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
+        let agent = bq_sched::BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), bq_bench::RunScale::Quick.agent_config());
+        let config = bq_sched::SimulatorConfig::default();
+        b.iter(|| bq_sched::samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates fig8 of the BQSched paper. Pass `--quick` for the reduced
+//! configuration used by `cargo bench` and CI.
+fn main() {
+    let scale = bq_bench::RunScale::from_args();
+    println!("{}", bq_bench::fig8(scale));
+}

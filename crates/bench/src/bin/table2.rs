@@ -1,0 +1,6 @@
+//! Regenerates table2 of the BQSched paper. Pass `--quick` for the reduced
+//! configuration used by `cargo bench` and CI.
+fn main() {
+    let scale = bq_bench::RunScale::from_args();
+    println!("{}", bq_bench::table2(scale));
+}

@@ -1,0 +1,553 @@
+//! # bq-bench
+//!
+//! Experiment harness reproducing every table and figure of the BQSched paper
+//! on the simulated DBMS substrate. Each experiment has
+//!
+//! * a binary (`cargo run -p bq-bench --release --bin table1 [-- --quick]`)
+//!   that prints the same rows/series the paper reports, and
+//! * a Criterion bench (`cargo bench -p bq-bench`) that runs the reduced
+//!   ("quick") configuration so the whole suite finishes in minutes.
+//!
+//! Absolute numbers are simulated virtual seconds, not the authors' testbed
+//! wall-clock; the quantities to compare against the paper are the *relative*
+//! ordering of strategies, the improvement factors, and where crossovers
+//! happen. See `EXPERIMENTS.md` at the repository root for recorded results.
+
+#![warn(missing_docs)]
+
+use bq_core::{
+    collect_history, evaluate_strategy, ExecutionHistory, FifoScheduler, GanttChart, McfScheduler,
+    RandomScheduler, SchedulerPolicy, StrategyEvaluation,
+};
+use bq_dbms::{DbmsKind, DbmsProfile, ExecutionEngine};
+use bq_encoder::{PlanEncoderConfig, StateEncoderConfig};
+use bq_plan::{generate, perturb_query_set, Benchmark, QueryId, Workload, WorkloadSpec};
+use bq_sched::{
+    pretrain_on_simulator, samples_from_history, train_on_dbms, Algorithm, BqSchedAgent,
+    BqSchedConfig, SimulatorConfig, SimulatorModel, TrainingConfig,
+};
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Reduced configuration: small models, few training rounds, subset of
+    /// grid points. Finishes in minutes; used by `cargo bench` and CI.
+    Quick,
+    /// Paper-scale configuration (all grid points, longer training).
+    Full,
+}
+
+impl RunScale {
+    /// Parse `--quick` style command-line arguments (defaults to `Full`).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") || std::env::var("BQ_QUICK").is_ok() {
+            RunScale::Quick
+        } else {
+            RunScale::Full
+        }
+    }
+
+    /// Number of evaluation rounds `m` per strategy.
+    pub fn eval_rounds(&self) -> u64 {
+        match self {
+            RunScale::Quick => 3,
+            RunScale::Full => 5,
+        }
+    }
+
+    /// Rounds of heuristic execution collected as the bootstrap history.
+    pub fn history_rounds(&self) -> u64 {
+        match self {
+            RunScale::Quick => 2,
+            RunScale::Full => 5,
+        }
+    }
+
+    /// RL training budget.
+    pub fn training(&self) -> TrainingConfig {
+        match self {
+            RunScale::Quick => TrainingConfig {
+                iterations: 1,
+                ppo_iters: 2,
+                rounds_per_iter: 3,
+                eval_rounds: 1,
+                seed: 900,
+            },
+            RunScale::Full => TrainingConfig {
+                iterations: 4,
+                ppo_iters: 5,
+                rounds_per_iter: 5,
+                eval_rounds: 2,
+                seed: 900,
+            },
+        }
+    }
+
+    /// Agent hyper-parameters (smaller networks for the quick scale).
+    pub fn agent_config(&self) -> BqSchedConfig {
+        match self {
+            RunScale::Quick => BqSchedConfig {
+                plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
+                state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+                plan_pretrain_epochs: 1,
+                ..BqSchedConfig::default()
+            },
+            RunScale::Full => BqSchedConfig::default(),
+        }
+    }
+}
+
+/// A prepared experiment cell: workload, DBMS profile and bootstrap history.
+pub struct Setup {
+    /// Benchmark the workload came from.
+    pub benchmark: Benchmark,
+    /// Generated batch query set.
+    pub workload: Workload,
+    /// Simulated DBMS profile.
+    pub profile: DbmsProfile,
+    /// Historical execution logs (heuristic rounds) that bootstrap MCF,
+    /// masking, clustering and the simulator.
+    pub history: ExecutionHistory,
+}
+
+/// Build a setup for one experiment cell.
+pub fn build_setup(
+    benchmark: Benchmark,
+    dbms: DbmsKind,
+    data_scale: f64,
+    query_scale: usize,
+    scale: RunScale,
+) -> Setup {
+    let workload = generate(&WorkloadSpec::new(benchmark, data_scale, query_scale));
+    let profile = DbmsProfile::for_kind(dbms);
+    let history =
+        collect_history(&mut FifoScheduler::new(), &workload, &profile, scale.history_rounds(), 7);
+    Setup { benchmark, workload, profile, history }
+}
+
+fn mcf_costs(setup: &Setup) -> Vec<f64> {
+    (0..setup.workload.len())
+        .map(|i| setup.history.avg_exec_time(QueryId(i)).unwrap_or(0.0))
+        .collect()
+}
+
+/// Evaluate the three heuristic baselines on a setup.
+pub fn evaluate_heuristics(setup: &Setup, scale: RunScale) -> Vec<StrategyEvaluation> {
+    let rounds = scale.eval_rounds();
+    let mut out = Vec::new();
+    let mut random = RandomScheduler::new(5);
+    out.push(evaluate_strategy(&mut random, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    let mut fifo = FifoScheduler::new();
+    out.push(evaluate_strategy(&mut fifo, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    let mut mcf = McfScheduler::with_costs(mcf_costs(setup));
+    out.push(evaluate_strategy(&mut mcf, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    out
+}
+
+/// Train the adapted LSched baseline on a setup and return it ready for
+/// greedy evaluation.
+pub fn train_lsched(setup: &Setup, scale: RunScale) -> BqSchedAgent {
+    let config = BqSchedConfig {
+        use_masking: false,
+        cluster_count: None,
+        algorithm: Algorithm::Ppo,
+        ..scale.agent_config()
+    };
+    let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
+    train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &scale.training());
+    agent.explore = false;
+    agent
+}
+
+/// Train BQSched on a setup and return it ready for greedy evaluation.
+pub fn train_bqsched(setup: &Setup, scale: RunScale) -> BqSchedAgent {
+    let mut config = scale.agent_config();
+    // Large query sets are scheduled at cluster level (paper §IV-B).
+    if setup.workload.len() > 150 {
+        config = config.with_clusters((setup.workload.len() / 4).clamp(20, 100));
+    }
+    let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
+    train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &scale.training());
+    agent.explore = false;
+    agent
+}
+
+/// Evaluate every strategy of Table I on one cell, in the paper's order:
+/// Random, FIFO, MCF, LSched, BQSched.
+pub fn evaluate_all(setup: &Setup, scale: RunScale) -> Vec<StrategyEvaluation> {
+    let mut evals = evaluate_heuristics(setup, scale);
+    let rounds = scale.eval_rounds();
+    let mut lsched = train_lsched(setup, scale);
+    evals.push(evaluate_strategy(&mut lsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    let mut bqsched = train_bqsched(setup, scale);
+    evals.push(evaluate_strategy(&mut bqsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    evals
+}
+
+fn format_eval_row(label: &str, evals: &[StrategyEvaluation]) -> String {
+    let cells: Vec<String> = evals
+        .iter()
+        .map(|e| format!("{:>8.2} ±{:>5.2}", e.mean_makespan, e.std_makespan))
+        .collect();
+    format!("{label:<28} {}", cells.join("  "))
+}
+
+/// Table I — efficiency (`t̄_ov`) and stability (`σ_ov`) of every strategy on
+/// TPC-DS / TPC-H / JOB across DBMS-X/Y/Z.
+pub fn table1(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Table I: efficiency (mean makespan, s) and stability (std, s)\n");
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}  {:>15}  {:>15}\n",
+        "cell", "Random", "FIFO", "MCF", "LSched", "BQSched"
+    ));
+    let benchmarks = [Benchmark::TpcDs, Benchmark::TpcH, Benchmark::Job];
+    let dbms_list = [DbmsKind::X, DbmsKind::Y, DbmsKind::Z];
+    for dbms in dbms_list {
+        for benchmark in benchmarks {
+            // The quick scale trains the RL strategies only on DBMS-X (the
+            // profile with the largest scheduling potential) and evaluates
+            // heuristics everywhere; the full scale covers every cell.
+            let setup = build_setup(benchmark, dbms, 1.0, 1, scale);
+            let evals = if scale == RunScale::Full || dbms == DbmsKind::X {
+                evaluate_all(&setup, scale)
+            } else {
+                evaluate_heuristics(&setup, scale)
+            };
+            let label = format!("{} {}", dbms.name(), benchmark.name());
+            out.push_str(&format_eval_row(&label, &evals));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Table II — adaptability: train on 1x TPC-DS / DBMS-X, evaluate the frozen
+/// strategies on perturbed data scales and query sets.
+pub fn table2(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Table II: adaptability on TPC-DS with DBMS-X (train on 1x, apply to perturbed sets)\n");
+    let base = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
+    let mut lsched = train_lsched(&base, scale);
+    let mut bqsched = train_bqsched(&base, scale);
+    let rounds = scale.eval_rounds();
+    let factors: Vec<f64> = match scale {
+        RunScale::Quick => vec![0.9, 1.1],
+        RunScale::Full => vec![0.8, 0.9, 1.1, 1.2],
+    };
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}  {:>15}  {:>15}\n",
+        "variant", "Random", "FIFO", "MCF", "LSched", "BQSched"
+    ));
+    // Data-scale perturbations: regenerate the workload at the perturbed scale
+    // (same templates, same query ids) and reuse the learned strategies.
+    for &f in &factors {
+        let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, f, 1));
+        let history = collect_history(&mut FifoScheduler::new(), &workload, &base.profile, scale.history_rounds(), 17);
+        let setup = Setup { benchmark: Benchmark::TpcDs, workload, profile: base.profile.clone(), history };
+        let mut evals = evaluate_heuristics(&setup, scale);
+        evals.push(evaluate_strategy(&mut lsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+        evals.push(evaluate_strategy(&mut bqsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+        out.push_str(&format_eval_row(&format!("data x{f}"), &evals));
+        out.push('\n');
+    }
+    // Query-set perturbations. Because the entity set changes, the learned
+    // strategies are re-instantiated on the perturbed set (BQSched adapts
+    // through its plan-embedding-based representation as in the paper).
+    for &f in &factors {
+        let workload = perturb_query_set(&base.workload, f, 3);
+        let history = collect_history(&mut FifoScheduler::new(), &workload, &base.profile, scale.history_rounds(), 19);
+        let setup = Setup { benchmark: Benchmark::TpcDs, workload, profile: base.profile.clone(), history };
+        let evals = evaluate_all(&setup, scale);
+        out.push_str(&format_eval_row(&format!("queries x{f}"), &evals));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table III — ablation and γ sensitivity of the simulator's prediction model
+/// (classification accuracy and regression MSE).
+pub fn table3(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Table III: simulator prediction model — accuracy / MSE\n");
+    let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
+    // Plan embeddings from the shared representation of a BQSched agent.
+    let agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
+    let plan_dim = agent.plan_embeddings().cols();
+    let (epochs, max_samples) = match scale {
+        RunScale::Quick => (6, 150),
+        RunScale::Full => (20, 2000),
+    };
+    let variants: Vec<(&str, SimulatorConfig)> = vec![
+        ("w/o Att (gamma=0.1)", SimulatorConfig { use_attention: false, gamma: 0.1, ..SimulatorConfig::default() }),
+        ("w/o MTL", SimulatorConfig { multitask: false, ..SimulatorConfig::default() }),
+        ("gamma=0.01", SimulatorConfig { gamma: 0.01, ..SimulatorConfig::default() }),
+        ("gamma=0.1", SimulatorConfig { gamma: 0.1, ..SimulatorConfig::default() }),
+        ("gamma=1", SimulatorConfig { gamma: 1.0, ..SimulatorConfig::default() }),
+    ];
+    out.push_str(&format!("{:<24} {:>10} {:>12}\n", "variant", "Acc", "MSE"));
+    for (name, mut config) in variants {
+        config.encoder = StateEncoderConfig { plan_dim, dim: 16, heads: 2, blocks: 1 };
+        let samples = samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config);
+        let take = samples.len().min(max_samples);
+        let split = (take * 4 / 5).max(1);
+        let train_set = &samples[..split];
+        let test_set = &samples[split..take.max(split + 1).min(samples.len())];
+        let mut model = SimulatorModel::new(plan_dim, config, 3);
+        model.train(train_set, epochs, 0.01);
+        let metrics = model.evaluate(if test_set.is_empty() { train_set } else { test_set });
+        out.push_str(&format!("{:<24} {:>9.1}% {:>12.4}\n", name, metrics.accuracy * 100.0, metrics.mse));
+    }
+    out
+}
+
+/// Figure 5 — scalability: makespan of every strategy as data scale and query
+/// scale grow, on TPC-DS (DBMS-X and DBMS-Z) and TPC-H (DBMS-Z).
+pub fn fig5(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: scalability (mean makespan, s)\n");
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}  {:>15}  {:>15}\n",
+        "cell", "Random", "FIFO", "MCF", "LSched", "BQSched"
+    ));
+    // (a) TPC-DS on DBMS-X: data scales and query scales.
+    let (data_scales, query_scales): (Vec<f64>, Vec<usize>) = match scale {
+        RunScale::Quick => (vec![1.0, 2.0], vec![2]),
+        RunScale::Full => (vec![1.0, 2.0, 5.0, 10.0], vec![2, 5, 10]),
+    };
+    for &ds in &data_scales {
+        let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, ds, 1, scale);
+        let evals = evaluate_all(&setup, scale);
+        out.push_str(&format_eval_row(&format!("(a) tpcds X data x{ds}"), &evals));
+        out.push('\n');
+    }
+    for &qs in &query_scales {
+        let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, qs, scale);
+        let evals = evaluate_all(&setup, scale);
+        out.push_str(&format_eval_row(&format!("(a) tpcds X queries x{qs}"), &evals));
+        out.push('\n');
+    }
+    // (b) TPC-DS and (c) TPC-H on DBMS-Z at large data scales.
+    let large: Vec<f64> = match scale {
+        RunScale::Quick => vec![50.0],
+        RunScale::Full => vec![50.0, 100.0, 200.0],
+    };
+    for &ds in &large {
+        let setup = build_setup(Benchmark::TpcDs, DbmsKind::Z, ds, 1, scale);
+        let evals = evaluate_all(&setup, scale);
+        out.push_str(&format_eval_row(&format!("(b) tpcds Z data x{ds}"), &evals));
+        out.push('\n');
+        let setup = build_setup(Benchmark::TpcH, DbmsKind::Z, ds, 1, scale);
+        let evals = evaluate_all(&setup, scale);
+        out.push_str(&format_eval_row(&format!("(c) tpch Z data x{ds}"), &evals));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6 — training cost: DBMS time consumed when training BQSched from
+/// scratch on the DBMS, versus pre-training on the learned simulator and
+/// fine-tuning on the DBMS, versus training LSched.
+pub fn fig6(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: training cost (virtual DBMS-seconds consumed by training episodes)\n");
+    let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
+    let tc = scale.training();
+
+    // Train BQSched from scratch directly on the DBMS.
+    let mut scratch = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
+    let scratch_curve = train_on_dbms(&mut scratch, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+    let scratch_cost = scratch_curve.total_episodes as f64 * setup.history.mean_makespan();
+
+    // Pre-train on the learned simulator (no DBMS time), then fine-tune with a
+    // reduced number of DBMS rounds.
+    let sim_config = SimulatorConfig {
+        encoder: StateEncoderConfig {
+            plan_dim: scale.agent_config().plan_encoder.dim,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
+        ..SimulatorConfig::default()
+    };
+    let mut pretrained =
+        BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
+    let samples =
+        samples_from_history(&setup.workload, &setup.history, pretrained.plan_embeddings(), &sim_config);
+    let mut sim = SimulatorModel::new(pretrained.plan_embeddings().cols(), sim_config, 5);
+    let sample_cap = match scale {
+        RunScale::Quick => 120,
+        RunScale::Full => 2000,
+    };
+    sim.train(&samples[..samples.len().min(sample_cap)], 6, 0.01);
+    let embs = pretrained.plan_embeddings().clone();
+    let pre_curve = pretrain_on_simulator(
+        &mut pretrained,
+        &setup.workload,
+        &sim,
+        &embs,
+        &setup.history,
+        setup.profile.connections,
+        &tc,
+    );
+    let finetune_tc = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 1,
+        rounds_per_iter: tc.rounds_per_iter.min(2),
+        eval_rounds: 1,
+        ..tc
+    };
+    let fine_curve =
+        train_on_dbms(&mut pretrained, &setup.workload, &setup.profile, Some(&setup.history), &finetune_tc);
+    let finetune_cost = fine_curve.total_episodes as f64 * setup.history.mean_makespan();
+
+    // LSched trained from scratch on the DBMS.
+    let mut lsched_agent = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        BqSchedConfig { use_masking: false, algorithm: Algorithm::Ppo, ..scale.agent_config() },
+    );
+    let lsched_curve =
+        train_on_dbms(&mut lsched_agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+    let lsched_cost = lsched_curve.total_episodes as f64 * setup.history.mean_makespan();
+
+    out.push_str(&format!("{:<44} {:>14}\n", "variant", "DBMS time (s)"));
+    out.push_str(&format!("{:<44} {:>14.1}\n", "pre-train BQSched on simulator", 0.0));
+    out.push_str(&format!("{:<44} {:>14.1}\n", "fine-tune BQSched on DBMS", finetune_cost));
+    out.push_str(&format!("{:<44} {:>14.1}\n", "train BQSched from scratch on DBMS", scratch_cost));
+    out.push_str(&format!("{:<44} {:>14.1}\n", "train LSched from scratch on DBMS", lsched_cost));
+    out.push_str(&format!(
+        "pretrain+finetune uses {:.0}% of the from-scratch DBMS time ({} vs {} episodes); simulator pre-training ran {} episodes off-DBMS\n",
+        100.0 * finetune_cost / scratch_cost.max(1e-9),
+        fine_curve.total_episodes,
+        scratch_curve.total_episodes,
+        pre_curve.total_episodes,
+    ));
+    out
+}
+
+/// Figure 7 — ablation of the RL scheduler and adaptive masking: greedy
+/// makespan after training for BQSched and its ablated variants.
+pub fn fig7(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: ablation study (greedy eval makespan after training, s)\n");
+    let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
+    let tc = scale.training();
+    let variants: Vec<(&str, BqSchedConfig)> = vec![
+        ("BQSched (IQ-PPO)", scale.agent_config()),
+        ("w/o attention state rep", scale.agent_config().without_attention()),
+        ("w/ PPO", scale.agent_config().with_algorithm(Algorithm::Ppo)),
+        ("w/ PPG", scale.agent_config().with_algorithm(Algorithm::Ppg)),
+        ("w/o adaptive masking", scale.agent_config().without_masking()),
+    ];
+    out.push_str(&format!("{:<28} {:>16} {:>16}\n", "variant", "final makespan", "episode reward"));
+    for (name, config) in variants {
+        let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
+        let curve = train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+        let reward = curve.points.last().map(|p| p.episode_reward).unwrap_or(0.0);
+        out.push_str(&format!("{:<28} {:>16.2} {:>16.3}\n", name, curve.final_makespan(), reward));
+    }
+    out
+}
+
+/// Figure 8 — sensitivity to the number of query clusters `n_c` at enlarged
+/// query scales.
+pub fn fig8(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8: query clustering sensitivity (greedy eval makespan, s)\n");
+    let (query_scales, cluster_counts): (Vec<usize>, Vec<Option<usize>>) = match scale {
+        RunScale::Quick => (vec![2], vec![Some(20), Some(50), None]),
+        RunScale::Full => (vec![5, 10], vec![Some(50), Some(100), Some(200), None]),
+    };
+    let tc = scale.training();
+    out.push_str(&format!("{:<28} {:>16} {:>16}\n", "cell", "n_c", "makespan"));
+    for &qs in &query_scales {
+        let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, qs, scale);
+        for &nc in &cluster_counts {
+            let mut config = scale.agent_config();
+            config.cluster_count = nc;
+            let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
+            let curve = train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+            let label = format!("tpcds X queries x{qs}");
+            let nc_label = nc.map(|v| v.to_string()).unwrap_or_else(|| "w/o clustering".into());
+            out.push_str(&format!("{:<28} {:>16} {:>16.2}\n", label, nc_label, curve.final_makespan()));
+        }
+    }
+    out
+}
+
+/// Figure 9 — case study: the Gantt chart of a scheduling plan learned by
+/// BQSched on TPC-DS with DBMS-X.
+pub fn fig9(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 9: case study — BQSched scheduling plan on TPC-DS with DBMS-X\n");
+    let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
+    let mut agent = train_bqsched(&setup, scale);
+    let mut engine = ExecutionEngine::new(setup.profile.clone(), &setup.workload, 999);
+    let log = bq_core::run_episode_on(
+        &mut agent,
+        &setup.workload,
+        &mut engine,
+        Some(&setup.history),
+        setup.profile.kind,
+        999,
+    );
+    let chart = GanttChart::from_log(&log);
+    out.push_str(&chart.render_ascii(100));
+    out.push_str(&format!(
+        "connections used: {}, utilisation: {:.1}%, makespan: {:.2}s\n",
+        chart.used_connections(),
+        chart.utilisation() * 100.0,
+        chart.makespan
+    ));
+    let tail: Vec<usize> = chart.tail_queries(0.1).iter().map(|b| b.template).collect();
+    out.push_str(&format!("templates finishing in the last 10% of the makespan: {tail:?}\n"));
+    out
+}
+
+/// Convenience wrapper used by example binaries: build a named heuristic.
+pub fn heuristic_by_name(name: &str, seed: u64) -> Box<dyn SchedulerPolicy> {
+    match name {
+        "random" => Box::new(RandomScheduler::new(seed)),
+        "mcf" => Box::new(McfScheduler::new()),
+        _ => Box::new(FifoScheduler::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_setup_builds_history() {
+        let setup = build_setup(Benchmark::TpcH, DbmsKind::X, 1.0, 1, RunScale::Quick);
+        assert_eq!(setup.workload.len(), 22);
+        assert_eq!(setup.history.len() as u64, RunScale::Quick.history_rounds());
+    }
+
+    #[test]
+    fn heuristics_evaluate_in_expected_order_of_reporting() {
+        let setup = build_setup(Benchmark::TpcH, DbmsKind::X, 1.0, 1, RunScale::Quick);
+        let evals = evaluate_heuristics(&setup, RunScale::Quick);
+        assert_eq!(evals.len(), 3);
+        assert_eq!(evals[0].strategy, "Random");
+        assert_eq!(evals[1].strategy, "FIFO");
+        assert_eq!(evals[2].strategy, "MCF");
+        assert!(evals.iter().all(|e| e.mean_makespan > 0.0));
+    }
+
+    #[test]
+    fn run_scale_parameters_are_consistent() {
+        assert_eq!(RunScale::Quick.eval_rounds(), 3);
+        assert_eq!(RunScale::Full.eval_rounds(), 5);
+        assert!(RunScale::Full.training().iterations > RunScale::Quick.training().iterations);
+    }
+
+    #[test]
+    fn heuristic_by_name_falls_back_to_fifo() {
+        assert_eq!(heuristic_by_name("fifo", 0).name(), "FIFO");
+        assert_eq!(heuristic_by_name("random", 0).name(), "Random");
+        assert_eq!(heuristic_by_name("unknown", 0).name(), "FIFO");
+    }
+}

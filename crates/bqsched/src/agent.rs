@@ -1,0 +1,919 @@
+//! The BQSched agent: attention-based state representation with policy, value
+//! and auxiliary heads, adaptive masking, cluster-level scheduling and the
+//! IQ-PPO / PPO / PPG training pipelines (§III and §IV of the paper).
+//!
+//! The same agent type also realises the adapted **LSched** baseline of the
+//! evaluation: the paper ports LSched to query-level scheduling by reusing
+//! BQSched's state representation but keeping a plain RL algorithm and none
+//! of the optimization strategies — which here is simply a different
+//! [`BqSchedConfig`] (see [`BqSchedConfig::lsched`]).
+
+use crate::clustering::{gains_from_history, GainPredictor, QueryClustering};
+use crate::masking::AdaptiveMask;
+use crate::simulator::{LearnedSimulator, SimulatorModel};
+use bq_core::{
+    run_episode_on, Action, EpisodeLog, ExecutionHistory, QueryExecutor, QueryStatus,
+    SchedulerPolicy, SchedulingState,
+};
+use bq_dbms::{DbmsProfile, ExecutionEngine, MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
+use bq_encoder::{
+    EncodedObservation, FeatureScale, PlanEncoder, PlanEncoderConfig, StateEncoder,
+    StateEncoderConfig, STATE_FEATURE_DIM,
+};
+use bq_nn::{Activation, Graph, Mlp, NodeId, ParamStore, Tensor};
+use bq_plan::{QueryId, Workload};
+use bq_rl::{
+    ActorCritic, AuxTarget, IqPpoConfig, IqPpoTrainer, PpgTrainer, PpoTrainer, RolloutBuffer,
+    Transition,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which policy-optimization algorithm trains the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Plain PPO (the "w/ PPO" ablation and the LSched baseline).
+    Ppo,
+    /// Phasic policy gradients (the "w/ PPG" ablation).
+    Ppg,
+    /// The paper's IQ-PPO (default).
+    IqPpo,
+}
+
+/// Full agent configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BqSchedConfig {
+    /// Plan-encoder hyper-parameters.
+    pub plan_encoder: PlanEncoderConfig,
+    /// State-encoder hyper-parameters.
+    pub state_encoder: StateEncoderConfig,
+    /// Use the attention-based state representation (`false` reproduces the
+    /// "w/o attention" ablation: a per-query MLP with no interaction).
+    pub use_attention: bool,
+    /// Apply adaptive masking to the action space.
+    pub use_masking: bool,
+    /// Number of query clusters for cluster-level scheduling
+    /// (`None` = query-level scheduling).
+    pub cluster_count: Option<usize>,
+    /// Training algorithm.
+    pub algorithm: Algorithm,
+    /// IQ-PPO / PPO / PPG hyper-parameters.
+    pub rl: IqPpoConfig,
+    /// Epochs of plan-encoder cost pre-training (0 disables it).
+    pub plan_pretrain_epochs: usize,
+    /// Time normalisation used in features, rewards and auxiliary targets.
+    pub time_scale: f64,
+    /// Seed for parameter initialisation and action sampling.
+    pub seed: u64,
+}
+
+impl Default for BqSchedConfig {
+    fn default() -> Self {
+        Self {
+            plan_encoder: PlanEncoderConfig { dim: 32, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
+            state_encoder: StateEncoderConfig { plan_dim: 32, dim: 32, heads: 4, blocks: 1 },
+            use_attention: true,
+            use_masking: true,
+            cluster_count: None,
+            algorithm: Algorithm::IqPpo,
+            rl: IqPpoConfig::default(),
+            plan_pretrain_epochs: 2,
+            time_scale: 10.0,
+            seed: 42,
+        }
+    }
+}
+
+impl BqSchedConfig {
+    /// The adapted LSched baseline: BQSched's state representation with a
+    /// plain PPO algorithm and none of the optimization strategies
+    /// (no adaptive masking, no clustering, no simulator pre-training).
+    pub fn lsched() -> Self {
+        Self {
+            use_masking: false,
+            cluster_count: None,
+            algorithm: Algorithm::Ppo,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation: remove the attention-based state representation.
+    pub fn without_attention(mut self) -> Self {
+        self.use_attention = false;
+        self
+    }
+
+    /// Ablation: remove adaptive masking.
+    pub fn without_masking(mut self) -> Self {
+        self.use_masking = false;
+        self
+    }
+
+    /// Use cluster-level scheduling with `n_c` clusters.
+    pub fn with_clusters(mut self, n_c: usize) -> Self {
+        self.cluster_count = Some(n_c);
+        self
+    }
+
+    /// Switch the training algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// A replayable observation for the RL algorithms: the encoded entities plus
+/// the additive action mask.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BqObs {
+    /// Encoded entities (queries or clusters).
+    pub encoded: EncodedObservation,
+    /// Additive logit mask of length `entities × configs`.
+    pub mask: Vec<f32>,
+}
+
+/// The neural decision model: shared state representation plus policy, value
+/// and auxiliary heads.
+#[derive(Debug)]
+pub struct BqSchedModel {
+    use_attention: bool,
+    num_configs: usize,
+    state_encoder: StateEncoder,
+    plain_proj: Mlp,
+    policy_head: Mlp,
+    value_head: Mlp,
+    aux_head: Mlp,
+}
+
+impl BqSchedModel {
+    /// Create the model, registering all parameters in `store`.
+    pub fn new(config: &BqSchedConfig, num_configs: usize, store: &mut ParamStore) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let enc_config = StateEncoderConfig { plan_dim: config.plan_encoder.dim, ..config.state_encoder };
+        let state_encoder = StateEncoder::new(store, enc_config, &mut rng);
+        let plain_proj = Mlp::new(
+            store,
+            "agent.plain_proj",
+            &[config.plan_encoder.dim + STATE_FEATURE_DIM, enc_config.dim, enc_config.dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            &mut rng,
+        );
+        let policy_head = Mlp::new(
+            store,
+            "agent.policy",
+            &[enc_config.dim, enc_config.dim, num_configs],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        let value_head = Mlp::new(
+            store,
+            "agent.value",
+            &[enc_config.dim, enc_config.dim, 1],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        let aux_head = Mlp::new(
+            store,
+            "agent.aux",
+            &[enc_config.dim, enc_config.dim, 1],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        Self {
+            use_attention: config.use_attention,
+            num_configs,
+            state_encoder,
+            plain_proj,
+            policy_head,
+            value_head,
+            aux_head,
+        }
+    }
+
+    /// Number of parameter configurations per entity.
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    fn representations(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+    ) -> (NodeId, NodeId) {
+        if self.use_attention {
+            let repr = self.state_encoder.forward(g, store, obs);
+            (repr.per_query, repr.global)
+        } else {
+            // Ablation: each entity encoded independently; the "global" state
+            // is a mean pool of the per-entity representations.
+            let plan = g.input(obs.plan_embs.clone());
+            let feats = g.input(obs.features.clone());
+            let x = g.concat_cols(plan, feats);
+            let per_query = self.plain_proj.forward(g, store, x);
+            let global = g.mean_pool_rows(per_query);
+            (per_query, global)
+        }
+    }
+}
+
+impl ActorCritic for BqSchedModel {
+    type Obs = BqObs;
+
+    fn evaluate(&self, g: &mut Graph, store: &ParamStore, obs: &BqObs) -> (NodeId, NodeId) {
+        let (per_query, global) = self.representations(g, store, &obs.encoded);
+        let n = obs.encoded.len();
+        let per_entity_logits = self.policy_head.forward(g, store, per_query); // [n, K]
+        let flat = g.reshape(per_entity_logits, 1, n * self.num_configs);
+        let mask = Tensor::from_vec(1, obs.mask.len(), obs.mask.clone());
+        let logits = g.add_const(flat, &mask);
+        let value = self.value_head.forward(g, store, global);
+        (logits, value)
+    }
+
+    fn aux_prediction(&self, g: &mut Graph, store: &ParamStore, obs: &BqObs, index: usize) -> NodeId {
+        let (per_query, _) = self.representations(g, store, &obs.encoded);
+        let row = g.select_rows(per_query, &[index]);
+        self.aux_head.forward(g, store, row)
+    }
+}
+
+/// A decision recorded during an episode, finalised into a transition once
+/// the episode's rewards are known.
+#[derive(Debug, Clone)]
+struct PendingDecision {
+    obs: BqObs,
+    action: usize,
+    log_prob: f32,
+    value: f32,
+    probs: Vec<f32>,
+    time: f64,
+}
+
+/// The BQSched scheduling agent.
+pub struct BqSchedAgent {
+    /// Agent configuration.
+    pub config: BqSchedConfig,
+    /// Decision model (layer definitions).
+    pub model: BqSchedModel,
+    /// Learnable parameters of the decision model.
+    pub store: ParamStore,
+    plan_embs: Tensor,
+    avg_times: Vec<f64>,
+    scale: FeatureScale,
+    mask: AdaptiveMask,
+    clustering: QueryClustering,
+    space: ParamSpace,
+    rng: StdRng,
+    /// When true, actions are sampled and transitions are recorded; when
+    /// false the agent acts greedily (inference mode).
+    pub explore: bool,
+    commit_queue: VecDeque<(QueryId, RunParams)>,
+    decisions: Vec<PendingDecision>,
+    finished_rollout: RolloutBuffer<BqObs>,
+    /// Sum of rewards of the most recent finished episode.
+    pub last_episode_return: f64,
+}
+
+impl BqSchedAgent {
+    /// Build an agent for `workload` on `profile`, bootstrapping masking,
+    /// clustering and feature scales from `history` when available.
+    pub fn new(
+        workload: &Workload,
+        profile: &DbmsProfile,
+        history: Option<&ExecutionHistory>,
+        config: BqSchedConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+        // Plan encoder: optionally pre-trained on cost prediction, then frozen
+        // as a feature extractor for per-query plan embeddings.
+        let mut plan_store = ParamStore::new();
+        let plan_encoder = PlanEncoder::new(&mut plan_store, config.plan_encoder, &mut rng);
+        if config.plan_pretrain_epochs > 0 {
+            bq_encoder::pretrain_on_cost(
+                &plan_encoder,
+                &mut plan_store,
+                workload,
+                config.plan_pretrain_epochs,
+                5e-3,
+            );
+        }
+        let plan_embs = plan_encoder.embed_workload(&plan_store, workload);
+
+        // Historical average times drive features, MCF-style intra-cluster
+        // ordering, and the reward/aux normalisation.
+        let avg_times: Vec<f64> = (0..workload.len())
+            .map(|i| {
+                history
+                    .and_then(|h| h.avg_exec_time(QueryId(i)))
+                    .unwrap_or_else(|| workload.query(QueryId(i)).plan.total_cost() / 20_000.0)
+            })
+            .collect();
+        let scale = FeatureScale { time_scale: config.time_scale };
+
+        let space = ParamSpace::full();
+        let mask = if config.use_masking {
+            let base = AdaptiveMask::from_workload(workload, &space, profile.low_mem_grant_pages);
+            match history {
+                Some(h) => base.refine_with_history(workload, h, &space, 0.05),
+                None => base,
+            }
+        } else {
+            AdaptiveMask::all_allowed(workload.len(), &space)
+        };
+
+        let clustering = match (config.cluster_count, history) {
+            (Some(n_c), Some(h)) if n_c < workload.len() => {
+                let mut gains = gains_from_history(h, workload.len());
+                let mut gain_store = ParamStore::new();
+                let predictor = GainPredictor::new(&mut gain_store, config.plan_encoder.dim, &mut rng);
+                predictor.train(&mut gain_store, &plan_embs, &gains, 30, 0.01);
+                predictor.complete(&gain_store, &plan_embs, &mut gains);
+                QueryClustering::agglomerative(&gains, n_c)
+            }
+            (Some(n_c), None) if n_c < workload.len() => {
+                // Without logs, fall back to a round-robin grouping over query
+                // ids; later history-driven re-clustering can refine it.
+                QueryClustering::from_assignment((0..workload.len()).map(|i| i % n_c).collect())
+            }
+            _ => QueryClustering::singleton(workload.len()),
+        };
+
+        let mut store = ParamStore::new();
+        let model = BqSchedModel::new(&config, space.len(), &mut store);
+        Self {
+            config,
+            model,
+            store,
+            plan_embs,
+            avg_times,
+            scale,
+            mask,
+            clustering,
+            space,
+            rng,
+            explore: true,
+            commit_queue: VecDeque::new(),
+            decisions: Vec::new(),
+            finished_rollout: RolloutBuffer::new(),
+            last_episode_return: 0.0,
+        }
+    }
+
+    /// Number of scheduling entities (queries or clusters).
+    pub fn num_entities(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// The query clustering currently in use.
+    pub fn clustering(&self) -> &QueryClustering {
+        &self.clustering
+    }
+
+    /// The adaptive mask currently in use.
+    pub fn adaptive_mask(&self) -> &AdaptiveMask {
+        &self.mask
+    }
+
+    /// Take the rollout recorded for the most recent finished episode.
+    pub fn take_rollout(&mut self) -> RolloutBuffer<BqObs> {
+        std::mem::take(&mut self.finished_rollout)
+    }
+
+    /// Build the entity-level observation and mask for a scheduling state.
+    fn build_obs(&self, state: &SchedulingState<'_>) -> BqObs {
+        let clusters = self.clustering.clusters();
+        let n = clusters.len();
+        let plan_dim = self.plan_embs.cols();
+        let mut entity_embs = Vec::with_capacity(n);
+        let mut entity_feats = Vec::with_capacity(n);
+        let mut running = Vec::new();
+        let mut pending = Vec::new();
+        let mut selectable = vec![false; n];
+        for (e, members) in clusters.iter().enumerate() {
+            // Sum-pool the member plan embeddings (paper §IV-B).
+            let mut emb = vec![0.0f32; plan_dim];
+            for q in members {
+                for (c, v) in emb.iter_mut().enumerate() {
+                    *v += self.plan_embs.get(q.0, c);
+                }
+            }
+            entity_embs.push(emb);
+
+            let any_pending = members.iter().any(|q| state.queries[q.0].status == QueryStatus::Pending);
+            let any_running = members.iter().any(|q| state.queries[q.0].status == QueryStatus::Running);
+            let status = if any_pending {
+                QueryStatus::Pending
+            } else if any_running {
+                QueryStatus::Running
+            } else {
+                QueryStatus::Finished
+            };
+            if any_running {
+                running.push(e);
+            }
+            if any_pending {
+                pending.push(e);
+                selectable[e] = true;
+            }
+            // Entity feature vector with the same layout as per-query features.
+            let mut f = vec![0.0f32; STATE_FEATURE_DIM];
+            f[status.index()] = 1.0;
+            let running_members: Vec<&QueryId> =
+                members.iter().filter(|q| state.queries[q.0].status == QueryStatus::Running).collect();
+            if let Some(first_running) = running_members.first() {
+                if let Some(params) = state.queries[first_running.0].params {
+                    if let Some(widx) = WORKER_OPTIONS.iter().position(|&w| w == params.workers) {
+                        f[3 + widx] = 1.0;
+                    }
+                    let midx = match params.memory {
+                        MemoryGrant::Low => 0,
+                        MemoryGrant::High => 1,
+                    };
+                    f[3 + WORKER_OPTIONS.len() + midx] = 1.0;
+                }
+            }
+            let elapsed: f64 = if running_members.is_empty() {
+                0.0
+            } else {
+                running_members.iter().map(|q| state.queries[q.0].elapsed).sum::<f64>()
+                    / running_members.len() as f64
+            };
+            let avg: f64 = members.iter().map(|q| self.avg_times[q.0]).sum();
+            f[STATE_FEATURE_DIM - 2] = (elapsed / self.scale.time_scale) as f32;
+            f[STATE_FEATURE_DIM - 1] = (avg / self.scale.time_scale) as f32;
+            entity_feats.push(f);
+        }
+        let encoded = EncodedObservation {
+            plan_embs: Tensor::from_rows(&entity_embs),
+            features: Tensor::from_rows(&entity_feats),
+            running,
+            pending,
+        };
+        let member_lists: Vec<Vec<QueryId>> = clusters;
+        let mask = self.mask.logit_mask(&member_lists, &selectable);
+        BqObs { encoded, mask }
+    }
+
+    /// Evaluate the policy on an observation and pick an action (sampling
+    /// when exploring, argmax otherwise).
+    fn decide(&mut self, obs: &BqObs) -> (usize, f32, f32, Vec<f32>) {
+        let mut g = Graph::new();
+        let (logits, value) = self.model.evaluate(&mut g, &self.store, obs);
+        let probs = g.value(logits).softmax_rows();
+        let value = g.value(value).item();
+        let p = probs.data();
+        let action = if self.explore {
+            let r: f32 = self.rng.gen();
+            let mut cum = 0.0;
+            let mut chosen = 0;
+            for (i, &pi) in p.iter().enumerate() {
+                cum += pi;
+                chosen = i;
+                if r <= cum {
+                    break;
+                }
+            }
+            chosen
+        } else {
+            probs.argmax()
+        };
+        let log_prob = p[action].max(1e-12).ln();
+        (action, log_prob, value, p.to_vec())
+    }
+
+    /// Expand an entity/config action into the concrete per-query submissions
+    /// of that cluster, ordered by descending historical cost (MCF inside the
+    /// cluster), respecting per-query masks.
+    fn expand_action(&mut self, state: &SchedulingState<'_>, entity: usize, config_idx: usize) {
+        let cluster_params = self.space.get(config_idx);
+        let mut members: Vec<QueryId> = self
+            .clustering
+            .members(entity)
+            .into_iter()
+            .filter(|q| state.queries[q.0].status == QueryStatus::Pending)
+            .collect();
+        members.sort_by(|a, b| {
+            self.avg_times[b.0].partial_cmp(&self.avg_times[a.0]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for q in members {
+            let allowed = self.mask.allowed(q);
+            let params = if allowed[config_idx] {
+                cluster_params
+            } else {
+                // Resolve mask conflicts by the closest allowed configuration.
+                match self.space.closest_allowed(cluster_params, allowed) {
+                    Some(k) => self.space.get(k),
+                    None => RunParams::default_config(),
+                }
+            };
+            self.commit_queue.push_back((q, params));
+        }
+    }
+}
+
+impl SchedulerPolicy for BqSchedAgent {
+    fn name(&self) -> &str {
+        match (self.config.algorithm, self.config.use_masking) {
+            (Algorithm::Ppo, false) => "LSched",
+            _ => "BQSched",
+        }
+    }
+
+
+    fn begin_episode(&mut self, _workload: &Workload) {
+        self.commit_queue.clear();
+        self.decisions.clear();
+    }
+
+    fn select(&mut self, state: &SchedulingState<'_>) -> Action {
+        // Drain the intra-cluster commit queue first.
+        while let Some((q, params)) = self.commit_queue.pop_front() {
+            if state.queries[q.0].status == QueryStatus::Pending {
+                return Action { query: q, params };
+            }
+        }
+        let obs = self.build_obs(state);
+        let (action, log_prob, value, probs) = self.decide(&obs);
+        let k = self.model.num_configs();
+        let entity = action / k;
+        let config_idx = action % k;
+        if self.explore {
+            self.decisions.push(PendingDecision {
+                obs: obs.clone(),
+                action,
+                log_prob,
+                value,
+                probs,
+                time: state.now,
+            });
+        }
+        self.expand_action(state, entity, config_idx);
+        if let Some((q, params)) = self.commit_queue.pop_front() {
+            return Action { query: q, params };
+        }
+        // Fallback: the policy selected an entity with no pending members
+        // (only possible under a pathological mask); submit any pending query.
+        let q = state.pending_queries()[0];
+        Action { query: q, params: RunParams::default_config() }
+    }
+
+    fn end_episode(&mut self, log: &EpisodeLog) {
+        if !self.explore || self.decisions.is_empty() {
+            self.decisions.clear();
+            return;
+        }
+        let makespan = log.makespan();
+        let mut rollout = RolloutBuffer::new();
+        let times: Vec<f64> = self.decisions.iter().map(|d| d.time).collect();
+        let mut episode_return = 0.0;
+        for (i, d) in self.decisions.drain(..).enumerate() {
+            let next_time = times.get(i + 1).copied().unwrap_or(makespan);
+            let reward = (-(next_time - d.time) / self.config.time_scale) as f32;
+            episode_return += reward as f64;
+            // Auxiliary target: among the queries running at decision time,
+            // which finishes first and when (from the real log — the
+            // individual-query completion signal IQ-PPO exploits).
+            let aux = log
+                .records
+                .iter()
+                .filter(|r| r.started_at <= d.time + 1e-9 && r.finished_at > d.time + 1e-9)
+                .min_by(|a, b| a.finished_at.partial_cmp(&b.finished_at).unwrap())
+                .and_then(|earliest| {
+                    let entity = self.clustering.cluster_of(earliest.query);
+                    let position = entity;
+                    if position < d.obs.encoded.len() {
+                        Some(AuxTarget {
+                            earliest_index: position,
+                            finish_time: ((earliest.finished_at - d.time) / self.config.time_scale)
+                                as f32,
+                        })
+                    } else {
+                        None
+                    }
+                });
+            rollout.push(Transition {
+                obs: d.obs,
+                action: d.action,
+                log_prob: d.log_prob,
+                value: d.value,
+                reward,
+                done: i + 1 == times.len(),
+                action_probs: d.probs,
+                aux,
+            });
+        }
+        self.last_episode_return = episode_return;
+        self.finished_rollout = rollout;
+    }
+}
+
+/// One point of a training curve (Figure 7 of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainingPoint {
+    /// Number of scheduling decisions taken so far.
+    pub step: usize,
+    /// Mean episode return of the most recent collection phase.
+    pub episode_reward: f64,
+    /// Greedy-policy makespan measured at this point.
+    pub eval_makespan: f64,
+}
+
+/// The full training trajectory plus cost accounting (Figures 6 and 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingCurve {
+    /// Curve points in chronological order.
+    pub points: Vec<TrainingPoint>,
+    /// Total scheduling rounds executed during training.
+    pub total_episodes: usize,
+    /// Wall-clock seconds spent (training cost, Figure 6).
+    pub wall_seconds: f64,
+}
+
+impl TrainingCurve {
+    /// Best (lowest) greedy makespan observed during training.
+    pub fn best_makespan(&self) -> f64 {
+        self.points.iter().map(|p| p.eval_makespan).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Final greedy makespan.
+    pub fn final_makespan(&self) -> f64 {
+        self.points.last().map_or(f64::INFINITY, |p| p.eval_makespan)
+    }
+}
+
+/// Knobs of the training loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Outer iterations (each ends with an auxiliary phase for IQ-PPO/PPG).
+    pub iterations: usize,
+    /// PPO iterations per outer iteration (`N_ppo`).
+    pub ppo_iters: usize,
+    /// Scheduling rounds collected per PPO iteration.
+    pub rounds_per_iter: usize,
+    /// Greedy evaluation rounds per curve point.
+    pub eval_rounds: u64,
+    /// Base seed for engine noise during training.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self { iterations: 2, ppo_iters: 2, rounds_per_iter: 2, eval_rounds: 1, seed: 1000 }
+    }
+}
+
+enum AnyTrainer {
+    Ppo(PpoTrainer),
+    Ppg(PpgTrainer),
+    IqPpo(IqPpoTrainer),
+}
+
+/// Train `agent` by interacting with executors produced by `make_executor`
+/// (a fresh executor per scheduling round — either the simulated DBMS or the
+/// learned incremental simulator).
+pub fn train_agent_with<E, F>(
+    agent: &mut BqSchedAgent,
+    workload: &Workload,
+    history: Option<&ExecutionHistory>,
+    tc: &TrainingConfig,
+    mut make_executor: F,
+) -> TrainingCurve
+where
+    E: QueryExecutor,
+    F: FnMut(u64) -> E,
+{
+    let start = std::time::Instant::now();
+    let mut trainer = match agent.config.algorithm {
+        Algorithm::Ppo => AnyTrainer::Ppo(PpoTrainer::new(agent.config.rl.ppo)),
+        Algorithm::Ppg => AnyTrainer::Ppg(PpgTrainer::new(agent.config.rl)),
+        Algorithm::IqPpo => AnyTrainer::IqPpo(IqPpoTrainer::new(agent.config.rl)),
+    };
+    let mut points = Vec::new();
+    let mut total_episodes = 0usize;
+    let mut steps = 0usize;
+    let mut round_seed = tc.seed;
+    for _ in 0..tc.iterations {
+        let mut iteration_log: RolloutBuffer<BqObs> = RolloutBuffer::new();
+        let mut mean_reward = 0.0;
+        for _ in 0..tc.ppo_iters {
+            let mut buffer: RolloutBuffer<BqObs> = RolloutBuffer::new();
+            for _ in 0..tc.rounds_per_iter {
+                agent.explore = true;
+                let mut executor = make_executor(round_seed);
+                round_seed += 1;
+                run_episode_on(agent, workload, &mut executor, history, bq_dbms::DbmsKind::X, round_seed);
+                total_episodes += 1;
+                mean_reward = agent.last_episode_return;
+                let rollout = agent.take_rollout();
+                steps += rollout.len();
+                buffer.extend(rollout);
+            }
+            // The PPO phase updates the parameters in `agent.store` while the
+            // model's layer definitions stay immutable.
+            match &mut trainer {
+                AnyTrainer::Ppo(t) => {
+                    t.update(&agent.model, &mut agent.store, &buffer);
+                }
+                AnyTrainer::Ppg(t) => {
+                    t.ppo_phase(&agent.model, &mut agent.store, &buffer);
+                }
+                AnyTrainer::IqPpo(t) => {
+                    t.ppo_phase(&agent.model, &mut agent.store, &buffer);
+                }
+            }
+            iteration_log.extend(buffer);
+        }
+        // Auxiliary phase on the accumulated log (Algorithm 1 line 7).
+        match &mut trainer {
+            AnyTrainer::IqPpo(t) => {
+                t.aux_phase(&agent.model, &mut agent.store, &iteration_log);
+            }
+            AnyTrainer::Ppg(t) => {
+                t.aux_phase(&agent.model, &mut agent.store, &iteration_log);
+            }
+            AnyTrainer::Ppo(_) => {}
+        }
+        // Greedy evaluation for the curve.
+        agent.explore = false;
+        let mut makespans = Vec::new();
+        for r in 0..tc.eval_rounds {
+            let mut executor = make_executor(10_000 + r);
+            let log = run_episode_on(agent, workload, &mut executor, history, bq_dbms::DbmsKind::X, r);
+            makespans.push(log.makespan());
+        }
+        agent.explore = true;
+        let eval = makespans.iter().sum::<f64>() / makespans.len().max(1) as f64;
+        points.push(TrainingPoint { step: steps, episode_reward: mean_reward, eval_makespan: eval });
+    }
+    TrainingCurve { points, total_episodes, wall_seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Train the agent directly against the simulated DBMS (`profile`).
+pub fn train_on_dbms(
+    agent: &mut BqSchedAgent,
+    workload: &Workload,
+    profile: &DbmsProfile,
+    history: Option<&ExecutionHistory>,
+    tc: &TrainingConfig,
+) -> TrainingCurve {
+    train_agent_with(agent, workload, history, tc, |seed| {
+        ExecutionEngine::new(profile.clone(), workload, seed)
+    })
+}
+
+/// Pre-train the agent against the learned incremental simulator (the first
+/// phase of the paper's two-phase training paradigm).
+pub fn pretrain_on_simulator(
+    agent: &mut BqSchedAgent,
+    workload: &Workload,
+    simulator: &SimulatorModel,
+    plan_embs: &Tensor,
+    history: &ExecutionHistory,
+    connections: usize,
+    tc: &TrainingConfig,
+) -> TrainingCurve {
+    let avg: Vec<f64> = (0..workload.len())
+        .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(1.0))
+        .collect();
+    train_agent_with(agent, workload, Some(history), tc, |_seed| {
+        LearnedSimulator::new(simulator, workload, plan_embs, avg.clone(), connections)
+    })
+}
+
+/// Plan embeddings of the agent (shared with the simulator during
+/// pre-training so both models describe queries in the same space).
+impl BqSchedAgent {
+    /// Per-query plan embeddings `[n, plan_dim]`.
+    pub fn plan_embeddings(&self) -> &Tensor {
+        &self.plan_embs
+    }
+
+    /// Historical average execution times used by the agent.
+    pub fn avg_times(&self) -> &[f64] {
+        &self.avg_times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_core::{collect_history, evaluate_strategy, FifoScheduler};
+    use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    fn tiny_workload() -> Workload {
+        generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
+    }
+
+    fn fast_config() -> BqSchedConfig {
+        BqSchedConfig {
+            plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
+            state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+            plan_pretrain_epochs: 0,
+            ..BqSchedConfig::default()
+        }
+    }
+
+    #[test]
+    fn agent_completes_episodes_greedily() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
+        agent.explore = false;
+        let eval = evaluate_strategy(&mut agent, &w, &profile, None, 1, 0);
+        assert!(eval.mean_makespan > 0.0);
+    }
+
+    #[test]
+    fn exploration_records_one_transition_per_decision() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
+        agent.explore = true;
+        bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        let rollout = agent.take_rollout();
+        assert_eq!(rollout.len(), w.len(), "query-level scheduling: one decision per query");
+        // Rewards sum to roughly -makespan / time_scale.
+        let total: f32 = rollout.transitions().iter().map(|t| t.reward).sum();
+        assert!(total < 0.0);
+        // Aux targets exist for states with running queries.
+        assert!(rollout.transitions().iter().filter(|t| t.aux.is_some()).count() > 0);
+    }
+
+    #[test]
+    fn masked_actions_are_never_selected() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
+        agent.explore = true;
+        let log = bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        // Every query that the mask restricts must have run with an allowed config.
+        let space = ParamSpace::full();
+        for r in &log.records {
+            let allowed = agent.adaptive_mask().allowed(r.query);
+            let idx = space.index_of(r.params).unwrap();
+            assert!(allowed[idx], "query {:?} ran with masked config {:?}", r.query, r.params);
+        }
+    }
+
+    #[test]
+    fn cluster_level_scheduling_reduces_decisions() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let history = collect_history(&mut FifoScheduler::new(), &w, &profile, 2, 0);
+        let config = fast_config().with_clusters(6);
+        let mut agent = BqSchedAgent::new(&w, &profile, Some(&history), config);
+        assert_eq!(agent.num_entities(), 6);
+        agent.explore = true;
+        let log = bq_core::run_episode(&mut agent, &w, &profile, Some(&history), 0);
+        assert_eq!(log.len(), w.len(), "all queries still execute");
+        let rollout = agent.take_rollout();
+        assert!(
+            rollout.len() <= 6,
+            "cluster-level scheduling should take at most one decision per cluster, got {}",
+            rollout.len()
+        );
+    }
+
+    #[test]
+    fn lsched_config_disables_optimizations() {
+        let c = BqSchedConfig::lsched();
+        assert_eq!(c.algorithm, Algorithm::Ppo);
+        assert!(!c.use_masking);
+        assert!(c.cluster_count.is_none());
+        let w = tiny_workload();
+        let agent = BqSchedAgent::new(&w, &DbmsProfile::dbms_x(), None, c);
+        assert_eq!(agent.name(), "LSched");
+        assert_eq!(agent.adaptive_mask().masked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn short_training_runs_and_improves_or_matches() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let history = collect_history(&mut FifoScheduler::new(), &w, &profile, 2, 0);
+        let mut agent = BqSchedAgent::new(&w, &profile, Some(&history), fast_config());
+        let tc = TrainingConfig { iterations: 1, ppo_iters: 1, rounds_per_iter: 1, eval_rounds: 1, seed: 50 };
+        let curve = train_on_dbms(&mut agent, &w, &profile, Some(&history), &tc);
+        assert_eq!(curve.points.len(), 1);
+        assert!(curve.total_episodes >= 1);
+        assert!(curve.final_makespan().is_finite());
+        assert!(curve.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn without_attention_agent_still_works() {
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config().without_attention());
+        agent.explore = false;
+        let log = bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        assert_eq!(log.len(), w.len());
+    }
+}

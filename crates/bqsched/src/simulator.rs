@@ -1,0 +1,536 @@
+//! The learned incremental simulator (§IV-C of the paper).
+//!
+//! Sampling scheduling episodes directly from the DBMS is expensive, so
+//! BQSched trains a model that *simulates* the DBMS's feedback: given the
+//! current set of concurrent queries it predicts (a) which of them finishes
+//! first and (b) when. Chaining these predictions replaces the DBMS during
+//! pre-training; the scheduler is later fine-tuned on the real system. The
+//! model shares the attention-based state representation of the decision
+//! model and is trained with multitask learning (classification +
+//! regression), exactly the design ablated in Table III.
+
+use bq_core::{ExecutionHistory, QueryExecutor, QueryRuntime, QueryStatus, SchedulingState};
+use bq_dbms::{QueryCompletion, RunParams};
+use bq_encoder::{EncodedObservation, FeatureScale, StateEncoder, StateEncoderConfig};
+use bq_nn::{Activation, Adam, Graph, Mlp, NodeId, ParamStore, Tensor};
+use bq_plan::{QueryId, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulator's prediction model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimulatorConfig {
+    /// State-encoder hyper-parameters (shared representation).
+    pub encoder: StateEncoderConfig,
+    /// Use the attention-based state representation (`false` = the
+    /// "w/o Att" ablation: an MLP over each query's own features only).
+    pub use_attention: bool,
+    /// Train classification and regression jointly (`false` = the
+    /// "w/o MTL" ablation: the heads are trained sequentially).
+    pub multitask: bool,
+    /// Scaling coefficient γ of the regression loss in the joint objective.
+    pub gamma: f32,
+    /// Time normalisation: predicted/target times are divided by this value.
+    pub time_scale: f64,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self {
+            encoder: StateEncoderConfig::default(),
+            use_attention: true,
+            multitask: true,
+            gamma: 0.1,
+            time_scale: 10.0,
+        }
+    }
+}
+
+/// One supervised training sample extracted from the logs: a scheduling state,
+/// the index (within the running set) of the earliest query to finish, and
+/// its normalised remaining time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSample {
+    /// Encoded observation of the state.
+    pub obs: EncodedObservation,
+    /// Position inside `obs.running` of the earliest query to finish.
+    pub target_position: usize,
+    /// Normalised time from the state's timestamp until that query finishes.
+    pub target_time: f32,
+}
+
+/// Prediction quality of the simulator model (Table III metrics).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SimulatorMetrics {
+    /// Classification accuracy for the earliest-finisher task.
+    pub accuracy: f64,
+    /// Mean squared error of the (normalised) finish-time regression.
+    pub mse: f64,
+}
+
+/// The prediction model of the incremental simulator.
+#[derive(Debug)]
+pub struct SimulatorModel {
+    /// Model configuration.
+    pub config: SimulatorConfig,
+    /// Parameters of the encoder and both heads.
+    pub store: ParamStore,
+    encoder: StateEncoder,
+    plain_proj: Mlp,
+    classify_head: Mlp,
+    regress_head: Mlp,
+}
+
+impl SimulatorModel {
+    /// Create a model for plan embeddings of width `plan_dim`.
+    pub fn new(plan_dim: usize, config: SimulatorConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let enc_config = StateEncoderConfig { plan_dim, ..config.encoder };
+        let encoder = StateEncoder::new(&mut store, enc_config, &mut rng);
+        let plain_proj = Mlp::new(
+            &mut store,
+            "sim.plain_proj",
+            &[plan_dim + bq_encoder::STATE_FEATURE_DIM, enc_config.dim, enc_config.dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            &mut rng,
+        );
+        let classify_head = Mlp::new(
+            &mut store,
+            "sim.classify",
+            &[enc_config.dim, enc_config.dim, 1],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        let regress_head = Mlp::new(
+            &mut store,
+            "sim.regress",
+            &[enc_config.dim, enc_config.dim, 1],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
+        Self { config, store, encoder, plain_proj, classify_head, regress_head }
+    }
+
+    /// Per-query representations `[n, dim]` — attention-based, or the plain
+    /// per-query MLP for the "w/o Att" ablation.
+    fn per_query_reprs(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> NodeId {
+        if self.config.use_attention {
+            self.encoder.forward(g, store, obs).per_query
+        } else {
+            let plan = g.input(obs.plan_embs.clone());
+            let feats = g.input(obs.features.clone());
+            let x = g.concat_cols(plan, feats);
+            self.plain_proj.forward(g, store, x)
+        }
+    }
+
+    /// Scores (logits) over the running queries of `obs`, `[1, |running|]`.
+    fn running_scores(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> NodeId {
+        let reprs = self.per_query_reprs(g, store, obs);
+        let running = g.select_rows(reprs, &obs.running);
+        let scores = self.classify_head.forward(g, store, running); // [r, 1]
+        let t = g.transpose(scores); // [1, r]
+        t
+    }
+
+    /// Regression output for the running query at `position` in `obs.running`.
+    fn finish_time_of(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation, position: usize) -> NodeId {
+        let reprs = self.per_query_reprs(g, store, obs);
+        let row = g.select_rows(reprs, &[obs.running[position]]);
+        self.regress_head.forward(g, store, row)
+    }
+
+    /// Predict which running query of `obs` finishes first and in how much
+    /// (normalised) time. Returns `(position in obs.running, time)`.
+    pub fn predict(&self, obs: &EncodedObservation) -> (usize, f64) {
+        assert!(!obs.running.is_empty(), "cannot predict on a state with no running queries");
+        let mut g = Graph::new();
+        let scores = self.running_scores(&mut g, &self.store, obs);
+        let position = g.value(scores).argmax();
+        let time = self.finish_time_of(&mut g, &self.store, obs, position);
+        let t = g.value(time).item().max(1e-3) as f64;
+        (position, t)
+    }
+
+    /// Train on `samples`; returns metrics on the training set after the last
+    /// epoch. With `multitask` enabled the two objectives are optimized
+    /// jointly (`L = L_clf + γ·L_reg`); otherwise the classification and
+    /// regression phases run sequentially.
+    pub fn train(&mut self, samples: &[SimSample], epochs: usize, lr: f32) -> SimulatorMetrics {
+        if samples.is_empty() {
+            return SimulatorMetrics::default();
+        }
+        let mut adam = Adam::new(lr);
+        let n = samples.len() as f32;
+        let phases: Vec<(bool, bool)> = if self.config.multitask {
+            vec![(true, true)]
+        } else {
+            vec![(true, false), (false, true)]
+        };
+        for &(do_clf, do_reg) in &phases {
+            for _ in 0..epochs {
+                self.store.zero_grads();
+                for s in samples {
+                    if s.obs.running.is_empty() {
+                        continue;
+                    }
+                    let mut g = Graph::new();
+                    let mut losses: Vec<NodeId> = Vec::new();
+                    if do_clf {
+                        let scores = self.running_scores(&mut g, &self.store, &s.obs);
+                        let one_hot = Tensor::one_hot(s.obs.running.len(), s.target_position);
+                        let clf = g.cross_entropy_loss(scores, &one_hot);
+                        losses.push(clf);
+                    }
+                    if do_reg {
+                        let pred = self.finish_time_of(&mut g, &self.store, &s.obs, s.target_position);
+                        let reg_full = g.mse_loss(pred, &Tensor::scalar(s.target_time));
+                        let weight = if self.config.multitask { self.config.gamma } else { 1.0 };
+                        let reg = g.scale(reg_full, weight);
+                        losses.push(reg);
+                    }
+                    let mut total = losses[0];
+                    for &l in &losses[1..] {
+                        total = g.add(total, l);
+                    }
+                    let loss = g.scale(total, 1.0 / n);
+                    g.backward(loss);
+                    g.flush_grads(&mut self.store);
+                }
+                self.store.clip_grad_norm(1.0);
+                adam.step(&mut self.store);
+            }
+        }
+        self.evaluate(samples)
+    }
+
+    /// Accuracy / MSE of the current model on `samples`.
+    pub fn evaluate(&self, samples: &[SimSample]) -> SimulatorMetrics {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut se = 0.0f64;
+        for s in samples {
+            if s.obs.running.is_empty() {
+                continue;
+            }
+            let mut g = Graph::new();
+            let scores = self.running_scores(&mut g, &self.store, &s.obs);
+            if g.value(scores).argmax() == s.target_position {
+                correct += 1;
+            }
+            let pred = self.finish_time_of(&mut g, &self.store, &s.obs, s.target_position);
+            let err = g.value(pred).item() - s.target_time;
+            se += (err * err) as f64;
+            total += 1;
+        }
+        if total == 0 {
+            return SimulatorMetrics::default();
+        }
+        SimulatorMetrics { accuracy: correct as f64 / total as f64, mse: se / total as f64 }
+    }
+}
+
+/// Reconstruct supervised training samples from execution logs: at every
+/// event time with at least two running queries, record the running set, the
+/// earliest query to finish and its remaining time.
+pub fn samples_from_history(
+    workload: &Workload,
+    history: &ExecutionHistory,
+    plan_embs: &Tensor,
+    config: &SimulatorConfig,
+) -> Vec<SimSample> {
+    let scale = FeatureScale { time_scale: config.time_scale };
+    let mut samples = Vec::new();
+    for episode in history.episodes() {
+        let mut events: Vec<f64> = episode
+            .records
+            .iter()
+            .flat_map(|r| [r.started_at, r.finished_at])
+            .collect();
+        events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        events.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for &t in &events {
+            // Running queries at time t (strictly before their finish).
+            let running: Vec<&bq_core::QueryRecord> = episode
+                .records
+                .iter()
+                .filter(|r| r.started_at <= t + 1e-9 && r.finished_at > t + 1e-9)
+                .collect();
+            if running.len() < 2 {
+                continue;
+            }
+            let earliest = running
+                .iter()
+                .min_by(|a, b| a.finished_at.partial_cmp(&b.finished_at).unwrap())
+                .unwrap();
+            // Build the full per-query runtime view at time t.
+            let runtimes: Vec<QueryRuntime> = (0..workload.len())
+                .map(|i| {
+                    let rec = episode.record_for(QueryId(i));
+                    let avg = history.avg_exec_time(QueryId(i)).unwrap_or(0.0);
+                    match rec {
+                        Some(r) if r.finished_at <= t + 1e-9 => QueryRuntime {
+                            status: QueryStatus::Finished,
+                            params: Some(r.params),
+                            elapsed: r.duration(),
+                            avg_exec_time: avg,
+                        },
+                        Some(r) if r.started_at <= t + 1e-9 => QueryRuntime {
+                            status: QueryStatus::Running,
+                            params: Some(r.params),
+                            elapsed: t - r.started_at,
+                            avg_exec_time: avg,
+                        },
+                        _ => QueryRuntime::pending(avg),
+                    }
+                })
+                .collect();
+            let state = SchedulingState { workload, now: t, queries: runtimes, free_connection: 0 };
+            let obs = EncodedObservation::from_state(&state, plan_embs, scale);
+            let Some(target_position) = obs.running.iter().position(|&q| q == earliest.query.0) else {
+                continue;
+            };
+            let target_time = ((earliest.finished_at - t) / config.time_scale) as f32;
+            samples.push(SimSample { obs, target_position, target_time });
+        }
+    }
+    samples
+}
+
+/// The incremental simulator: a [`QueryExecutor`] backed by the learned
+/// prediction model, so the RL scheduler can be pre-trained without touching
+/// the DBMS.
+#[derive(Debug)]
+pub struct LearnedSimulator<'a> {
+    model: &'a SimulatorModel,
+    workload: &'a Workload,
+    plan_embs: &'a Tensor,
+    avg_times: Vec<f64>,
+    connections: usize,
+    now: f64,
+    running: Vec<(QueryId, RunParams, f64, usize)>,
+    finished: Vec<bool>,
+}
+
+impl<'a> LearnedSimulator<'a> {
+    /// Create a fresh simulator session (one per simulated scheduling round).
+    pub fn new(
+        model: &'a SimulatorModel,
+        workload: &'a Workload,
+        plan_embs: &'a Tensor,
+        avg_times: Vec<f64>,
+        connections: usize,
+    ) -> Self {
+        assert_eq!(avg_times.len(), workload.len());
+        Self {
+            model,
+            workload,
+            plan_embs,
+            avg_times,
+            connections,
+            now: 0.0,
+            running: Vec::new(),
+            finished: vec![false; workload.len()],
+        }
+    }
+
+    fn current_state(&self) -> SchedulingState<'a> {
+        let runtimes: Vec<QueryRuntime> = (0..self.workload.len())
+            .map(|i| {
+                if self.finished[i] {
+                    QueryRuntime {
+                        status: QueryStatus::Finished,
+                        params: None,
+                        elapsed: 0.0,
+                        avg_exec_time: self.avg_times[i],
+                    }
+                } else if let Some((_, params, start, _)) =
+                    self.running.iter().find(|(q, _, _, _)| q.0 == i)
+                {
+                    QueryRuntime {
+                        status: QueryStatus::Running,
+                        params: Some(*params),
+                        elapsed: self.now - start,
+                        avg_exec_time: self.avg_times[i],
+                    }
+                } else {
+                    QueryRuntime::pending(self.avg_times[i])
+                }
+            })
+            .collect();
+        SchedulingState {
+            workload: self.workload,
+            now: self.now,
+            queries: runtimes,
+            free_connection: 0,
+        }
+    }
+}
+
+impl QueryExecutor for LearnedSimulator<'_> {
+    fn connections(&self) -> usize {
+        self.connections
+    }
+
+    fn free_connections(&self) -> Vec<usize> {
+        (0..self.connections)
+            .filter(|c| !self.running.iter().any(|(_, _, _, conn)| conn == c))
+            .collect()
+    }
+
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)> {
+        self.running
+            .iter()
+            .map(|(q, p, start, conn)| (*q, *p, self.now - start, *conn))
+            .collect()
+    }
+
+    fn submit(&mut self, query: QueryId, params: RunParams) -> usize {
+        let conn = *self
+            .free_connections()
+            .first()
+            .expect("simulator submit() with no free connection");
+        assert!(!self.finished[query.0], "query {query:?} already finished");
+        self.running.push((query, params, self.now, conn));
+        conn
+    }
+
+    fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
+        if self.running.is_empty() {
+            return Vec::new();
+        }
+        let state = self.current_state();
+        let scale = FeatureScale { time_scale: self.model.config.time_scale };
+        let obs = EncodedObservation::from_state(&state, self.plan_embs, scale);
+        let (position, norm_time) = self.model.predict(&obs);
+        // Map the predicted observation index back to our running list.
+        let predicted_query = obs.running[position];
+        let dt = (norm_time * self.model.config.time_scale).max(1e-3);
+        self.now += dt;
+        let idx = self
+            .running
+            .iter()
+            .position(|(q, _, _, _)| q.0 == predicted_query)
+            .expect("predicted query must be running");
+        let (query, params, started_at, connection) = self.running.remove(idx);
+        self.finished[query.0] = true;
+        vec![QueryCompletion { query, connection, params, started_at, finished_at: self.now }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_core::{collect_history, run_episode_on, FifoScheduler};
+    use bq_dbms::DbmsProfile;
+    use bq_encoder::{PlanEncoder, PlanEncoderConfig};
+    use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    fn setup() -> (Workload, Tensor, ExecutionHistory) {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = PlanEncoder::new(&mut store, PlanEncoderConfig { dim: 32, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 }, &mut rng);
+        let embs = enc.embed_workload(&store, &w);
+        let history = collect_history(&mut FifoScheduler::new(), &w, &DbmsProfile::dbms_x(), 2, 0);
+        (w, embs, history)
+    }
+
+    fn small_config() -> SimulatorConfig {
+        SimulatorConfig {
+            encoder: StateEncoderConfig { plan_dim: 32, dim: 16, heads: 2, blocks: 1 },
+            use_attention: true,
+            multitask: true,
+            gamma: 0.1,
+            time_scale: 10.0,
+        }
+    }
+
+    #[test]
+    fn history_yields_training_samples() {
+        let (w, embs, history) = setup();
+        let samples = samples_from_history(&w, &history, &embs, &small_config());
+        assert!(samples.len() > 20, "expected many samples, got {}", samples.len());
+        for s in &samples {
+            assert!(s.target_position < s.obs.running.len());
+            assert!(s.target_time >= 0.0);
+        }
+    }
+
+    #[test]
+    fn training_improves_over_untrained_model() {
+        let (w, embs, history) = setup();
+        let config = small_config();
+        let samples = samples_from_history(&w, &history, &embs, &config);
+        let subset: Vec<SimSample> = samples.into_iter().take(60).collect();
+        let mut model = SimulatorModel::new(32, config, 1);
+        let before = model.evaluate(&subset);
+        let after = model.train(&subset, 12, 0.01);
+        assert!(
+            after.accuracy >= before.accuracy,
+            "accuracy should not degrade: {} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+        assert!(after.mse < before.mse, "mse should drop: {} -> {}", before.mse, after.mse);
+        // Better than chance on the earliest-finisher task.
+        let avg_running: f64 =
+            subset.iter().map(|s| s.obs.running.len() as f64).sum::<f64>() / subset.len() as f64;
+        assert!(
+            after.accuracy > 1.2 / avg_running,
+            "accuracy {} should beat chance 1/{}",
+            after.accuracy,
+            avg_running
+        );
+    }
+
+    #[test]
+    fn simulator_completes_full_episodes() {
+        let (w, embs, history) = setup();
+        let config = small_config();
+        let samples = samples_from_history(&w, &history, &embs, &config);
+        let mut model = SimulatorModel::new(32, config, 2);
+        model.train(&samples.into_iter().take(40).collect::<Vec<_>>(), 4, 0.01);
+        let avg: Vec<f64> = (0..w.len()).map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(1.0)).collect();
+        let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 8);
+        let log = run_episode_on(&mut FifoScheduler::new(), &w, &mut sim, Some(&history), bq_dbms::DbmsKind::X, 0);
+        assert_eq!(log.len(), w.len());
+        assert!(log.makespan() > 0.0);
+        // Virtual time is monotone: every start precedes its finish.
+        for r in &log.records {
+            assert!(r.finished_at > r.started_at);
+        }
+    }
+
+    #[test]
+    fn without_attention_model_still_trains() {
+        let (w, embs, history) = setup();
+        let config = SimulatorConfig { use_attention: false, ..small_config() };
+        let samples = samples_from_history(&w, &history, &embs, &config);
+        let subset: Vec<SimSample> = samples.into_iter().take(40).collect();
+        let mut model = SimulatorModel::new(32, config, 3);
+        let metrics = model.train(&subset, 8, 0.01);
+        assert!(metrics.accuracy > 0.0);
+        assert!(metrics.mse.is_finite());
+    }
+
+    #[test]
+    fn sequential_training_supported_for_mtl_ablation() {
+        let (w, embs, history) = setup();
+        let config = SimulatorConfig { multitask: false, ..small_config() };
+        let samples = samples_from_history(&w, &history, &embs, &config);
+        let subset: Vec<SimSample> = samples.into_iter().take(30).collect();
+        let mut model = SimulatorModel::new(32, config, 4);
+        let metrics = model.train(&subset, 4, 0.01);
+        assert!(metrics.accuracy >= 0.0 && metrics.mse.is_finite());
+    }
+}

@@ -1,0 +1,52 @@
+//! # bq-core
+//!
+//! The batch-query scheduling framework of the BQSched reproduction: the
+//! problem definition from §II of the paper turned into code.
+//!
+//! * [`state`] — what a scheduler observes ([`SchedulingState`]) and decides
+//!   ([`Action`]): the next pending query plus its running parameters;
+//! * [`scheduler`] — the [`SchedulerPolicy`] trait every strategy implements
+//!   and the [`QueryExecutor`] abstraction over the simulated DBMS / learned
+//!   simulator;
+//! * [`runner`] — the episode runner that keeps all `|C|` connections busy;
+//! * [`log`] — per-round execution logs and the accumulated
+//!   [`ExecutionHistory`] that feeds MCF, adaptive masking, gain clustering
+//!   and the incremental simulator;
+//! * [`metrics`] — the paper's `t̄_ov` / `σ_ov` evaluation protocol;
+//! * [`heuristics`] — Random, FIFO and MCF baselines;
+//! * [`gantt`] — Gantt-chart extraction for the Figure 9 case study.
+//!
+//! ```
+//! use bq_core::{evaluate_strategy, FifoScheduler};
+//! use bq_dbms::DbmsProfile;
+//! use bq_plan::{generate, Benchmark, WorkloadSpec};
+//!
+//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+//! let eval = evaluate_strategy(
+//!     &mut FifoScheduler::new(),
+//!     &workload,
+//!     &DbmsProfile::dbms_x(),
+//!     None,
+//!     2,
+//!     0,
+//! );
+//! assert!(eval.mean_makespan > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gantt;
+pub mod heuristics;
+pub mod log;
+pub mod metrics;
+pub mod runner;
+pub mod scheduler;
+pub mod state;
+
+pub use gantt::{GanttBar, GanttChart};
+pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
+pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
+pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
+pub use runner::{run_episode, run_episode_on};
+pub use scheduler::{QueryExecutor, SchedulerPolicy};
+pub use state::{Action, QueryRuntime, QueryStatus, SchedulingState};

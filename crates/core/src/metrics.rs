@@ -1,0 +1,153 @@
+//! Evaluation metrics.
+//!
+//! The paper evaluates every strategy with two numbers measured over `m`
+//! rounds of scheduling under identical settings: the average makespan
+//! `t̄_ov` (efficiency) and its standard deviation `σ_ov` (stability).
+
+use crate::log::{EpisodeLog, ExecutionHistory};
+use crate::runner::run_episode;
+use crate::scheduler::SchedulerPolicy;
+use bq_dbms::DbmsProfile;
+use bq_plan::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one strategy over several scheduling rounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyEvaluation {
+    /// Strategy name.
+    pub strategy: String,
+    /// Makespan of every round.
+    pub makespans: Vec<f64>,
+    /// Average makespan `t̄_ov`.
+    pub mean_makespan: f64,
+    /// Standard deviation `σ_ov` (population form, as in the paper's formula).
+    pub std_makespan: f64,
+}
+
+impl StrategyEvaluation {
+    /// Compute the summary from per-round makespans.
+    pub fn from_makespans(strategy: impl Into<String>, makespans: Vec<f64>) -> Self {
+        let mean = mean(&makespans);
+        let std = std_dev(&makespans);
+        Self { strategy: strategy.into(), makespans, mean_makespan: mean, std_makespan: std }
+    }
+
+    /// Relative improvement of this strategy over `other` in mean makespan
+    /// (positive = this strategy is faster), as a fraction.
+    pub fn improvement_over(&self, other: &StrategyEvaluation) -> f64 {
+        if other.mean_makespan <= 0.0 {
+            return 0.0;
+        }
+        (other.mean_makespan - self.mean_makespan) / other.mean_makespan
+    }
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Run `rounds` scheduling rounds of `workload` on `profile` under `policy`
+/// and summarise the makespans. Round `i` uses engine seed `seed_base + i`,
+/// so different strategies evaluated with the same `seed_base` face the same
+/// sequence of noise draws.
+pub fn evaluate_strategy(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &Workload,
+    profile: &DbmsProfile,
+    history: Option<&ExecutionHistory>,
+    rounds: u64,
+    seed_base: u64,
+) -> StrategyEvaluation {
+    let mut makespans = Vec::with_capacity(rounds as usize);
+    for round in 0..rounds {
+        let log = run_episode(policy, workload, profile, history, seed_base + round);
+        makespans.push(log.makespan());
+    }
+    StrategyEvaluation::from_makespans(policy.name().to_string(), makespans)
+}
+
+/// Collect the logs of `rounds` scheduling rounds into an execution history
+/// (the paper's "historical logs" that bootstrap MCF, masking, clustering and
+/// the simulator).
+pub fn collect_history(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &Workload,
+    profile: &DbmsProfile,
+    rounds: u64,
+    seed_base: u64,
+) -> ExecutionHistory {
+    let mut history = ExecutionHistory::new();
+    for round in 0..rounds {
+        let log: EpisodeLog = run_episode(policy, workload, profile, None, seed_base + round);
+        history.push(log);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{FifoScheduler, RandomScheduler};
+    use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let vals = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&vals) - 5.0).abs() < 1e-9);
+        assert!((std_dev(&vals) - 2.0).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn evaluation_summary_matches_inputs() {
+        let eval = StrategyEvaluation::from_makespans("X", vec![10.0, 12.0, 14.0]);
+        assert!((eval.mean_makespan - 12.0).abs() < 1e-9);
+        assert!(eval.std_makespan > 0.0);
+        assert_eq!(eval.makespans.len(), 3);
+    }
+
+    #[test]
+    fn improvement_over_is_relative() {
+        let a = StrategyEvaluation::from_makespans("fast", vec![8.0]);
+        let b = StrategyEvaluation::from_makespans("slow", vec![10.0]);
+        assert!((a.improvement_over(&b) - 0.2).abs() < 1e-9);
+        assert!(b.improvement_over(&a) < 0.0);
+    }
+
+    #[test]
+    fn evaluate_strategy_runs_requested_rounds() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let eval = evaluate_strategy(&mut FifoScheduler::new(), &w, &profile, None, 3, 7);
+        assert_eq!(eval.makespans.len(), 3);
+        assert!(eval.mean_makespan > 0.0);
+        // Noise across rounds creates some deviation.
+        assert!(eval.std_makespan >= 0.0);
+    }
+
+    #[test]
+    fn collect_history_records_all_rounds() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let h = collect_history(&mut RandomScheduler::new(0), &w, &profile, 2, 3);
+        assert_eq!(h.len(), 2);
+        for e in h.episodes() {
+            assert_eq!(e.len(), w.len());
+        }
+    }
+}

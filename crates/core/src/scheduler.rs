@@ -1,0 +1,113 @@
+//! Scheduler and executor abstractions.
+//!
+//! [`SchedulerPolicy`] is the interface every strategy implements — the
+//! heuristics (Random/FIFO/MCF), the adapted LSched baseline and BQSched
+//! itself. [`QueryExecutor`] abstracts "the thing queries are submitted to":
+//! either the simulated DBMS ([`bq_dbms::ExecutionEngine`]) or BQSched's
+//! learned incremental simulator, so the same episode runner drives training
+//! on both (the paper's pre-train-on-simulator / fine-tune-on-DBMS paradigm).
+
+use crate::log::EpisodeLog;
+use crate::state::{Action, SchedulingState};
+use bq_dbms::{ExecutionEngine, QueryCompletion, RunParams};
+use bq_plan::{QueryId, Workload};
+
+/// A batch query scheduling strategy.
+pub trait SchedulerPolicy {
+    /// Human-readable strategy name used in logs and reports.
+    fn name(&self) -> &str;
+
+    /// Called once before each scheduling round.
+    fn begin_episode(&mut self, _workload: &Workload) {}
+
+    /// Select the next query (and its running parameters) to submit to the
+    /// free connection described by `state`.
+    ///
+    /// Implementations must return an action whose query is pending in
+    /// `state`; the episode runner enforces this.
+    fn select(&mut self, state: &SchedulingState<'_>) -> Action;
+
+    /// Observe an individual query completion (the per-query signal IQ-PPO
+    /// exploits). Default: ignore.
+    fn observe_completion(&mut self, _completion: &QueryCompletion) {}
+
+    /// Called once after the round with the full episode log. Default: ignore.
+    fn end_episode(&mut self, _log: &EpisodeLog) {}
+}
+
+/// The execution substrate a scheduling round runs against.
+///
+/// Both the simulated DBMS and the learned incremental simulator implement
+/// this; schedulers never know which one they are talking to, matching the
+/// paper's non-intrusive design.
+pub trait QueryExecutor {
+    /// Total number of client connections.
+    fn connections(&self) -> usize;
+
+    /// Connections currently free, ascending.
+    fn free_connections(&self) -> Vec<usize>;
+
+    /// Current virtual time.
+    fn now(&self) -> f64;
+
+    /// Currently running queries as `(query, params, elapsed, connection)`.
+    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)>;
+
+    /// Submit a query to the first free connection; returns the connection.
+    fn submit(&mut self, query: QueryId, params: RunParams) -> usize;
+
+    /// Advance until at least one query finishes; returns the completions
+    /// (empty if nothing was running).
+    fn step_until_completion(&mut self) -> Vec<QueryCompletion>;
+}
+
+impl QueryExecutor for ExecutionEngine {
+    fn connections(&self) -> usize {
+        self.profile().connections
+    }
+
+    fn free_connections(&self) -> Vec<usize> {
+        ExecutionEngine::free_connections(self)
+    }
+
+    fn now(&self) -> f64 {
+        ExecutionEngine::now(self)
+    }
+
+    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)> {
+        let now = ExecutionEngine::now(self);
+        ExecutionEngine::running(self)
+            .iter()
+            .map(|r| (r.query, r.params, now - r.started_at, r.connection))
+            .collect()
+    }
+
+    fn submit(&mut self, query: QueryId, params: RunParams) -> usize {
+        ExecutionEngine::submit(self, query, params)
+    }
+
+    fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
+        ExecutionEngine::step_until_completion(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bq_dbms::DbmsProfile;
+    use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    #[test]
+    fn engine_implements_executor() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        let exec: &mut dyn QueryExecutor = &mut e;
+        assert_eq!(exec.connections(), 18);
+        assert_eq!(exec.free_connections().len(), 18);
+        exec.submit(QueryId(0), RunParams::default_config());
+        assert_eq!(exec.running().len(), 1);
+        let done = exec.step_until_completion();
+        assert_eq!(done.len(), 1);
+        assert!(exec.now() > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bq-dbms
+//!
+//! Simulated DBMS substrate for the BQSched reproduction.
+//!
+//! The paper schedules batch queries against real systems (two centralized
+//! DBMSs and one distributed cloud DBMS). Because BQSched is *non-intrusive*,
+//! its only interface to those systems is: submit a query with running
+//! parameters on a connection, and observe when it finishes. This crate
+//! provides exactly that interface on top of a discrete-event execution
+//! engine with an explicit resource model:
+//!
+//! * [`profiles`] — resource envelopes for DBMS-X / DBMS-Y / DBMS-Z
+//!   (cores, I/O bandwidth, buffer pool, connections, noise, internal
+//!   contention mitigation);
+//! * [`params`] — per-query running parameters (parallel workers × memory
+//!   grant) forming the action space BQSched prunes with adaptive masking;
+//! * [`buffer`] — a table-granular LRU buffer pool providing the
+//!   resource-*sharing* dynamics;
+//! * [`engine`] — the event-driven concurrent execution engine providing the
+//!   resource-*contention* and long-tail dynamics.
+//!
+//! ```
+//! use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
+//! use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
+//!
+//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+//! let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &workload, 42);
+//! engine.submit(QueryId(0), RunParams::default_config());
+//! let completions = engine.step_until_completion();
+//! assert_eq!(completions.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod engine;
+pub mod params;
+pub mod profiles;
+
+pub use buffer::BufferPool;
+pub use engine::{ExecutionEngine, QueryCompletion, RunningQuery};
+pub use params::{MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
+pub use profiles::{DbmsKind, DbmsProfile};

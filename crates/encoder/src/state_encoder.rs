@@ -1,0 +1,301 @@
+//! Attention-based state representation (§III-A of the paper).
+//!
+//! Each batch query is represented by its plan embedding concatenated with
+//! its running-state features and projected by an MLP; a learnable *super
+//! query* token is appended and the whole set flows through multi-head
+//! attention blocks so that every query's representation reflects the mutual
+//! influences of the others. The super query's final representation (enriched
+//! with a pooled summary of all running-state features) is the global state
+//! `x''_s`; each query's final representation (enriched with the global state
+//! and a pooled summary of the *running* queries' features) is `x''_i`.
+//!
+//! The same representation is shared by the policy, value and auxiliary
+//! networks of IQ-PPO and by the learned incremental simulator.
+
+use crate::features::{mean_features, state_feature_matrix, FeatureScale, STATE_FEATURE_DIM};
+use bq_core::{QueryStatus, SchedulingState};
+use bq_nn::{Activation, AttentionBlock, Graph, Mlp, NodeId, ParamId, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the state encoder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StateEncoderConfig {
+    /// Width of the (pre-computed) plan embeddings.
+    pub plan_dim: usize,
+    /// Width of the internal query representations.
+    pub dim: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Number of attention blocks (`×N` in Figure 2 of the paper).
+    pub blocks: usize,
+}
+
+impl Default for StateEncoderConfig {
+    fn default() -> Self {
+        Self { plan_dim: 32, dim: 32, heads: 4, blocks: 1 }
+    }
+}
+
+/// A replayable observation: everything needed to re-encode a scheduling
+/// state under the *current* network parameters (PPO-style algorithms
+/// re-evaluate stored states at update time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodedObservation {
+    /// Per-entity plan embeddings `[n, plan_dim]` (queries, or clusters after
+    /// sum-pooling at cluster-level scheduling).
+    pub plan_embs: Tensor,
+    /// Per-entity running-state features `[n, STATE_FEATURE_DIM]`.
+    pub features: Tensor,
+    /// Indices of entities currently running.
+    pub running: Vec<usize>,
+    /// Indices of entities still pending.
+    pub pending: Vec<usize>,
+}
+
+impl EncodedObservation {
+    /// Build an observation from a scheduling state and pre-computed plan
+    /// embeddings (one row per query).
+    pub fn from_state(
+        state: &SchedulingState<'_>,
+        plan_embs: &Tensor,
+        scale: FeatureScale,
+    ) -> Self {
+        assert_eq!(plan_embs.rows(), state.queries.len(), "one plan embedding per query required");
+        let features = state_feature_matrix(state, scale);
+        let running = state
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.status == QueryStatus::Running)
+            .map(|(i, _)| i)
+            .collect();
+        let pending = state
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.status == QueryStatus::Pending)
+            .map(|(i, _)| i)
+            .collect();
+        Self { plan_embs: plan_embs.clone(), features, running, pending }
+    }
+
+    /// Number of entities (queries or clusters) in the observation.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Whether the observation contains no entities.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Output of the state encoder: graph nodes for the per-entity and global
+/// representations.
+#[derive(Debug, Clone, Copy)]
+pub struct StateRepr {
+    /// `x''_i` for every entity, `[n, dim]`.
+    pub per_query: NodeId,
+    /// `x''_s`, `[1, dim]`.
+    pub global: NodeId,
+}
+
+/// The attention-based state encoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StateEncoder {
+    config: StateEncoderConfig,
+    input_proj: Mlp,
+    super_query: ParamId,
+    blocks: Vec<AttentionBlock>,
+    global_head: Mlp,
+    query_head: Mlp,
+}
+
+impl StateEncoder {
+    /// Create a new state encoder, registering parameters in `store`.
+    pub fn new(store: &mut ParamStore, config: StateEncoderConfig, rng: &mut StdRng) -> Self {
+        let input_dim = config.plan_dim + STATE_FEATURE_DIM;
+        let input_proj = Mlp::new(
+            store,
+            "state.input_proj",
+            &[input_dim, config.dim, config.dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        );
+        let super_query = store.add_xavier("state.super_query", 1, config.dim, rng);
+        let blocks = (0..config.blocks)
+            .map(|i| {
+                AttentionBlock::new(store, &format!("state.block{i}"), config.dim, config.heads, config.dim * 2, rng)
+            })
+            .collect();
+        let global_head = Mlp::new(
+            store,
+            "state.global_head",
+            &[config.dim + STATE_FEATURE_DIM, config.dim, config.dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        );
+        let query_head = Mlp::new(
+            store,
+            "state.query_head",
+            &[config.dim * 2 + STATE_FEATURE_DIM, config.dim, config.dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        );
+        Self { config, input_proj, super_query, blocks, global_head, query_head }
+    }
+
+    /// Encoder configuration.
+    pub fn config(&self) -> StateEncoderConfig {
+        self.config
+    }
+
+    /// Output representation width.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Record the encoding of `obs` on `g`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> StateRepr {
+        let n = obs.len();
+        assert!(n > 0, "cannot encode an empty observation");
+        assert_eq!(obs.plan_embs.cols(), self.config.plan_dim, "plan embedding width mismatch");
+
+        // x_i = MLP(e_i ∥ f_i)
+        let plan = g.input(obs.plan_embs.clone());
+        let feats = g.input(obs.features.clone());
+        let x_in = g.concat_cols(plan, feats);
+        let x = self.input_proj.forward(g, store, x_in);
+
+        // Append the super query and run the attention blocks.
+        let super_q = g.param(store, self.super_query);
+        let mut h = g.concat_rows(x, super_q);
+        for block in &self.blocks {
+            h = block.forward(g, store, h, None);
+        }
+        let x_q = g.slice_rows(h, 0, n);
+        let x_s = g.slice_rows(h, n, 1);
+
+        // Global representation x''_s = MLP(x'_s ∥ pooled features of all queries).
+        let all_indices: Vec<usize> = (0..n).collect();
+        let pooled_all = g.input(mean_features(&obs.features, &all_indices));
+        let global_in = g.concat_cols(x_s, pooled_all);
+        let global = self.global_head.forward(g, store, global_in);
+
+        // Per-query representation x''_i = MLP(x'_i ∥ x'_s ∥ pooled features of
+        // the concurrently running queries).
+        let ones = g.input(Tensor::full(n, 1, 1.0));
+        let x_s_bcast = g.matmul(ones, x_s);
+        let pooled_running_row = mean_features(&obs.features, &obs.running);
+        let ones2 = g.input(Tensor::full(n, 1, 1.0));
+        let pooled_running_in = g.input(pooled_running_row);
+        let pooled_running = g.matmul(ones2, pooled_running_in);
+        let per_query_in = g.concat_cols(x_q, x_s_bcast);
+        let per_query_in = g.concat_cols(per_query_in, pooled_running);
+        let per_query = self.query_head.forward(g, store, per_query_in);
+
+        StateRepr { per_query, global }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_encoder::seeded_rng;
+    use bq_core::QueryRuntime;
+    use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    fn obs_for(n_running: usize) -> (bq_plan::Workload, EncodedObservation) {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        for q in queries.iter_mut().take(n_running) {
+            q.status = QueryStatus::Running;
+            q.params = Some(bq_dbms::RunParams::default_config());
+            q.elapsed = 1.0;
+        }
+        let state = SchedulingState { workload: &w, now: 1.0, queries, free_connection: 0 };
+        let plan_embs = Tensor::from_rows(
+            &(0..w.len())
+                .map(|i| (0..32).map(|j| ((i * 7 + j) % 11) as f32 * 0.05).collect())
+                .collect::<Vec<_>>(),
+        );
+        let obs = EncodedObservation::from_state(&state, &plan_embs, FeatureScale::default());
+        (w, obs)
+    }
+
+    #[test]
+    fn observation_splits_running_and_pending() {
+        let (w, obs) = obs_for(3);
+        assert_eq!(obs.len(), w.len());
+        assert_eq!(obs.running.len(), 3);
+        assert_eq!(obs.pending.len(), w.len() - 3);
+    }
+
+    #[test]
+    fn forward_produces_correct_shapes() {
+        let (_, obs) = obs_for(4);
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(1);
+        let enc = StateEncoder::new(&mut store, StateEncoderConfig::default(), &mut rng);
+        let mut g = Graph::new();
+        let repr = enc.forward(&mut g, &store, &obs);
+        assert_eq!(g.value(repr.per_query).shape(), (obs.len(), enc.dim()));
+        assert_eq!(g.value(repr.global).shape(), (1, enc.dim()));
+        assert!(g.value(repr.per_query).all_finite());
+        assert!(g.value(repr.global).all_finite());
+    }
+
+    #[test]
+    fn representation_depends_on_running_status() {
+        // Changing which queries are running must change the representations —
+        // otherwise the policy cannot react to the execution state.
+        let (_, obs_a) = obs_for(2);
+        let (_, obs_b) = obs_for(8);
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(2);
+        let enc = StateEncoder::new(&mut store, StateEncoderConfig::default(), &mut rng);
+        let mut ga = Graph::new();
+        let ra = enc.forward(&mut ga, &store, &obs_a);
+        let mut gb = Graph::new();
+        let rb = enc.forward(&mut gb, &store, &obs_b);
+        let diff = ga.value(ra.global).sub(gb.value(rb.global)).norm();
+        assert!(diff > 1e-5, "global state must reflect running queries, diff {diff}");
+    }
+
+    #[test]
+    fn variable_length_batches_are_supported() {
+        // The attention mechanism supports a different number of queries
+        // without any architectural change (paper: generalization ability).
+        let (w, obs_full) = obs_for(1);
+        let small = w.subset(&(0..5).collect::<Vec<_>>());
+        let mut queries: Vec<QueryRuntime> = (0..small.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        queries[0].status = QueryStatus::Running;
+        let state = SchedulingState { workload: &small, now: 0.0, queries, free_connection: 0 };
+        let plan_embs = obs_full.plan_embs.slice_rows(0, 5);
+        let obs_small = EncodedObservation::from_state(&state, &plan_embs, FeatureScale::default());
+
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(3);
+        let enc = StateEncoder::new(&mut store, StateEncoderConfig::default(), &mut rng);
+        let mut g1 = Graph::new();
+        let r1 = enc.forward(&mut g1, &store, &obs_full);
+        let mut g2 = Graph::new();
+        let r2 = enc.forward(&mut g2, &store, &obs_small);
+        assert_eq!(g1.value(r1.per_query).rows(), obs_full.len());
+        assert_eq!(g2.value(r2.per_query).rows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan embedding per query")]
+    fn mismatched_embedding_rows_rejected() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        let state = SchedulingState { workload: &w, now: 0.0, queries, free_connection: 0 };
+        let plan_embs = Tensor::zeros(3, 32);
+        let _ = EncodedObservation::from_state(&state, &plan_embs, FeatureScale::default());
+    }
+}

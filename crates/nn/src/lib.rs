@@ -1,0 +1,53 @@
+//! # bq-nn
+//!
+//! A minimal, dependency-light neural network substrate for the BQSched
+//! reproduction: dense 2-D tensors, tape-based reverse-mode automatic
+//! differentiation, the layers the paper's models need (linear/MLP stacks,
+//! multi-head attention with additive biases, layer normalisation) and the
+//! Adam/SGD optimizers.
+//!
+//! The original BQSched implementation uses PyTorch; this crate replaces it
+//! with a CPU-only implementation sized for the paper's models (tens of
+//! thousands of parameters, inputs of at most a few hundred rows), so that
+//! the whole scheduler — plan encoder, attention state representation,
+//! IQ-PPO, gain predictor and the learned incremental simulator — runs
+//! without any native ML dependency.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bq_nn::{Activation, Adam, Graph, Mlp, ParamStore, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "net", &[2, 8, 1], Activation::Tanh, Activation::None, &mut rng);
+//! let mut adam = Adam::new(0.01);
+//!
+//! let x = Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+//! let y = Tensor::from_rows(&[vec![1.0], vec![-1.0]]);
+//! for _ in 0..10 {
+//!     store.zero_grads();
+//!     let mut g = Graph::new();
+//!     let xi = g.input(x.clone());
+//!     let pred = mlp.forward(&mut g, &store, xi);
+//!     let loss = g.mse_loss(pred, &y);
+//!     g.backward(loss);
+//!     g.flush_grads(&mut store);
+//!     adam.step(&mut store);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use graph::{Graph, NodeId};
+pub use layers::{Activation, AttentionBlock, LayerNorm, Linear, Mlp, MultiHeadAttention};
+pub use optim::{Adam, Sgd};
+pub use params::{Param, ParamId, ParamStore};
+pub use tensor::Tensor;

@@ -1,0 +1,500 @@
+//! Dense 2-D tensor used throughout the BQSched learning stack.
+//!
+//! All learned components of BQSched (plan encoder, attention state
+//! representation, policy/value/auxiliary heads, the learned incremental
+//! simulator) operate on small matrices — at most a few hundred rows
+//! (queries) by a few dozen columns (embedding dimensions) — so a simple
+//! row-major `Vec<f32>` backing store is both sufficient and cache friendly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major 2-D tensor of `f32` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Create a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a tensor filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "tensor data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Create a `1 x n` row vector.
+    pub fn row(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Create an `n x 1` column vector.
+    pub fn col(values: &[f32]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Create a `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Stack row vectors (each of identical length) into an `n x d` matrix.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have identical length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// One-hot row vector of length `dim` with a 1.0 at `index`.
+    pub fn one_hot(dim: usize, index: usize) -> Self {
+        assert!(index < dim, "one-hot index {index} out of range {dim}");
+        let mut t = Self::zeros(1, dim);
+        t.data[index] = 1.0;
+        t
+    }
+
+    /// One-hot matrix: row `i` has a 1.0 at `indices[i]`.
+    pub fn one_hot_rows(dim: usize, indices: &[usize]) -> Self {
+        let mut t = Self::zeros(indices.len(), dim);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < dim, "one-hot index {idx} out of range {dim}");
+            t.data[i * dim + idx] = 1.0;
+        }
+        t
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The single value of a `1 x 1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a 1x1 tensor, got {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// A copy of row `r` as a `Vec`.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix multiplication `self @ other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        // i-k-j loop order for row-major locality.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for j in 0..other.cols {
+                    crow[j] += a * orow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise binary map into a new tensor.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise unary map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|a| a * s)
+    }
+
+    /// In-place elementwise addition (`self += other`).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled addition (`self += s * other`), the AXPY primitive.
+    pub fn add_scaled(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (returns `f32::NEG_INFINITY` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element in a `1 x n` or `n x 1` tensor.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Concatenate two tensors along columns (`[n, a] ++ [n, b] -> [n, a+b]`).
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row_slice(r));
+            data.extend_from_slice(other.row_slice(r));
+        }
+        Tensor { rows: self.rows, cols, data }
+    }
+
+    /// Concatenate two tensors along rows (`[a, d] ++ [b, d] -> [a+b, d]`).
+    pub fn concat_rows(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "concat_rows column mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Extract a contiguous block of rows.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.rows, "slice_rows out of range");
+        let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
+        Tensor { rows: len, cols: self.cols, data }
+    }
+
+    /// Extract a contiguous block of columns.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.cols, "slice_cols out of range");
+        let mut data = Vec::with_capacity(self.rows * len);
+        for r in 0..self.rows {
+            data.extend_from_slice(&self.data[r * self.cols + start..r * self.cols + start + len]);
+        }
+        Tensor { rows: self.rows, cols: len, data }
+    }
+
+    /// Gather the given rows into a new tensor (rows may repeat).
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "select_rows index {i} out of range {}", self.rows);
+            data.extend_from_slice(self.row_slice(i));
+        }
+        Tensor { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.len(), 12);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Softmax is monotone in the logits.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let a = Tensor::row(&[1000.0, 1000.0, -1000.0]);
+        let s = a.softmax_rows();
+        assert!(s.all_finite());
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-4);
+        assert!(s.get(0, 2) < 1e-6);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 3, vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 5));
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+
+        let d = a.concat_rows(&a);
+        assert_eq!(d.shape(), (4, 2));
+        assert_eq!(d.slice_rows(2, 2), a);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0, 2]);
+        assert_eq!(s.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn one_hot_rows_matches_indices() {
+        let t = Tensor::one_hot_rows(4, &[1, 3]);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.get(1, 3), 1.0);
+        assert_eq!(t.sum(), 2.0);
+    }
+
+    #[test]
+    fn argmax_and_max() {
+        let t = Tensor::row(&[0.5, 3.0, -1.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+        assert_eq!(t.max(), 3.0);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::row(&[1.0, 2.0]);
+        let b = Tensor::row(&[10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bq-plan
+//!
+//! Query plan model, table catalogs and synthetic workload generators for the
+//! BQSched reproduction.
+//!
+//! The paper evaluates on TPC-DS (99 templates), TPC-H (22 templates) and JOB
+//! (33 templates). A non-intrusive scheduler like BQSched consumes only each
+//! query's physical plan and coarse statistics — never the SQL text or table
+//! data — so this crate models workloads at exactly that granularity:
+//!
+//! * [`catalog`] — benchmark schemas with per-table cardinalities and page
+//!   counts at a given scale factor;
+//! * [`plan`] — physical plan trees ([`QueryPlan`]) with operators, estimated
+//!   rows and CPU/I-O cost components;
+//! * [`profile`] — per-query resource demands derived from plans
+//!   ([`ResourceProfile`]), the input of the execution engine in `bq-dbms`;
+//! * [`workload`] — deterministic workload generators reproducing the cost
+//!   long tail, CPU/I-O mix and table sharing of the real benchmarks;
+//! * [`perturb`] — the query-set perturbations of the adaptability study.
+//!
+//! ```
+//! use bq_plan::{generate, Benchmark, WorkloadSpec};
+//!
+//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+//! assert_eq!(workload.len(), 99);
+//! let heavy = workload.queries.iter().map(|q| q.plan.total_cost()).fold(0.0, f64::max);
+//! assert!(heavy > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod perturb;
+pub mod plan;
+pub mod profile;
+pub mod workload;
+
+pub use catalog::{Benchmark, Catalog, TableDef, TableId, PAGE_BYTES};
+pub use perturb::perturb_query_set;
+pub use plan::{FlatNode, Operator, PlanNode, QueryId, QueryPlan, IO_COST_PER_PAGE, OPERATOR_COUNT};
+pub use profile::ResourceProfile;
+pub use workload::{generate, BatchQuery, Workload, WorkloadSpec};

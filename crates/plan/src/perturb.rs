@@ -1,0 +1,111 @@
+//! Workload perturbations for the adaptability experiments (Table II).
+//!
+//! The paper trains BQSched on the 1x TPC-DS data and query set, then applies
+//! the learned strategy to 0.8x/0.9x/1.1x/1.2x variants obtained by
+//! "discarding or duplicating the corresponding portions of the original data
+//! and queries". Data perturbation is simply a different data scale factor
+//! (handled by [`crate::workload::WorkloadSpec::data_scale`]); this module
+//! implements the query-set perturbation.
+
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Perturb the query set of `workload` by `factor`.
+///
+/// * `factor < 1.0` — keep a random `factor` fraction of the queries
+///   (e.g. 0.8 discards 20 %).
+/// * `factor > 1.0` — duplicate a random `(factor - 1.0)` fraction of the
+///   queries and append the copies.
+/// * `factor == 1.0` — returns an identical workload.
+///
+/// The result has densely renumbered [`crate::plan::QueryId`]s.
+pub fn perturb_query_set(workload: &Workload, factor: f64, seed: u64) -> Workload {
+    assert!(factor > 0.0, "perturbation factor must be positive");
+    let n = workload.len();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xB05C));
+    if (factor - 1.0).abs() < 1e-9 {
+        return workload.subset(&(0..n).collect::<Vec<_>>());
+    }
+    if factor < 1.0 {
+        let keep = ((n as f64) * factor).round().max(1.0) as usize;
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let mut kept: Vec<usize> = indices.into_iter().take(keep).collect();
+        kept.sort_unstable();
+        workload.subset(&kept)
+    } else {
+        let extra = ((n as f64) * (factor - 1.0)).round() as usize;
+        let mut indices: Vec<usize> = (0..n).collect();
+        for _ in 0..extra {
+            indices.push(rng.gen_range(0..n));
+        }
+        workload.subset(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Benchmark;
+    use crate::workload::{generate, WorkloadSpec};
+
+    fn base() -> Workload {
+        generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1))
+    }
+
+    #[test]
+    fn shrink_keeps_requested_fraction() {
+        let w = base();
+        let p = perturb_query_set(&w, 0.8, 1);
+        assert_eq!(p.len(), 79); // round(99 * 0.8)
+        // Ids renumbered densely.
+        for (i, q) in p.queries.iter().enumerate() {
+            assert_eq!(q.plan.id.0, i);
+        }
+    }
+
+    #[test]
+    fn grow_duplicates_queries() {
+        let w = base();
+        let p = perturb_query_set(&w, 1.2, 1);
+        assert_eq!(p.len(), 119); // 99 + round(99 * 0.2)
+        // The first 99 queries are the originals in order.
+        for i in 0..99 {
+            assert_eq!(p.queries[i].plan.template, w.queries[i].plan.template);
+        }
+    }
+
+    #[test]
+    fn identity_factor_is_noop() {
+        let w = base();
+        let p = perturb_query_set(&w, 1.0, 5);
+        assert_eq!(p.len(), w.len());
+        for (a, b) in p.queries.iter().zip(w.queries.iter()) {
+            assert_eq!(a.plan.name, b.plan.name);
+        }
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let w = base();
+        let a = perturb_query_set(&w, 0.9, 3);
+        let b = perturb_query_set(&w, 0.9, 3);
+        let c = perturb_query_set(&w, 0.9, 4);
+        assert_eq!(
+            a.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>(),
+            b.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>(),
+            c.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let w = base();
+        let _ = perturb_query_set(&w, 0.0, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bq-rl
+//!
+//! Reinforcement-learning algorithms for BQSched on the `bq-nn` substrate:
+//!
+//! * [`RolloutBuffer`] with generalized advantage estimation;
+//! * [`PpoTrainer`] — clipped-surrogate PPO (the paper's backbone);
+//! * [`PpgTrainer`] — phasic policy gradients (auxiliary value distillation),
+//!   the ablation baseline;
+//! * [`IqPpoTrainer`] — the paper's IQ-PPO: PPO plus an auxiliary phase that
+//!   predicts the finish time of the earliest concurrent query from the
+//!   shared state representation, with a behaviour-cloning KL term
+//!   (Algorithm 1).
+//!
+//! The algorithms are model-agnostic: anything implementing [`ActorCritic`]
+//! (the BQSched agent, the adapted LSched baseline, or the toy models used in
+//! tests) can be trained.
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod buffer;
+
+pub use algo::{ActorCritic, AuxStats, IqPpoConfig, IqPpoTrainer, PpgTrainer, PpoConfig, PpoStats, PpoTrainer};
+pub use buffer::{AuxTarget, Estimate, RolloutBuffer, Transition};

@@ -1,0 +1,49 @@
+//! Quickstart: schedule the 22 TPC-H queries on the simulated DBMS-X with the
+//! built-in heuristics and compare their makespans.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bq_core::{collect_history, evaluate_strategy, FifoScheduler, McfScheduler, RandomScheduler};
+use bq_dbms::DbmsProfile;
+use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
+
+fn main() {
+    // 1. Generate a batch query set: all 22 TPC-H templates at scale factor 1.
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    println!(
+        "workload: {} queries, total optimizer cost {:.0}",
+        workload.len(),
+        workload.total_cost()
+    );
+
+    // 2. Pick a simulated DBMS deployment.
+    let profile = DbmsProfile::dbms_x();
+    println!(
+        "DBMS profile: {} ({} cores, {} connections)",
+        profile.kind.name(),
+        profile.total_cores(),
+        profile.connections
+    );
+
+    // 3. Run a few FIFO rounds to build the execution history (the "offline
+    //    logs" every log-driven component of BQSched starts from).
+    let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 3, 7);
+    println!("collected {} historical rounds (mean makespan {:.2}s)", history.len(), history.mean_makespan());
+
+    // 4. Evaluate the heuristics over m = 5 rounds each.
+    let costs: Vec<f64> = (0..workload.len())
+        .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(0.0))
+        .collect();
+    let mut strategies: Vec<(&str, Box<dyn bq_core::SchedulerPolicy>)> = vec![
+        ("Random", Box::new(RandomScheduler::new(1))),
+        ("FIFO", Box::new(FifoScheduler::new())),
+        ("MCF", Box::new(McfScheduler::with_costs(costs))),
+    ];
+    println!("\n{:<10} {:>12} {:>10}", "strategy", "makespan(s)", "std(s)");
+    for (name, policy) in strategies.iter_mut() {
+        let eval = evaluate_strategy(policy.as_mut(), &workload, &profile, Some(&history), 5, 42);
+        println!("{:<10} {:>12.2} {:>10.2}", name, eval.mean_makespan, eval.std_makespan);
+    }
+}

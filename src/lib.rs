@@ -1,0 +1,40 @@
+//! # bqsched
+//!
+//! Umbrella crate of the BQSched reproduction (ICDE 2025, "BQSched: A
+//! Non-Intrusive Scheduler for Batch Concurrent Queries via Reinforcement
+//! Learning"). It re-exports the workspace crates so applications can depend
+//! on a single crate:
+//!
+//! * [`nn`] — tensor / autodiff / layers substrate,
+//! * [`plan`] — plan model and synthetic TPC-DS / TPC-H / JOB workloads,
+//! * [`dbms`] — the simulated DBMS substrate (engine, profiles, parameters),
+//! * [`core`] — scheduling framework, logs, metrics and heuristics,
+//! * [`encoder`] — plan encoder and attention-based state representation,
+//! * [`rl`] — PPO / PPG / IQ-PPO,
+//! * [`sched`] — the BQSched agent, masking, clustering and the learned
+//!   incremental simulator.
+//!
+//! See the `examples/` directory for end-to-end usage and `crates/bench` for
+//! the experiment harness that regenerates every table and figure of the
+//! paper.
+
+#![warn(missing_docs)]
+
+pub use bq_core as core;
+pub use bq_dbms as dbms;
+pub use bq_encoder as encoder;
+pub use bq_nn as nn;
+pub use bq_plan as plan;
+pub use bq_rl as rl;
+pub use bq_sched as sched;
+
+/// Version of the reproduction (mirrors the workspace package version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

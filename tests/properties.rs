@@ -1,0 +1,97 @@
+//! Property-based tests on cross-crate invariants: the execution engine never
+//! loses queries and respects physical bounds, the gain matrix is symmetric,
+//! masking never removes every configuration, and clustering always yields a
+//! partition — for arbitrary workload subsets, seeds and parameters.
+
+use bqsched::core::{collect_history, run_episode, FifoScheduler, RandomScheduler};
+use bqsched::dbms::{DbmsProfile, ParamSpace};
+use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
+use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
+use proptest::prelude::*;
+
+fn workload_for(benchmark: Benchmark, n: usize) -> bqsched::plan::Workload {
+    let w = generate(&WorkloadSpec::new(benchmark, 1.0, 1));
+    let n = n.min(w.len()).max(2);
+    w.subset(&(0..n).collect::<Vec<_>>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_conserves_queries_and_time(seed in 0u64..500, n in 4usize..22) {
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let log = run_episode(&mut RandomScheduler::new(seed), &workload, &profile, None, seed);
+        // Every query completes exactly once.
+        prop_assert_eq!(log.len(), workload.len());
+        let mut seen = vec![false; workload.len()];
+        for r in &log.records {
+            prop_assert!(!seen[r.query.0]);
+            seen[r.query.0] = true;
+            prop_assert!(r.finished_at > r.started_at);
+        }
+        // Makespan bounds: at least the longest query, at most the serial sum.
+        let longest = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
+        let serial: f64 = log.records.iter().map(|r| r.duration()).sum();
+        prop_assert!(log.makespan() >= longest - 1e-6);
+        prop_assert!(log.makespan() <= serial + 1e-6);
+    }
+
+    #[test]
+    fn scheduling_order_does_not_lose_connections(seed in 0u64..200) {
+        let workload = workload_for(Benchmark::TpcH, 22);
+        let profile = DbmsProfile::dbms_y();
+        let log = run_episode(&mut RandomScheduler::new(seed), &workload, &profile, None, seed);
+        // No connection index outside the profile's range is ever used.
+        for r in &log.records {
+            prop_assert!(r.connection < profile.connections);
+        }
+    }
+
+    #[test]
+    fn gain_matrix_is_symmetric_and_finite(rounds in 1u64..4, n in 4usize..16) {
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, rounds, 3);
+        let gains = gains_from_history(&history, workload.len());
+        for i in 0..workload.len() {
+            for j in 0..workload.len() {
+                let a = gains.gain(QueryId(i), QueryId(j));
+                let b = gains.gain(QueryId(j), QueryId(i));
+                prop_assert!((a - b).abs() < 1e-12);
+                prop_assert!(a.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_mask_always_leaves_an_allowed_config(n in 2usize..40) {
+        let workload = workload_for(Benchmark::TpcDs, n);
+        let space = ParamSpace::full();
+        let mask = AdaptiveMask::from_workload(&workload, &space, DbmsProfile::dbms_x().low_mem_grant_pages);
+        for i in 0..workload.len() {
+            prop_assert!(mask.allowed(QueryId(i)).iter().any(|&a| a), "query {} fully masked", i);
+        }
+        prop_assert!(mask.masked_fraction() < 1.0);
+    }
+
+    #[test]
+    fn clustering_is_always_a_partition(n in 4usize..30, k in 1usize..12) {
+        let workload = workload_for(Benchmark::TpcDs, n);
+        let profile = DbmsProfile::dbms_x();
+        let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 1, 9);
+        let gains = gains_from_history(&history, workload.len());
+        let clustering = QueryClustering::agglomerative(&gains, k);
+        prop_assert!(clustering.num_clusters() <= workload.len());
+        prop_assert!(clustering.num_clusters() >= 1);
+        let mut seen = vec![false; workload.len()];
+        for c in 0..clustering.num_clusters() {
+            for q in clustering.members(c) {
+                prop_assert!(!seen[q.0]);
+                seen[q.0] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
