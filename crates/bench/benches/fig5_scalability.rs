@@ -8,10 +8,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_scalability");
     group.sample_size(10);
     group.bench_function("mcf_episode_tpcds_sf10", |b| {
-        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcDs, 10.0, 1));
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(
+            bq_plan::Benchmark::TpcDs,
+            10.0,
+            1,
+        ));
         let profile = bq_dbms::DbmsProfile::dbms_z();
         b.iter(|| {
-            bq_core::run_episode(&mut bq_core::McfScheduler::new(), &workload, &profile, None, 1).makespan()
+            bq_bench::session_round(
+                &mut bq_core::McfScheduler::new(),
+                &workload,
+                &profile,
+                None,
+                1,
+            )
+            .makespan()
         })
     });
     group.finish();

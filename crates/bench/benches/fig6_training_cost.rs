@@ -8,12 +8,37 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_training_cost");
     group.sample_size(10);
     group.bench_function("simulator_training_step", |b| {
-        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcH, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
-        let agent = bq_sched::BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), bq_bench::RunScale::Quick.agent_config());
-        let config = bq_sched::SimulatorConfig { encoder: bq_encoder::StateEncoderConfig { plan_dim: agent.plan_embeddings().cols(), dim: 16, heads: 2, blocks: 1 }, ..Default::default() };
-        let samples = bq_sched::samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config);
+        let setup = bq_bench::build_setup(
+            bq_plan::Benchmark::TpcH,
+            bq_dbms::DbmsKind::X,
+            1.0,
+            1,
+            bq_bench::RunScale::Quick,
+        );
+        let agent = bq_sched::BqSchedAgent::new(
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            bq_bench::RunScale::Quick.agent_config(),
+        );
+        let config = bq_sched::SimulatorConfig {
+            encoder: bq_encoder::StateEncoderConfig {
+                plan_dim: agent.plan_embeddings().cols(),
+                dim: 16,
+                heads: 2,
+                blocks: 1,
+            },
+            ..Default::default()
+        };
+        let samples = bq_sched::samples_from_history(
+            &setup.workload,
+            &setup.history,
+            agent.plan_embeddings(),
+            &config,
+        );
         b.iter(|| {
-            let mut model = bq_sched::SimulatorModel::new(agent.plan_embeddings().cols(), config, 1);
+            let mut model =
+                bq_sched::SimulatorModel::new(agent.plan_embeddings().cols(), config, 1);
             model.train(&samples[..samples.len().min(20)], 1, 0.01).mse
         })
     });

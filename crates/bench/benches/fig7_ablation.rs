@@ -8,11 +8,29 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_ablation");
     group.sample_size(10);
     group.bench_function("bqsched_greedy_episode", |b| {
-        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcDs, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
-        let mut agent = bq_sched::BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), bq_bench::RunScale::Quick.agent_config());
+        let setup = bq_bench::build_setup(
+            bq_plan::Benchmark::TpcDs,
+            bq_dbms::DbmsKind::X,
+            1.0,
+            1,
+            bq_bench::RunScale::Quick,
+        );
+        let mut agent = bq_sched::BqSchedAgent::new(
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            bq_bench::RunScale::Quick.agent_config(),
+        );
         agent.explore = false;
         b.iter(|| {
-            bq_core::run_episode(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), 3).makespan()
+            bq_bench::session_round(
+                &mut agent,
+                &setup.workload,
+                &setup.profile,
+                Some(&setup.history),
+                3,
+            )
+            .makespan()
         })
     });
     group.finish();

@@ -8,7 +8,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_clustering");
     group.sample_size(10);
     group.bench_function("agglomerative_clustering", |b| {
-        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcDs, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
+        let setup = bq_bench::build_setup(
+            bq_plan::Benchmark::TpcDs,
+            bq_dbms::DbmsKind::X,
+            1.0,
+            1,
+            bq_bench::RunScale::Quick,
+        );
         let gains = bq_sched::gains_from_history(&setup.history, setup.workload.len());
         b.iter(|| bq_sched::QueryClustering::agglomerative(&gains, 20).num_clusters())
     });

@@ -8,8 +8,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_case_study");
     group.sample_size(10);
     group.bench_function("gantt_extraction", |b| {
-        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcDs, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
-        let log = bq_core::run_episode(&mut bq_core::FifoScheduler::new(), &setup.workload, &setup.profile, None, 0);
+        let setup = bq_bench::build_setup(
+            bq_plan::Benchmark::TpcDs,
+            bq_dbms::DbmsKind::X,
+            1.0,
+            1,
+            bq_bench::RunScale::Quick,
+        );
+        let log = bq_bench::session_round(
+            &mut bq_core::FifoScheduler::new(),
+            &setup.workload,
+            &setup.profile,
+            None,
+            0,
+        );
         b.iter(|| bq_core::GanttChart::from_log(&log).utilisation())
     });
     group.finish();

@@ -8,10 +8,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_efficiency");
     group.sample_size(10);
     group.bench_function("fifo_episode_tpch", |b| {
-        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcH, 1.0, 1));
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(
+            bq_plan::Benchmark::TpcH,
+            1.0,
+            1,
+        ));
         let profile = bq_dbms::DbmsProfile::dbms_x();
         b.iter(|| {
-            bq_core::run_episode(&mut bq_core::FifoScheduler::new(), &workload, &profile, None, 0).makespan()
+            bq_bench::session_round(
+                &mut bq_core::FifoScheduler::new(),
+                &workload,
+                &profile,
+                None,
+                0,
+            )
+            .makespan()
         })
     });
     group.finish();

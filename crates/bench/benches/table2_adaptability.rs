@@ -8,7 +8,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_adaptability");
     group.sample_size(10);
     group.bench_function("perturb_query_set", |b| {
-        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(bq_plan::Benchmark::TpcDs, 1.0, 1));
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(
+            bq_plan::Benchmark::TpcDs,
+            1.0,
+            1,
+        ));
         b.iter(|| bq_plan::perturb_query_set(&workload, 1.2, 1).len())
     });
     group.finish();

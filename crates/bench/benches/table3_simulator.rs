@@ -8,10 +8,29 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_simulator");
     group.sample_size(10);
     group.bench_function("simulator_sample_extraction", |b| {
-        let setup = bq_bench::build_setup(bq_plan::Benchmark::TpcH, bq_dbms::DbmsKind::X, 1.0, 1, bq_bench::RunScale::Quick);
-        let agent = bq_sched::BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), bq_bench::RunScale::Quick.agent_config());
+        let setup = bq_bench::build_setup(
+            bq_plan::Benchmark::TpcH,
+            bq_dbms::DbmsKind::X,
+            1.0,
+            1,
+            bq_bench::RunScale::Quick,
+        );
+        let agent = bq_sched::BqSchedAgent::new(
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            bq_bench::RunScale::Quick.agent_config(),
+        );
         let config = bq_sched::SimulatorConfig::default();
-        b.iter(|| bq_sched::samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config).len())
+        b.iter(|| {
+            bq_sched::samples_from_history(
+                &setup.workload,
+                &setup.history,
+                agent.plan_embeddings(),
+                &config,
+            )
+            .len()
+        })
     });
     group.finish();
 }

@@ -38,6 +38,14 @@ pub enum RunScale {
 }
 
 impl RunScale {
+    /// Lower-case name used in reports and JSON summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunScale::Quick => "quick",
+            RunScale::Full => "full",
+        }
+    }
+
     /// Parse `--quick` style command-line arguments (defaults to `Full`).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--quick") || std::env::var("BQ_QUICK").is_ok() {
@@ -87,8 +95,18 @@ impl RunScale {
     pub fn agent_config(&self) -> BqSchedConfig {
         match self {
             RunScale::Quick => BqSchedConfig {
-                plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-                state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+                plan_encoder: PlanEncoderConfig {
+                    dim: 16,
+                    heads: 2,
+                    blocks: 1,
+                    tree_bias_per_hop: 0.5,
+                },
+                state_encoder: StateEncoderConfig {
+                    plan_dim: 16,
+                    dim: 16,
+                    heads: 2,
+                    blocks: 1,
+                },
                 plan_pretrain_epochs: 1,
                 ..BqSchedConfig::default()
             },
@@ -120,9 +138,19 @@ pub fn build_setup(
 ) -> Setup {
     let workload = generate(&WorkloadSpec::new(benchmark, data_scale, query_scale));
     let profile = DbmsProfile::for_kind(dbms);
-    let history =
-        collect_history(&mut FifoScheduler::new(), &workload, &profile, scale.history_rounds(), 7);
-    Setup { benchmark, workload, profile, history }
+    let history = collect_history(
+        &mut FifoScheduler::new(),
+        &workload,
+        &profile,
+        scale.history_rounds(),
+        7,
+    );
+    Setup {
+        benchmark,
+        workload,
+        profile,
+        history,
+    }
 }
 
 fn mcf_costs(setup: &Setup) -> Vec<f64> {
@@ -136,11 +164,32 @@ pub fn evaluate_heuristics(setup: &Setup, scale: RunScale) -> Vec<StrategyEvalua
     let rounds = scale.eval_rounds();
     let mut out = Vec::new();
     let mut random = RandomScheduler::new(5);
-    out.push(evaluate_strategy(&mut random, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    out.push(evaluate_strategy(
+        &mut random,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        rounds,
+        100,
+    ));
     let mut fifo = FifoScheduler::new();
-    out.push(evaluate_strategy(&mut fifo, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    out.push(evaluate_strategy(
+        &mut fifo,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        rounds,
+        100,
+    ));
     let mut mcf = McfScheduler::with_costs(mcf_costs(setup));
-    out.push(evaluate_strategy(&mut mcf, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    out.push(evaluate_strategy(
+        &mut mcf,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        rounds,
+        100,
+    ));
     out
 }
 
@@ -153,8 +202,19 @@ pub fn train_lsched(setup: &Setup, scale: RunScale) -> BqSchedAgent {
         algorithm: Algorithm::Ppo,
         ..scale.agent_config()
     };
-    let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
-    train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &scale.training());
+    let mut agent = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        config,
+    );
+    train_on_dbms(
+        &mut agent,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        &scale.training(),
+    );
     agent.explore = false;
     agent
 }
@@ -166,8 +226,19 @@ pub fn train_bqsched(setup: &Setup, scale: RunScale) -> BqSchedAgent {
     if setup.workload.len() > 150 {
         config = config.with_clusters((setup.workload.len() / 4).clamp(20, 100));
     }
-    let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
-    train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &scale.training());
+    let mut agent = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        config,
+    );
+    train_on_dbms(
+        &mut agent,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        &scale.training(),
+    );
     agent.explore = false;
     agent
 }
@@ -178,9 +249,23 @@ pub fn evaluate_all(setup: &Setup, scale: RunScale) -> Vec<StrategyEvaluation> {
     let mut evals = evaluate_heuristics(setup, scale);
     let rounds = scale.eval_rounds();
     let mut lsched = train_lsched(setup, scale);
-    evals.push(evaluate_strategy(&mut lsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    evals.push(evaluate_strategy(
+        &mut lsched,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        rounds,
+        100,
+    ));
     let mut bqsched = train_bqsched(setup, scale);
-    evals.push(evaluate_strategy(&mut bqsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+    evals.push(evaluate_strategy(
+        &mut bqsched,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        rounds,
+        100,
+    ));
     evals
 }
 
@@ -226,7 +311,9 @@ pub fn table1(scale: RunScale) -> String {
 /// strategies on perturbed data scales and query sets.
 pub fn table2(scale: RunScale) -> String {
     let mut out = String::new();
-    out.push_str("Table II: adaptability on TPC-DS with DBMS-X (train on 1x, apply to perturbed sets)\n");
+    out.push_str(
+        "Table II: adaptability on TPC-DS with DBMS-X (train on 1x, apply to perturbed sets)\n",
+    );
     let base = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
     let mut lsched = train_lsched(&base, scale);
     let mut bqsched = train_bqsched(&base, scale);
@@ -243,11 +330,36 @@ pub fn table2(scale: RunScale) -> String {
     // (same templates, same query ids) and reuse the learned strategies.
     for &f in &factors {
         let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, f, 1));
-        let history = collect_history(&mut FifoScheduler::new(), &workload, &base.profile, scale.history_rounds(), 17);
-        let setup = Setup { benchmark: Benchmark::TpcDs, workload, profile: base.profile.clone(), history };
+        let history = collect_history(
+            &mut FifoScheduler::new(),
+            &workload,
+            &base.profile,
+            scale.history_rounds(),
+            17,
+        );
+        let setup = Setup {
+            benchmark: Benchmark::TpcDs,
+            workload,
+            profile: base.profile.clone(),
+            history,
+        };
         let mut evals = evaluate_heuristics(&setup, scale);
-        evals.push(evaluate_strategy(&mut lsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
-        evals.push(evaluate_strategy(&mut bqsched, &setup.workload, &setup.profile, Some(&setup.history), rounds, 100));
+        evals.push(evaluate_strategy(
+            &mut lsched,
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            rounds,
+            100,
+        ));
+        evals.push(evaluate_strategy(
+            &mut bqsched,
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            rounds,
+            100,
+        ));
         out.push_str(&format_eval_row(&format!("data x{f}"), &evals));
         out.push('\n');
     }
@@ -256,8 +368,19 @@ pub fn table2(scale: RunScale) -> String {
     // through its plan-embedding-based representation as in the paper).
     for &f in &factors {
         let workload = perturb_query_set(&base.workload, f, 3);
-        let history = collect_history(&mut FifoScheduler::new(), &workload, &base.profile, scale.history_rounds(), 19);
-        let setup = Setup { benchmark: Benchmark::TpcDs, workload, profile: base.profile.clone(), history };
+        let history = collect_history(
+            &mut FifoScheduler::new(),
+            &workload,
+            &base.profile,
+            scale.history_rounds(),
+            19,
+        );
+        let setup = Setup {
+            benchmark: Benchmark::TpcDs,
+            workload,
+            profile: base.profile.clone(),
+            history,
+        };
         let evals = evaluate_all(&setup, scale);
         out.push_str(&format_eval_row(&format!("queries x{f}"), &evals));
         out.push('\n');
@@ -272,31 +395,86 @@ pub fn table3(scale: RunScale) -> String {
     out.push_str("Table III: simulator prediction model — accuracy / MSE\n");
     let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
     // Plan embeddings from the shared representation of a BQSched agent.
-    let agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
+    let agent = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        scale.agent_config(),
+    );
     let plan_dim = agent.plan_embeddings().cols();
     let (epochs, max_samples) = match scale {
         RunScale::Quick => (6, 150),
         RunScale::Full => (20, 2000),
     };
     let variants: Vec<(&str, SimulatorConfig)> = vec![
-        ("w/o Att (gamma=0.1)", SimulatorConfig { use_attention: false, gamma: 0.1, ..SimulatorConfig::default() }),
-        ("w/o MTL", SimulatorConfig { multitask: false, ..SimulatorConfig::default() }),
-        ("gamma=0.01", SimulatorConfig { gamma: 0.01, ..SimulatorConfig::default() }),
-        ("gamma=0.1", SimulatorConfig { gamma: 0.1, ..SimulatorConfig::default() }),
-        ("gamma=1", SimulatorConfig { gamma: 1.0, ..SimulatorConfig::default() }),
+        (
+            "w/o Att (gamma=0.1)",
+            SimulatorConfig {
+                use_attention: false,
+                gamma: 0.1,
+                ..SimulatorConfig::default()
+            },
+        ),
+        (
+            "w/o MTL",
+            SimulatorConfig {
+                multitask: false,
+                ..SimulatorConfig::default()
+            },
+        ),
+        (
+            "gamma=0.01",
+            SimulatorConfig {
+                gamma: 0.01,
+                ..SimulatorConfig::default()
+            },
+        ),
+        (
+            "gamma=0.1",
+            SimulatorConfig {
+                gamma: 0.1,
+                ..SimulatorConfig::default()
+            },
+        ),
+        (
+            "gamma=1",
+            SimulatorConfig {
+                gamma: 1.0,
+                ..SimulatorConfig::default()
+            },
+        ),
     ];
     out.push_str(&format!("{:<24} {:>10} {:>12}\n", "variant", "Acc", "MSE"));
     for (name, mut config) in variants {
-        config.encoder = StateEncoderConfig { plan_dim, dim: 16, heads: 2, blocks: 1 };
-        let samples = samples_from_history(&setup.workload, &setup.history, agent.plan_embeddings(), &config);
+        config.encoder = StateEncoderConfig {
+            plan_dim,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        };
+        let samples = samples_from_history(
+            &setup.workload,
+            &setup.history,
+            agent.plan_embeddings(),
+            &config,
+        );
         let take = samples.len().min(max_samples);
         let split = (take * 4 / 5).max(1);
         let train_set = &samples[..split];
         let test_set = &samples[split..take.max(split + 1).min(samples.len())];
         let mut model = SimulatorModel::new(plan_dim, config, 3);
         model.train(train_set, epochs, 0.01);
-        let metrics = model.evaluate(if test_set.is_empty() { train_set } else { test_set });
-        out.push_str(&format!("{:<24} {:>9.1}% {:>12.4}\n", name, metrics.accuracy * 100.0, metrics.mse));
+        let metrics = model.evaluate(if test_set.is_empty() {
+            train_set
+        } else {
+            test_set
+        });
+        out.push_str(&format!(
+            "{:<24} {:>9.1}% {:>12.4}\n",
+            name,
+            metrics.accuracy * 100.0,
+            metrics.mse
+        ));
     }
     out
 }
@@ -324,7 +502,10 @@ pub fn fig5(scale: RunScale) -> String {
     for &qs in &query_scales {
         let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, qs, scale);
         let evals = evaluate_all(&setup, scale);
-        out.push_str(&format_eval_row(&format!("(a) tpcds X queries x{qs}"), &evals));
+        out.push_str(&format_eval_row(
+            &format!("(a) tpcds X queries x{qs}"),
+            &evals,
+        ));
         out.push('\n');
     }
     // (b) TPC-DS and (c) TPC-H on DBMS-Z at large data scales.
@@ -355,8 +536,19 @@ pub fn fig6(scale: RunScale) -> String {
     let tc = scale.training();
 
     // Train BQSched from scratch directly on the DBMS.
-    let mut scratch = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
-    let scratch_curve = train_on_dbms(&mut scratch, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+    let mut scratch = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        scale.agent_config(),
+    );
+    let scratch_curve = train_on_dbms(
+        &mut scratch,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        &tc,
+    );
     let scratch_cost = scratch_curve.total_episodes as f64 * setup.history.mean_makespan();
 
     // Pre-train on the learned simulator (no DBMS time), then fine-tune with a
@@ -370,10 +562,18 @@ pub fn fig6(scale: RunScale) -> String {
         },
         ..SimulatorConfig::default()
     };
-    let mut pretrained =
-        BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), scale.agent_config());
-    let samples =
-        samples_from_history(&setup.workload, &setup.history, pretrained.plan_embeddings(), &sim_config);
+    let mut pretrained = BqSchedAgent::new(
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        scale.agent_config(),
+    );
+    let samples = samples_from_history(
+        &setup.workload,
+        &setup.history,
+        pretrained.plan_embeddings(),
+        &sim_config,
+    );
     let mut sim = SimulatorModel::new(pretrained.plan_embeddings().cols(), sim_config, 5);
     let sample_cap = match scale {
         RunScale::Quick => 120,
@@ -397,8 +597,13 @@ pub fn fig6(scale: RunScale) -> String {
         eval_rounds: 1,
         ..tc
     };
-    let fine_curve =
-        train_on_dbms(&mut pretrained, &setup.workload, &setup.profile, Some(&setup.history), &finetune_tc);
+    let fine_curve = train_on_dbms(
+        &mut pretrained,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        &finetune_tc,
+    );
     let finetune_cost = fine_curve.total_episodes as f64 * setup.history.mean_makespan();
 
     // LSched trained from scratch on the DBMS.
@@ -406,17 +611,38 @@ pub fn fig6(scale: RunScale) -> String {
         &setup.workload,
         &setup.profile,
         Some(&setup.history),
-        BqSchedConfig { use_masking: false, algorithm: Algorithm::Ppo, ..scale.agent_config() },
+        BqSchedConfig {
+            use_masking: false,
+            algorithm: Algorithm::Ppo,
+            ..scale.agent_config()
+        },
     );
-    let lsched_curve =
-        train_on_dbms(&mut lsched_agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+    let lsched_curve = train_on_dbms(
+        &mut lsched_agent,
+        &setup.workload,
+        &setup.profile,
+        Some(&setup.history),
+        &tc,
+    );
     let lsched_cost = lsched_curve.total_episodes as f64 * setup.history.mean_makespan();
 
     out.push_str(&format!("{:<44} {:>14}\n", "variant", "DBMS time (s)"));
-    out.push_str(&format!("{:<44} {:>14.1}\n", "pre-train BQSched on simulator", 0.0));
-    out.push_str(&format!("{:<44} {:>14.1}\n", "fine-tune BQSched on DBMS", finetune_cost));
-    out.push_str(&format!("{:<44} {:>14.1}\n", "train BQSched from scratch on DBMS", scratch_cost));
-    out.push_str(&format!("{:<44} {:>14.1}\n", "train LSched from scratch on DBMS", lsched_cost));
+    out.push_str(&format!(
+        "{:<44} {:>14.1}\n",
+        "pre-train BQSched on simulator", 0.0
+    ));
+    out.push_str(&format!(
+        "{:<44} {:>14.1}\n",
+        "fine-tune BQSched on DBMS", finetune_cost
+    ));
+    out.push_str(&format!(
+        "{:<44} {:>14.1}\n",
+        "train BQSched from scratch on DBMS", scratch_cost
+    ));
+    out.push_str(&format!(
+        "{:<44} {:>14.1}\n",
+        "train LSched from scratch on DBMS", lsched_cost
+    ));
     out.push_str(&format!(
         "pretrain+finetune uses {:.0}% of the from-scratch DBMS time ({} vs {} episodes); simulator pre-training ran {} episodes off-DBMS\n",
         100.0 * finetune_cost / scratch_cost.max(1e-9),
@@ -436,17 +662,48 @@ pub fn fig7(scale: RunScale) -> String {
     let tc = scale.training();
     let variants: Vec<(&str, BqSchedConfig)> = vec![
         ("BQSched (IQ-PPO)", scale.agent_config()),
-        ("w/o attention state rep", scale.agent_config().without_attention()),
-        ("w/ PPO", scale.agent_config().with_algorithm(Algorithm::Ppo)),
-        ("w/ PPG", scale.agent_config().with_algorithm(Algorithm::Ppg)),
-        ("w/o adaptive masking", scale.agent_config().without_masking()),
+        (
+            "w/o attention state rep",
+            scale.agent_config().without_attention(),
+        ),
+        (
+            "w/ PPO",
+            scale.agent_config().with_algorithm(Algorithm::Ppo),
+        ),
+        (
+            "w/ PPG",
+            scale.agent_config().with_algorithm(Algorithm::Ppg),
+        ),
+        (
+            "w/o adaptive masking",
+            scale.agent_config().without_masking(),
+        ),
     ];
-    out.push_str(&format!("{:<28} {:>16} {:>16}\n", "variant", "final makespan", "episode reward"));
+    out.push_str(&format!(
+        "{:<28} {:>16} {:>16}\n",
+        "variant", "final makespan", "episode reward"
+    ));
     for (name, config) in variants {
-        let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
-        let curve = train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+        let mut agent = BqSchedAgent::new(
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            config,
+        );
+        let curve = train_on_dbms(
+            &mut agent,
+            &setup.workload,
+            &setup.profile,
+            Some(&setup.history),
+            &tc,
+        );
         let reward = curve.points.last().map(|p| p.episode_reward).unwrap_or(0.0);
-        out.push_str(&format!("{:<28} {:>16.2} {:>16.3}\n", name, curve.final_makespan(), reward));
+        out.push_str(&format!(
+            "{:<28} {:>16.2} {:>16.3}\n",
+            name,
+            curve.final_makespan(),
+            reward
+        ));
     }
     out
 }
@@ -461,17 +718,38 @@ pub fn fig8(scale: RunScale) -> String {
         RunScale::Full => (vec![5, 10], vec![Some(50), Some(100), Some(200), None]),
     };
     let tc = scale.training();
-    out.push_str(&format!("{:<28} {:>16} {:>16}\n", "cell", "n_c", "makespan"));
+    out.push_str(&format!(
+        "{:<28} {:>16} {:>16}\n",
+        "cell", "n_c", "makespan"
+    ));
     for &qs in &query_scales {
         let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, qs, scale);
         for &nc in &cluster_counts {
             let mut config = scale.agent_config();
             config.cluster_count = nc;
-            let mut agent = BqSchedAgent::new(&setup.workload, &setup.profile, Some(&setup.history), config);
-            let curve = train_on_dbms(&mut agent, &setup.workload, &setup.profile, Some(&setup.history), &tc);
+            let mut agent = BqSchedAgent::new(
+                &setup.workload,
+                &setup.profile,
+                Some(&setup.history),
+                config,
+            );
+            let curve = train_on_dbms(
+                &mut agent,
+                &setup.workload,
+                &setup.profile,
+                Some(&setup.history),
+                &tc,
+            );
             let label = format!("tpcds X queries x{qs}");
-            let nc_label = nc.map(|v| v.to_string()).unwrap_or_else(|| "w/o clustering".into());
-            out.push_str(&format!("{:<28} {:>16} {:>16.2}\n", label, nc_label, curve.final_makespan()));
+            let nc_label = nc
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "w/o clustering".into());
+            out.push_str(&format!(
+                "{:<28} {:>16} {:>16.2}\n",
+                label,
+                nc_label,
+                curve.final_makespan()
+            ));
         }
     }
     out
@@ -485,14 +763,12 @@ pub fn fig9(scale: RunScale) -> String {
     let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
     let mut agent = train_bqsched(&setup, scale);
     let mut engine = ExecutionEngine::new(setup.profile.clone(), &setup.workload, 999);
-    let log = bq_core::run_episode_on(
-        &mut agent,
-        &setup.workload,
-        &mut engine,
-        Some(&setup.history),
-        setup.profile.kind,
-        999,
-    );
+    let log = bq_core::ScheduleSession::builder(&setup.workload)
+        .history(&setup.history)
+        .dbms(setup.profile.kind)
+        .round(999)
+        .build(&mut engine)
+        .run(&mut agent);
     let chart = GanttChart::from_log(&log);
     out.push_str(&chart.render_ascii(100));
     out.push_str(&format!(
@@ -502,8 +778,47 @@ pub fn fig9(scale: RunScale) -> String {
         chart.makespan
     ));
     let tail: Vec<usize> = chart.tail_queries(0.1).iter().map(|b| b.template).collect();
-    out.push_str(&format!("templates finishing in the last 10% of the makespan: {tail:?}\n"));
+    out.push_str(&format!(
+        "templates finishing in the last 10% of the makespan: {tail:?}\n"
+    ));
     out
+}
+
+/// Print the single-line JSON summary every experiment binary ends with, so
+/// perf-trajectory files can be captured mechanically
+/// (`... | tail -n 1 > BENCH_table1.json`). Keys: `bench`, `scale`,
+/// `elapsed_s`, `status`.
+pub fn emit_summary(bench: &str, scale: RunScale, started: std::time::Instant) {
+    let value = serde::Value::Map(vec![
+        ("bench".to_string(), serde::Value::Str(bench.to_string())),
+        (
+            "scale".to_string(),
+            serde::Value::Str(scale.name().to_string()),
+        ),
+        (
+            "elapsed_s".to_string(),
+            serde::Value::Num((started.elapsed().as_secs_f64() * 1e3).round() / 1e3),
+        ),
+        ("status".to_string(), serde::Value::Str("ok".to_string())),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string(&value).expect("summary serialization cannot fail")
+    );
+}
+
+/// Run one scheduling round through the session facade on a fresh engine —
+/// the shape every bench body uses.
+pub fn session_round(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &Workload,
+    profile: &DbmsProfile,
+    history: Option<&ExecutionHistory>,
+    seed: u64,
+) -> bq_core::EpisodeLog {
+    bq_core::ScheduleSession::builder(workload)
+        .maybe_history(history)
+        .run_on_profile(profile, seed, policy)
 }
 
 /// Convenience wrapper used by example binaries: build a named heuristic.

@@ -12,7 +12,7 @@ use crate::clustering::{gains_from_history, GainPredictor, QueryClustering};
 use crate::masking::AdaptiveMask;
 use crate::simulator::{LearnedSimulator, SimulatorModel};
 use bq_core::{
-    run_episode_on, Action, EpisodeLog, ExecutionHistory, QueryExecutor, QueryStatus,
+    Action, EpisodeLog, ExecutionHistory, ExecutorBackend, QueryStatus, ScheduleSession,
     SchedulerPolicy, SchedulingState,
 };
 use bq_dbms::{DbmsProfile, ExecutionEngine, MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
@@ -72,8 +72,18 @@ pub struct BqSchedConfig {
 impl Default for BqSchedConfig {
     fn default() -> Self {
         Self {
-            plan_encoder: PlanEncoderConfig { dim: 32, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-            state_encoder: StateEncoderConfig { plan_dim: 32, dim: 32, heads: 4, blocks: 1 },
+            plan_encoder: PlanEncoderConfig {
+                dim: 32,
+                heads: 2,
+                blocks: 1,
+                tree_bias_per_hop: 0.5,
+            },
+            state_encoder: StateEncoderConfig {
+                plan_dim: 32,
+                dim: 32,
+                heads: 4,
+                blocks: 1,
+            },
             use_attention: true,
             use_masking: true,
             cluster_count: None,
@@ -151,12 +161,19 @@ impl BqSchedModel {
     /// Create the model, registering all parameters in `store`.
     pub fn new(config: &BqSchedConfig, num_configs: usize, store: &mut ParamStore) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let enc_config = StateEncoderConfig { plan_dim: config.plan_encoder.dim, ..config.state_encoder };
+        let enc_config = StateEncoderConfig {
+            plan_dim: config.plan_encoder.dim,
+            ..config.state_encoder
+        };
         let state_encoder = StateEncoder::new(store, enc_config, &mut rng);
         let plain_proj = Mlp::new(
             store,
             "agent.plain_proj",
-            &[config.plan_encoder.dim + STATE_FEATURE_DIM, enc_config.dim, enc_config.dim],
+            &[
+                config.plan_encoder.dim + STATE_FEATURE_DIM,
+                enc_config.dim,
+                enc_config.dim,
+            ],
             Activation::Tanh,
             Activation::Tanh,
             &mut rng,
@@ -237,7 +254,13 @@ impl ActorCritic for BqSchedModel {
         (logits, value)
     }
 
-    fn aux_prediction(&self, g: &mut Graph, store: &ParamStore, obs: &BqObs, index: usize) -> NodeId {
+    fn aux_prediction(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &BqObs,
+        index: usize,
+    ) -> NodeId {
         let (per_query, _) = self.representations(g, store, &obs.encoded);
         let row = g.select_rows(per_query, &[index]);
         self.aux_head.forward(g, store, row)
@@ -315,7 +338,9 @@ impl BqSchedAgent {
                     .unwrap_or_else(|| workload.query(QueryId(i)).plan.total_cost() / 20_000.0)
             })
             .collect();
-        let scale = FeatureScale { time_scale: config.time_scale };
+        let scale = FeatureScale {
+            time_scale: config.time_scale,
+        };
 
         let space = ParamSpace::full();
         let mask = if config.use_masking {
@@ -332,7 +357,8 @@ impl BqSchedAgent {
             (Some(n_c), Some(h)) if n_c < workload.len() => {
                 let mut gains = gains_from_history(h, workload.len());
                 let mut gain_store = ParamStore::new();
-                let predictor = GainPredictor::new(&mut gain_store, config.plan_encoder.dim, &mut rng);
+                let predictor =
+                    GainPredictor::new(&mut gain_store, config.plan_encoder.dim, &mut rng);
                 predictor.train(&mut gain_store, &plan_embs, &gains, 30, 0.01);
                 predictor.complete(&gain_store, &plan_embs, &mut gains);
                 QueryClustering::agglomerative(&gains, n_c)
@@ -406,8 +432,12 @@ impl BqSchedAgent {
             }
             entity_embs.push(emb);
 
-            let any_pending = members.iter().any(|q| state.queries[q.0].status == QueryStatus::Pending);
-            let any_running = members.iter().any(|q| state.queries[q.0].status == QueryStatus::Running);
+            let any_pending = members
+                .iter()
+                .any(|q| state.queries[q.0].status == QueryStatus::Pending);
+            let any_running = members
+                .iter()
+                .any(|q| state.queries[q.0].status == QueryStatus::Running);
             let status = if any_pending {
                 QueryStatus::Pending
             } else if any_running {
@@ -425,8 +455,10 @@ impl BqSchedAgent {
             // Entity feature vector with the same layout as per-query features.
             let mut f = vec![0.0f32; STATE_FEATURE_DIM];
             f[status.index()] = 1.0;
-            let running_members: Vec<&QueryId> =
-                members.iter().filter(|q| state.queries[q.0].status == QueryStatus::Running).collect();
+            let running_members: Vec<&QueryId> = members
+                .iter()
+                .filter(|q| state.queries[q.0].status == QueryStatus::Running)
+                .collect();
             if let Some(first_running) = running_members.first() {
                 if let Some(params) = state.queries[first_running.0].params {
                     if let Some(widx) = WORKER_OPTIONS.iter().position(|&w| w == params.workers) {
@@ -442,7 +474,10 @@ impl BqSchedAgent {
             let elapsed: f64 = if running_members.is_empty() {
                 0.0
             } else {
-                running_members.iter().map(|q| state.queries[q.0].elapsed).sum::<f64>()
+                running_members
+                    .iter()
+                    .map(|q| state.queries[q.0].elapsed)
+                    .sum::<f64>()
                     / running_members.len() as f64
             };
             let avg: f64 = members.iter().map(|q| self.avg_times[q.0]).sum();
@@ -500,7 +535,9 @@ impl BqSchedAgent {
             .filter(|q| state.queries[q.0].status == QueryStatus::Pending)
             .collect();
         members.sort_by(|a, b| {
-            self.avg_times[b.0].partial_cmp(&self.avg_times[a.0]).unwrap_or(std::cmp::Ordering::Equal)
+            self.avg_times[b.0]
+                .partial_cmp(&self.avg_times[a.0])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for q in members {
             let allowed = self.mask.allowed(q);
@@ -525,7 +562,6 @@ impl SchedulerPolicy for BqSchedAgent {
             _ => "BQSched",
         }
     }
-
 
     fn begin_episode(&mut self, _workload: &Workload) {
         self.commit_queue.clear();
@@ -561,7 +597,10 @@ impl SchedulerPolicy for BqSchedAgent {
         // Fallback: the policy selected an entity with no pending members
         // (only possible under a pathological mask); submit any pending query.
         let q = state.pending_queries()[0];
-        Action { query: q, params: RunParams::default_config() }
+        Action {
+            query: q,
+            params: RunParams::default_config(),
+        }
     }
 
     fn end_episode(&mut self, log: &EpisodeLog) {
@@ -639,12 +678,17 @@ pub struct TrainingCurve {
 impl TrainingCurve {
     /// Best (lowest) greedy makespan observed during training.
     pub fn best_makespan(&self) -> f64 {
-        self.points.iter().map(|p| p.eval_makespan).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.eval_makespan)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Final greedy makespan.
     pub fn final_makespan(&self) -> f64 {
-        self.points.last().map_or(f64::INFINITY, |p| p.eval_makespan)
+        self.points
+            .last()
+            .map_or(f64::INFINITY, |p| p.eval_makespan)
     }
 }
 
@@ -665,7 +709,13 @@ pub struct TrainingConfig {
 
 impl Default for TrainingConfig {
     fn default() -> Self {
-        Self { iterations: 2, ppo_iters: 2, rounds_per_iter: 2, eval_rounds: 1, seed: 1000 }
+        Self {
+            iterations: 2,
+            ppo_iters: 2,
+            rounds_per_iter: 2,
+            eval_rounds: 1,
+            seed: 1000,
+        }
     }
 }
 
@@ -677,7 +727,8 @@ enum AnyTrainer {
 
 /// Train `agent` by interacting with executors produced by `make_executor`
 /// (a fresh executor per scheduling round — either the simulated DBMS or the
-/// learned incremental simulator).
+/// learned incremental simulator). Every round is driven through a
+/// [`ScheduleSession`], so the training loop is identical for every backend.
 pub fn train_agent_with<E, F>(
     agent: &mut BqSchedAgent,
     workload: &Workload,
@@ -686,7 +737,7 @@ pub fn train_agent_with<E, F>(
     mut make_executor: F,
 ) -> TrainingCurve
 where
-    E: QueryExecutor,
+    E: ExecutorBackend,
     F: FnMut(u64) -> E,
 {
     let start = std::time::Instant::now();
@@ -708,7 +759,12 @@ where
                 agent.explore = true;
                 let mut executor = make_executor(round_seed);
                 round_seed += 1;
-                run_episode_on(agent, workload, &mut executor, history, bq_dbms::DbmsKind::X, round_seed);
+                ScheduleSession::builder(workload)
+                    .maybe_history(history)
+                    .dbms(bq_dbms::DbmsKind::X)
+                    .round(round_seed)
+                    .build(&mut executor)
+                    .run(agent);
                 total_episodes += 1;
                 mean_reward = agent.last_episode_return;
                 let rollout = agent.take_rollout();
@@ -745,14 +801,27 @@ where
         let mut makespans = Vec::new();
         for r in 0..tc.eval_rounds {
             let mut executor = make_executor(10_000 + r);
-            let log = run_episode_on(agent, workload, &mut executor, history, bq_dbms::DbmsKind::X, r);
+            let log = ScheduleSession::builder(workload)
+                .maybe_history(history)
+                .dbms(bq_dbms::DbmsKind::X)
+                .round(r)
+                .build(&mut executor)
+                .run(agent);
             makespans.push(log.makespan());
         }
         agent.explore = true;
         let eval = makespans.iter().sum::<f64>() / makespans.len().max(1) as f64;
-        points.push(TrainingPoint { step: steps, episode_reward: mean_reward, eval_makespan: eval });
+        points.push(TrainingPoint {
+            step: steps,
+            episode_reward: mean_reward,
+            eval_makespan: eval,
+        });
     }
-    TrainingCurve { points, total_episodes, wall_seconds: start.elapsed().as_secs_f64() }
+    TrainingCurve {
+        points,
+        total_episodes,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Train the agent directly against the simulated DBMS (`profile`).
@@ -807,14 +876,36 @@ mod tests {
     use bq_core::{collect_history, evaluate_strategy, FifoScheduler};
     use bq_plan::{generate, Benchmark, WorkloadSpec};
 
+    fn run_once(
+        policy: &mut dyn SchedulerPolicy,
+        w: &Workload,
+        profile: &DbmsProfile,
+        history: Option<&ExecutionHistory>,
+        seed: u64,
+    ) -> EpisodeLog {
+        ScheduleSession::builder(w)
+            .maybe_history(history)
+            .run_on_profile(profile, seed, policy)
+    }
+
     fn tiny_workload() -> Workload {
         generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
     }
 
     fn fast_config() -> BqSchedConfig {
         BqSchedConfig {
-            plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-            state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+            plan_encoder: PlanEncoderConfig {
+                dim: 16,
+                heads: 2,
+                blocks: 1,
+                tree_bias_per_hop: 0.5,
+            },
+            state_encoder: StateEncoderConfig {
+                plan_dim: 16,
+                dim: 16,
+                heads: 2,
+                blocks: 1,
+            },
             plan_pretrain_epochs: 0,
             ..BqSchedConfig::default()
         }
@@ -836,14 +927,25 @@ mod tests {
         let profile = DbmsProfile::dbms_x();
         let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
         agent.explore = true;
-        bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        run_once(&mut agent, &w, &profile, None, 0);
         let rollout = agent.take_rollout();
-        assert_eq!(rollout.len(), w.len(), "query-level scheduling: one decision per query");
+        assert_eq!(
+            rollout.len(),
+            w.len(),
+            "query-level scheduling: one decision per query"
+        );
         // Rewards sum to roughly -makespan / time_scale.
         let total: f32 = rollout.transitions().iter().map(|t| t.reward).sum();
         assert!(total < 0.0);
         // Aux targets exist for states with running queries.
-        assert!(rollout.transitions().iter().filter(|t| t.aux.is_some()).count() > 0);
+        assert!(
+            rollout
+                .transitions()
+                .iter()
+                .filter(|t| t.aux.is_some())
+                .count()
+                > 0
+        );
     }
 
     #[test]
@@ -852,13 +954,17 @@ mod tests {
         let profile = DbmsProfile::dbms_x();
         let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
         agent.explore = true;
-        let log = bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        let log = run_once(&mut agent, &w, &profile, None, 0);
         // Every query that the mask restricts must have run with an allowed config.
         let space = ParamSpace::full();
         for r in &log.records {
             let allowed = agent.adaptive_mask().allowed(r.query);
             let idx = space.index_of(r.params).unwrap();
-            assert!(allowed[idx], "query {:?} ran with masked config {:?}", r.query, r.params);
+            assert!(
+                allowed[idx],
+                "query {:?} ran with masked config {:?}",
+                r.query, r.params
+            );
         }
     }
 
@@ -871,7 +977,7 @@ mod tests {
         let mut agent = BqSchedAgent::new(&w, &profile, Some(&history), config);
         assert_eq!(agent.num_entities(), 6);
         agent.explore = true;
-        let log = bq_core::run_episode(&mut agent, &w, &profile, Some(&history), 0);
+        let log = run_once(&mut agent, &w, &profile, Some(&history), 0);
         assert_eq!(log.len(), w.len(), "all queries still execute");
         let rollout = agent.take_rollout();
         assert!(
@@ -899,7 +1005,13 @@ mod tests {
         let profile = DbmsProfile::dbms_x();
         let history = collect_history(&mut FifoScheduler::new(), &w, &profile, 2, 0);
         let mut agent = BqSchedAgent::new(&w, &profile, Some(&history), fast_config());
-        let tc = TrainingConfig { iterations: 1, ppo_iters: 1, rounds_per_iter: 1, eval_rounds: 1, seed: 50 };
+        let tc = TrainingConfig {
+            iterations: 1,
+            ppo_iters: 1,
+            rounds_per_iter: 1,
+            eval_rounds: 1,
+            seed: 50,
+        };
         let curve = train_on_dbms(&mut agent, &w, &profile, Some(&history), &tc);
         assert_eq!(curve.points.len(), 1);
         assert!(curve.total_episodes >= 1);
@@ -913,7 +1025,7 @@ mod tests {
         let profile = DbmsProfile::dbms_x();
         let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config().without_attention());
         agent.explore = false;
-        let log = bq_core::run_episode(&mut agent, &w, &profile, None, 0);
+        let log = run_once(&mut agent, &w, &profile, None, 0);
         assert_eq!(log.len(), w.len());
     }
 }

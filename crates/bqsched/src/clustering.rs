@@ -116,7 +116,11 @@ pub fn gains_from_history(history: &ExecutionHistory, num_queries: usize) -> Gai
         .zip(counts.iter())
         .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
         .collect();
-    GainMatrix { n: num_queries, gains, counts }
+    GainMatrix {
+        n: num_queries,
+        gains,
+        counts,
+    }
 }
 
 /// MLP that predicts the scheduling gain of a query pair from the two plan
@@ -230,14 +234,20 @@ impl QueryClustering {
     /// Trivial clustering: every query is its own cluster (query-level
     /// scheduling).
     pub fn singleton(num_queries: usize) -> Self {
-        Self { assignment: (0..num_queries).collect(), num_clusters: num_queries }
+        Self {
+            assignment: (0..num_queries).collect(),
+            num_clusters: num_queries,
+        }
     }
 
     /// Build a clustering from an explicit assignment vector (cluster id per
     /// query). Cluster ids must be dense, starting at 0.
     pub fn from_assignment(assignment: Vec<usize>) -> Self {
         let num_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        Self { assignment, num_clusters }
+        Self {
+            assignment,
+            num_clusters,
+        }
     }
 
     /// Average-linkage agglomerative clustering on the gain matrix, greedily
@@ -260,7 +270,11 @@ impl QueryClustering {
                             count += 1;
                         }
                     }
-                    let avg = if count > 0 { sum / count as f64 } else { f64::NEG_INFINITY };
+                    let avg = if count > 0 {
+                        sum / count as f64
+                    } else {
+                        f64::NEG_INFINITY
+                    };
                     if avg > best.2 {
                         best = (a, b, avg);
                     }
@@ -276,7 +290,10 @@ impl QueryClustering {
                 assignment[q] = c;
             }
         }
-        Self { assignment, num_clusters: clusters.len() }
+        Self {
+            assignment,
+            num_clusters: clusters.len(),
+        }
     }
 
     /// Number of clusters.
@@ -334,11 +351,19 @@ mod tests {
         // Round 1: q0 and q1 overlap and both run *faster* than their average
         // (positive gain); q2 runs alone.
         let mut e1 = EpisodeLog::new(DbmsKind::X, "t", 0);
-        e1.records = vec![record(0, 0.0, 8.0), record(1, 0.0, 8.0), record(2, 10.0, 20.0)];
+        e1.records = vec![
+            record(0, 0.0, 8.0),
+            record(1, 0.0, 8.0),
+            record(2, 10.0, 20.0),
+        ];
         // Round 2: q0 and q1 run separately and are slower (so the concurrent
         // round shows acceleration); q2 overlaps with q0 but slows it down.
         let mut e2 = EpisodeLog::new(DbmsKind::X, "t", 1);
-        e2.records = vec![record(0, 0.0, 12.0), record(1, 20.0, 32.0), record(2, 0.0, 10.0)];
+        e2.records = vec![
+            record(0, 0.0, 12.0),
+            record(1, 20.0, 32.0),
+            record(2, 0.0, 10.0),
+        ];
         h.push(e1);
         h.push(e2);
         h
@@ -373,7 +398,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let predictor = GainPredictor::new(&mut store, 4, &mut rng);
         let final_mse = predictor.train(&mut store, &embeddings, &m, 200, 0.01);
-        assert!(final_mse < 0.05, "gain predictor should fit observed pairs, mse {final_mse}");
+        assert!(
+            final_mse < 0.05,
+            "gain predictor should fit observed pairs, mse {final_mse}"
+        );
         // Prediction is symmetric by construction.
         let ab = predictor.predict(&store, &embeddings, QueryId(1), QueryId(2));
         let ba = predictor.predict(&store, &embeddings, QueryId(2), QueryId(1));
@@ -385,7 +413,11 @@ mod tests {
     #[test]
     fn agglomerative_clustering_groups_high_gain_pairs() {
         // 4 queries: (0,1) high gain, (2,3) high gain, cross pairs negative.
-        let mut m = GainMatrix { n: 4, gains: vec![0.0; 16], counts: vec![1; 16] };
+        let mut m = GainMatrix {
+            n: 4,
+            gains: vec![0.0; 16],
+            counts: vec![1; 16],
+        };
         let set = |m: &mut GainMatrix, i: usize, j: usize, v: f64| {
             let n = m.n;
             m.gains[i * n + j] = v;
@@ -399,9 +431,18 @@ mod tests {
         set(&mut m, 1, 3, -0.3);
         let clustering = QueryClustering::agglomerative(&m, 2);
         assert_eq!(clustering.num_clusters(), 2);
-        assert_eq!(clustering.cluster_of(QueryId(0)), clustering.cluster_of(QueryId(1)));
-        assert_eq!(clustering.cluster_of(QueryId(2)), clustering.cluster_of(QueryId(3)));
-        assert_ne!(clustering.cluster_of(QueryId(0)), clustering.cluster_of(QueryId(2)));
+        assert_eq!(
+            clustering.cluster_of(QueryId(0)),
+            clustering.cluster_of(QueryId(1))
+        );
+        assert_eq!(
+            clustering.cluster_of(QueryId(2)),
+            clustering.cluster_of(QueryId(3))
+        );
+        assert_ne!(
+            clustering.cluster_of(QueryId(0)),
+            clustering.cluster_of(QueryId(2))
+        );
     }
 
     #[test]
@@ -409,7 +450,7 @@ mod tests {
         let h = history_with_pairs();
         let m = gains_from_history(&h, 3);
         let clustering = QueryClustering::agglomerative(&m, 2);
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for c in 0..clustering.num_clusters() {
             for q in clustering.members(c) {
                 assert!(!seen[q.0], "query {q:?} in two clusters");
@@ -430,7 +471,11 @@ mod tests {
 
     #[test]
     fn cluster_count_is_clamped() {
-        let m = GainMatrix { n: 3, gains: vec![0.0; 9], counts: vec![0; 9] };
+        let m = GainMatrix {
+            n: 3,
+            gains: vec![0.0; 9],
+            counts: vec![0; 9],
+        };
         let c = QueryClustering::agglomerative(&m, 10);
         assert_eq!(c.num_clusters(), 3);
         let c1 = QueryClustering::agglomerative(&m, 0);

@@ -59,7 +59,9 @@ impl AdaptiveMask {
                             return false;
                         }
                         // The high memory grant only helps queries that would spill.
-                        if cfg.memory == MemoryGrant::High && q.profile.memory_pages <= low_grant_pages {
+                        if cfg.memory == MemoryGrant::High
+                            && q.profile.memory_pages <= low_grant_pages
+                        {
                             return false;
                         }
                         true
@@ -67,7 +69,10 @@ impl AdaptiveMask {
                     .collect()
             })
             .collect();
-        Self { allowed, default_config }
+        Self {
+            allowed,
+            default_config,
+        }
     }
 
     /// Refine a mask with per-configuration execution statistics from logs:
@@ -84,7 +89,8 @@ impl AdaptiveMask {
     ) -> Self {
         for (qi, allowed) in self.allowed.iter_mut().enumerate() {
             let q = QueryId(qi);
-            let Some(base) = history.avg_exec_time_with_params(q, space.get(self.default_config)) else {
+            let Some(base) = history.avg_exec_time_with_params(q, space.get(self.default_config))
+            else {
                 continue;
             };
             for (k, cfg) in space.configs().iter().enumerate() {
@@ -160,7 +166,11 @@ mod tests {
 
     fn setup() -> (Workload, ParamSpace, f64) {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
-        (w, ParamSpace::full(), DbmsProfile::dbms_x().low_mem_grant_pages)
+        (
+            w,
+            ParamSpace::full(),
+            DbmsProfile::dbms_x().low_mem_grant_pages,
+        )
     }
 
     #[test]
@@ -176,10 +186,17 @@ mod tests {
     fn workload_mask_prunes_but_keeps_default() {
         let (w, space, low) = setup();
         let m = AdaptiveMask::from_workload(&w, &space, low);
-        assert!(m.masked_fraction() > 0.1, "expected substantial pruning, got {}", m.masked_fraction());
+        assert!(
+            m.masked_fraction() > 0.1,
+            "expected substantial pruning, got {}",
+            m.masked_fraction()
+        );
         assert!(m.masked_fraction() < 1.0);
         for i in 0..w.len() {
-            assert!(m.allowed(QueryId(i))[m.default_config()], "default config masked for query {i}");
+            assert!(
+                m.allowed(QueryId(i))[m.default_config()],
+                "default config masked for query {i}"
+            );
         }
     }
 
@@ -194,7 +211,10 @@ mod tests {
             .expect("workload should contain an IO-intensive query");
         for (k, cfg) in space.configs().iter().enumerate() {
             if cfg.workers > 1 && k != m.default_config() {
-                assert!(!m.allowed(io_query)[k], "IO-intensive query should not get {cfg:?}");
+                assert!(
+                    !m.allowed(io_query)[k],
+                    "IO-intensive query should not get {cfg:?}"
+                );
             }
         }
     }
@@ -224,7 +244,10 @@ mod tests {
         let mut history = ExecutionHistory::new();
         let mut log = EpisodeLog::new(bq_dbms::DbmsKind::X, "probe", 0);
         let default = RunParams::default_config();
-        let fast = RunParams { workers: 4, memory: MemoryGrant::Low };
+        let fast = RunParams {
+            workers: 4,
+            memory: MemoryGrant::Low,
+        };
         log.records.push(QueryRecord {
             query: QueryId(0),
             template: w.queries[0].plan.template,
@@ -246,6 +269,9 @@ mod tests {
         history.push(log);
         let refined = base_mask.refine_with_history(&w, &history, &space, 0.1);
         let fast_idx = space.index_of(fast).unwrap();
-        assert!(refined.allowed(QueryId(0))[fast_idx], "a 2x-faster config must stay allowed");
+        assert!(
+            refined.allowed(QueryId(0))[fast_idx],
+            "a 2x-faster config must stay allowed"
+        );
     }
 }

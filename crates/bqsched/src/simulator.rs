@@ -9,7 +9,10 @@
 //! model and is trained with multitask learning (classification +
 //! regression), exactly the design ablated in Table III.
 
-use bq_core::{ExecutionHistory, QueryExecutor, QueryRuntime, QueryStatus, SchedulingState};
+use bq_core::{
+    ConnectionSlot, ExecEvent, ExecutionHistory, ExecutorBackend, QueryRuntime, QueryStatus,
+    SchedulingState,
+};
 use bq_dbms::{QueryCompletion, RunParams};
 use bq_encoder::{EncodedObservation, FeatureScale, StateEncoder, StateEncoderConfig};
 use bq_nn::{Activation, Adam, Graph, Mlp, NodeId, ParamStore, Tensor};
@@ -17,6 +20,7 @@ use bq_plan::{QueryId, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Configuration of the simulator's prediction model.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -87,12 +91,19 @@ impl SimulatorModel {
     pub fn new(plan_dim: usize, config: SimulatorConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let enc_config = StateEncoderConfig { plan_dim, ..config.encoder };
+        let enc_config = StateEncoderConfig {
+            plan_dim,
+            ..config.encoder
+        };
         let encoder = StateEncoder::new(&mut store, enc_config, &mut rng);
         let plain_proj = Mlp::new(
             &mut store,
             "sim.plain_proj",
-            &[plan_dim + bq_encoder::STATE_FEATURE_DIM, enc_config.dim, enc_config.dim],
+            &[
+                plan_dim + bq_encoder::STATE_FEATURE_DIM,
+                enc_config.dim,
+                enc_config.dim,
+            ],
             Activation::Tanh,
             Activation::Tanh,
             &mut rng,
@@ -113,12 +124,24 @@ impl SimulatorModel {
             Activation::None,
             &mut rng,
         );
-        Self { config, store, encoder, plain_proj, classify_head, regress_head }
+        Self {
+            config,
+            store,
+            encoder,
+            plain_proj,
+            classify_head,
+            regress_head,
+        }
     }
 
     /// Per-query representations `[n, dim]` — attention-based, or the plain
     /// per-query MLP for the "w/o Att" ablation.
-    fn per_query_reprs(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> NodeId {
+    fn per_query_reprs(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+    ) -> NodeId {
         if self.config.use_attention {
             self.encoder.forward(g, store, obs).per_query
         } else {
@@ -130,7 +153,12 @@ impl SimulatorModel {
     }
 
     /// Scores (logits) over the running queries of `obs`, `[1, |running|]`.
-    fn running_scores(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> NodeId {
+    fn running_scores(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+    ) -> NodeId {
         let reprs = self.per_query_reprs(g, store, obs);
         let running = g.select_rows(reprs, &obs.running);
         let scores = self.classify_head.forward(g, store, running); // [r, 1]
@@ -139,7 +167,13 @@ impl SimulatorModel {
     }
 
     /// Regression output for the running query at `position` in `obs.running`.
-    fn finish_time_of(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation, position: usize) -> NodeId {
+    fn finish_time_of(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+        position: usize,
+    ) -> NodeId {
         let reprs = self.per_query_reprs(g, store, obs);
         let row = g.select_rows(reprs, &[obs.running[position]]);
         self.regress_head.forward(g, store, row)
@@ -148,7 +182,10 @@ impl SimulatorModel {
     /// Predict which running query of `obs` finishes first and in how much
     /// (normalised) time. Returns `(position in obs.running, time)`.
     pub fn predict(&self, obs: &EncodedObservation) -> (usize, f64) {
-        assert!(!obs.running.is_empty(), "cannot predict on a state with no running queries");
+        assert!(
+            !obs.running.is_empty(),
+            "cannot predict on a state with no running queries"
+        );
         let mut g = Graph::new();
         let scores = self.running_scores(&mut g, &self.store, obs);
         let position = g.value(scores).argmax();
@@ -188,9 +225,14 @@ impl SimulatorModel {
                         losses.push(clf);
                     }
                     if do_reg {
-                        let pred = self.finish_time_of(&mut g, &self.store, &s.obs, s.target_position);
+                        let pred =
+                            self.finish_time_of(&mut g, &self.store, &s.obs, s.target_position);
                         let reg_full = g.mse_loss(pred, &Tensor::scalar(s.target_time));
-                        let weight = if self.config.multitask { self.config.gamma } else { 1.0 };
+                        let weight = if self.config.multitask {
+                            self.config.gamma
+                        } else {
+                            1.0
+                        };
                         let reg = g.scale(reg_full, weight);
                         losses.push(reg);
                     }
@@ -231,7 +273,10 @@ impl SimulatorModel {
         if total == 0 {
             return SimulatorMetrics::default();
         }
-        SimulatorMetrics { accuracy: correct as f64 / total as f64, mse: se / total as f64 }
+        SimulatorMetrics {
+            accuracy: correct as f64 / total as f64,
+            mse: se / total as f64,
+        }
     }
 }
 
@@ -244,7 +289,9 @@ pub fn samples_from_history(
     plan_embs: &Tensor,
     config: &SimulatorConfig,
 ) -> Vec<SimSample> {
-    let scale = FeatureScale { time_scale: config.time_scale };
+    let scale = FeatureScale {
+        time_scale: config.time_scale,
+    };
     let mut samples = Vec::new();
     for episode in history.episodes() {
         let mut events: Vec<f64> = episode
@@ -290,31 +337,46 @@ pub fn samples_from_history(
                     }
                 })
                 .collect();
-            let state = SchedulingState { workload, now: t, queries: runtimes, free_connection: 0 };
+            let state = SchedulingState {
+                workload,
+                now: t,
+                queries: &runtimes,
+                free_connection: 0,
+            };
             let obs = EncodedObservation::from_state(&state, plan_embs, scale);
-            let Some(target_position) = obs.running.iter().position(|&q| q == earliest.query.0) else {
+            let Some(target_position) = obs.running.iter().position(|&q| q == earliest.query.0)
+            else {
                 continue;
             };
             let target_time = ((earliest.finished_at - t) / config.time_scale) as f32;
-            samples.push(SimSample { obs, target_position, target_time });
+            samples.push(SimSample {
+                obs,
+                target_position,
+                target_time,
+            });
         }
     }
     samples
 }
 
-/// The incremental simulator: a [`QueryExecutor`] backed by the learned
+/// The incremental simulator: an [`ExecutorBackend`] backed by the learned
 /// prediction model, so the RL scheduler can be pre-trained without touching
-/// the DBMS.
+/// the DBMS. The same event-driven surface the simulated DBMS exposes, so a
+/// [`bq_core::ScheduleSession`] drives both interchangeably.
 #[derive(Debug)]
 pub struct LearnedSimulator<'a> {
     model: &'a SimulatorModel,
     workload: &'a Workload,
     plan_embs: &'a Tensor,
     avg_times: Vec<f64>,
-    connections: usize,
     now: f64,
-    running: Vec<(QueryId, RunParams, f64, usize)>,
+    slots: Vec<ConnectionSlot>,
+    running_count: usize,
     finished: Vec<bool>,
+    /// Reusable per-query runtime buffer for building prediction states.
+    runtimes: Vec<QueryRuntime>,
+    completion_events: VecDeque<QueryCompletion>,
+    submitted_events: VecDeque<(QueryId, usize)>,
 }
 
 impl<'a> LearnedSimulator<'a> {
@@ -327,110 +389,193 @@ impl<'a> LearnedSimulator<'a> {
         connections: usize,
     ) -> Self {
         assert_eq!(avg_times.len(), workload.len());
+        let runtimes = avg_times
+            .iter()
+            .map(|&t| QueryRuntime::pending(t))
+            .collect();
         Self {
             model,
             workload,
             plan_embs,
             avg_times,
-            connections,
             now: 0.0,
-            running: Vec::new(),
+            slots: vec![ConnectionSlot::Free; connections],
+            running_count: 0,
             finished: vec![false; workload.len()],
+            runtimes,
+            completion_events: VecDeque::with_capacity(1),
+            submitted_events: VecDeque::with_capacity(connections),
         }
     }
 
-    fn current_state(&self) -> SchedulingState<'a> {
-        let runtimes: Vec<QueryRuntime> = (0..self.workload.len())
-            .map(|i| {
-                if self.finished[i] {
-                    QueryRuntime {
-                        status: QueryStatus::Finished,
-                        params: None,
-                        elapsed: 0.0,
-                        avg_exec_time: self.avg_times[i],
-                    }
-                } else if let Some((_, params, start, _)) =
-                    self.running.iter().find(|(q, _, _, _)| q.0 == i)
-                {
-                    QueryRuntime {
-                        status: QueryStatus::Running,
-                        params: Some(*params),
-                        elapsed: self.now - start,
-                        avg_exec_time: self.avg_times[i],
-                    }
-                } else {
-                    QueryRuntime::pending(self.avg_times[i])
+    /// Rebuild the runtime buffer to mirror the current simulator state.
+    fn refresh_runtimes(&mut self) {
+        for (i, rt) in self.runtimes.iter_mut().enumerate() {
+            *rt = if self.finished[i] {
+                QueryRuntime {
+                    status: QueryStatus::Finished,
+                    params: None,
+                    elapsed: 0.0,
+                    avg_exec_time: self.avg_times[i],
                 }
-            })
-            .collect();
-        SchedulingState {
+            } else {
+                QueryRuntime::pending(self.avg_times[i])
+            };
+        }
+        for slot in &self.slots {
+            if let ConnectionSlot::Busy {
+                query,
+                params,
+                started_at,
+            } = *slot
+            {
+                self.runtimes[query.0] = QueryRuntime {
+                    status: QueryStatus::Running,
+                    params: Some(params),
+                    elapsed: self.now - started_at,
+                    avg_exec_time: self.avg_times[query.0],
+                };
+            }
+        }
+    }
+
+    /// Predict the earliest finisher among the running queries, advance
+    /// virtual time to its completion and buffer the completion event.
+    fn advance_until_completion(&mut self) {
+        self.advance_bounded(f64::INFINITY);
+    }
+
+    /// Like [`LearnedSimulator::advance_until_completion`], but if the
+    /// predicted completion lies beyond `until`, only move the clock to
+    /// `until` and leave the query running (the next prediction sees the
+    /// larger elapsed times). This is what makes per-query timeouts land at
+    /// their deadline on the learned backend too.
+    fn advance_bounded(&mut self, until: f64) {
+        if self.running_count == 0 {
+            return;
+        }
+        self.refresh_runtimes();
+        let state = SchedulingState {
             workload: self.workload,
             now: self.now,
-            queries: runtimes,
+            queries: &self.runtimes,
             free_connection: 0,
+        };
+        let scale = FeatureScale {
+            time_scale: self.model.config.time_scale,
+        };
+        let obs = EncodedObservation::from_state(&state, self.plan_embs, scale);
+        let (position, norm_time) = self.model.predict(&obs);
+        // Map the predicted observation index back to a connection.
+        let predicted_query = obs.running[position];
+        let dt = (norm_time * self.model.config.time_scale).max(1e-3);
+        if self.now + dt > until {
+            // Deadline reached before the predicted completion.
+            self.now = until;
+            return;
         }
+        self.now += dt;
+        let connection = self
+            .slots
+            .iter()
+            .position(
+                |s| matches!(s, ConnectionSlot::Busy { query, .. } if query.0 == predicted_query),
+            )
+            .expect("predicted query must be running");
+        let ConnectionSlot::Busy {
+            query,
+            params,
+            started_at,
+        } = self.slots[connection]
+        else {
+            unreachable!("position() returned a busy slot");
+        };
+        self.slots[connection] = ConnectionSlot::Free;
+        self.running_count -= 1;
+        self.finished[query.0] = true;
+        self.completion_events.push_back(QueryCompletion {
+            query,
+            connection,
+            params,
+            started_at,
+            finished_at: self.now,
+        });
     }
 }
 
-impl QueryExecutor for LearnedSimulator<'_> {
-    fn connections(&self) -> usize {
-        self.connections
-    }
-
-    fn free_connections(&self) -> Vec<usize> {
-        (0..self.connections)
-            .filter(|c| !self.running.iter().any(|(_, _, _, conn)| conn == c))
-            .collect()
+impl ExecutorBackend for LearnedSimulator<'_> {
+    fn connections(&self) -> &[ConnectionSlot] {
+        &self.slots
     }
 
     fn now(&self) -> f64 {
         self.now
     }
 
-    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)> {
-        self.running
-            .iter()
-            .map(|(q, p, start, conn)| (*q, *p, self.now - start, *conn))
-            .collect()
-    }
-
-    fn submit(&mut self, query: QueryId, params: RunParams) -> usize {
-        let conn = *self
-            .free_connections()
-            .first()
-            .expect("simulator submit() with no free connection");
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+        assert!(
+            self.slots[connection].is_free(),
+            "simulator connection {connection} is busy"
+        );
         assert!(!self.finished[query.0], "query {query:?} already finished");
-        self.running.push((query, params, self.now, conn));
-        conn
+        self.slots[connection] = ConnectionSlot::Busy {
+            query,
+            params,
+            started_at: self.now,
+        };
+        self.running_count += 1;
+        self.submitted_events.push_back((query, connection));
     }
 
-    fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
-        if self.running.is_empty() {
-            return Vec::new();
+    fn poll_event(&mut self) -> ExecEvent {
+        if let Some((query, connection)) = self.submitted_events.pop_front() {
+            return ExecEvent::Submitted { query, connection };
         }
-        let state = self.current_state();
-        let scale = FeatureScale { time_scale: self.model.config.time_scale };
-        let obs = EncodedObservation::from_state(&state, self.plan_embs, scale);
-        let (position, norm_time) = self.model.predict(&obs);
-        // Map the predicted observation index back to our running list.
-        let predicted_query = obs.running[position];
-        let dt = (norm_time * self.model.config.time_scale).max(1e-3);
-        self.now += dt;
-        let idx = self
-            .running
-            .iter()
-            .position(|(q, _, _, _)| q.0 == predicted_query)
-            .expect("predicted query must be running");
-        let (query, params, started_at, connection) = self.running.remove(idx);
+        if self.completion_events.is_empty() {
+            self.advance_until_completion();
+        }
+        match self.completion_events.pop_front() {
+            Some(completion) => ExecEvent::Completed(completion),
+            None => ExecEvent::Idle,
+        }
+    }
+
+    fn events_pending(&self) -> bool {
+        !self.completion_events.is_empty() || !self.submitted_events.is_empty()
+    }
+
+    fn advance_to(&mut self, until: f64) {
+        if self.completion_events.is_empty() && until > self.now {
+            self.advance_bounded(until);
+        }
+    }
+
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        let ConnectionSlot::Busy {
+            query,
+            params,
+            started_at,
+        } = self.slots[connection]
+        else {
+            return None;
+        };
+        self.slots[connection] = ConnectionSlot::Free;
+        self.running_count -= 1;
         self.finished[query.0] = true;
-        vec![QueryCompletion { query, connection, params, started_at, finished_at: self.now }]
+        Some(QueryCompletion {
+            query,
+            connection,
+            params,
+            started_at,
+            finished_at: self.now,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bq_core::{collect_history, run_episode_on, FifoScheduler};
+    use bq_core::{collect_history, FifoScheduler, ScheduleSession};
     use bq_dbms::DbmsProfile;
     use bq_encoder::{PlanEncoder, PlanEncoderConfig};
     use bq_plan::{generate, Benchmark, WorkloadSpec};
@@ -439,7 +584,16 @@ mod tests {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let enc = PlanEncoder::new(&mut store, PlanEncoderConfig { dim: 32, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 }, &mut rng);
+        let enc = PlanEncoder::new(
+            &mut store,
+            PlanEncoderConfig {
+                dim: 32,
+                heads: 2,
+                blocks: 1,
+                tree_bias_per_hop: 0.5,
+            },
+            &mut rng,
+        );
         let embs = enc.embed_workload(&store, &w);
         let history = collect_history(&mut FifoScheduler::new(), &w, &DbmsProfile::dbms_x(), 2, 0);
         (w, embs, history)
@@ -447,7 +601,12 @@ mod tests {
 
     fn small_config() -> SimulatorConfig {
         SimulatorConfig {
-            encoder: StateEncoderConfig { plan_dim: 32, dim: 16, heads: 2, blocks: 1 },
+            encoder: StateEncoderConfig {
+                plan_dim: 32,
+                dim: 16,
+                heads: 2,
+                blocks: 1,
+            },
             use_attention: true,
             multitask: true,
             gamma: 0.1,
@@ -459,7 +618,11 @@ mod tests {
     fn history_yields_training_samples() {
         let (w, embs, history) = setup();
         let samples = samples_from_history(&w, &history, &embs, &small_config());
-        assert!(samples.len() > 20, "expected many samples, got {}", samples.len());
+        assert!(
+            samples.len() > 20,
+            "expected many samples, got {}",
+            samples.len()
+        );
         for s in &samples {
             assert!(s.target_position < s.obs.running.len());
             assert!(s.target_time >= 0.0);
@@ -481,10 +644,18 @@ mod tests {
             before.accuracy,
             after.accuracy
         );
-        assert!(after.mse < before.mse, "mse should drop: {} -> {}", before.mse, after.mse);
+        assert!(
+            after.mse < before.mse,
+            "mse should drop: {} -> {}",
+            before.mse,
+            after.mse
+        );
         // Better than chance on the earliest-finisher task.
-        let avg_running: f64 =
-            subset.iter().map(|s| s.obs.running.len() as f64).sum::<f64>() / subset.len() as f64;
+        let avg_running: f64 = subset
+            .iter()
+            .map(|s| s.obs.running.len() as f64)
+            .sum::<f64>()
+            / subset.len() as f64;
         assert!(
             after.accuracy > 1.2 / avg_running,
             "accuracy {} should beat chance 1/{}",
@@ -500,9 +671,15 @@ mod tests {
         let samples = samples_from_history(&w, &history, &embs, &config);
         let mut model = SimulatorModel::new(32, config, 2);
         model.train(&samples.into_iter().take(40).collect::<Vec<_>>(), 4, 0.01);
-        let avg: Vec<f64> = (0..w.len()).map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(1.0)).collect();
+        let avg: Vec<f64> = (0..w.len())
+            .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(1.0))
+            .collect();
         let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 8);
-        let log = run_episode_on(&mut FifoScheduler::new(), &w, &mut sim, Some(&history), bq_dbms::DbmsKind::X, 0);
+        let log = ScheduleSession::builder(&w)
+            .history(&history)
+            .dbms(bq_dbms::DbmsKind::X)
+            .build(&mut sim)
+            .run(&mut FifoScheduler::new());
         assert_eq!(log.len(), w.len());
         assert!(log.makespan() > 0.0);
         // Virtual time is monotone: every start precedes its finish.
@@ -514,7 +691,10 @@ mod tests {
     #[test]
     fn without_attention_model_still_trains() {
         let (w, embs, history) = setup();
-        let config = SimulatorConfig { use_attention: false, ..small_config() };
+        let config = SimulatorConfig {
+            use_attention: false,
+            ..small_config()
+        };
         let samples = samples_from_history(&w, &history, &embs, &config);
         let subset: Vec<SimSample> = samples.into_iter().take(40).collect();
         let mut model = SimulatorModel::new(32, config, 3);
@@ -526,7 +706,10 @@ mod tests {
     #[test]
     fn sequential_training_supported_for_mtl_ablation() {
         let (w, embs, history) = setup();
-        let config = SimulatorConfig { multitask: false, ..small_config() };
+        let config = SimulatorConfig {
+            multitask: false,
+            ..small_config()
+        };
         let samples = samples_from_history(&w, &history, &embs, &config);
         let subset: Vec<SimSample> = samples.into_iter().take(30).collect();
         let mut model = SimulatorModel::new(32, config, 4);

@@ -35,7 +35,12 @@ pub struct GanttChart {
 impl GanttChart {
     /// Build the chart from an episode log.
     pub fn from_log(log: &EpisodeLog) -> Self {
-        let max_conn = log.records.iter().map(|r| r.connection).max().map_or(0, |c| c + 1);
+        let max_conn = log
+            .records
+            .iter()
+            .map(|r| r.connection)
+            .max()
+            .map_or(0, |c| c + 1);
         let mut rows: Vec<Vec<GanttBar>> = vec![Vec::new(); max_conn];
         for r in &log.records {
             rows[r.connection].push(GanttBar {
@@ -49,7 +54,10 @@ impl GanttChart {
         for row in &mut rows {
             row.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         }
-        Self { rows, makespan: log.makespan() }
+        Self {
+            rows,
+            makespan: log.makespan(),
+        }
     }
 
     /// Number of connections with at least one bar.
@@ -99,7 +107,11 @@ impl GanttChart {
     /// "long-tail" queries the paper tries to schedule early.
     pub fn tail_queries(&self, fraction: f64) -> Vec<&GanttBar> {
         let threshold = self.makespan * (1.0 - fraction.clamp(0.0, 1.0));
-        self.rows.iter().flatten().filter(|b| b.end >= threshold).collect()
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|b| b.end >= threshold)
+            .collect()
     }
 }
 

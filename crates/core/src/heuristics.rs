@@ -20,7 +20,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Create a random scheduler with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -31,7 +33,10 @@ impl SchedulerPolicy for RandomScheduler {
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
         let pending = state.pending_queries();
-        assert!(!pending.is_empty(), "select() called with no pending queries");
+        assert!(
+            !pending.is_empty(),
+            "select() called with no pending queries"
+        );
         let pick = pending[self.rng.gen_range(0..pending.len())];
         Action::with_default_params(pick)
     }
@@ -106,7 +111,10 @@ impl SchedulerPolicy for McfScheduler {
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
         let pending = state.pending_queries();
-        assert!(!pending.is_empty(), "select() called with no pending queries");
+        assert!(
+            !pending.is_empty(),
+            "select() called with no pending queries"
+        );
         let pick = pending
             .into_iter()
             .max_by(|&a, &b| {
@@ -122,19 +130,28 @@ impl SchedulerPolicy for McfScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::log::ExecutionHistory;
+    use crate::log::{EpisodeLog, ExecutionHistory};
     use crate::metrics::evaluate_strategy;
-    use crate::runner::run_episode;
+    use crate::session::ScheduleSession;
     use crate::state::{QueryRuntime, QueryStatus};
     use bq_dbms::DbmsProfile;
     use bq_plan::{generate, Benchmark, WorkloadSpec};
+
+    fn run_round(
+        policy: &mut dyn SchedulerPolicy,
+        w: &Workload,
+        profile: &DbmsProfile,
+        seed: u64,
+    ) -> EpisodeLog {
+        ScheduleSession::builder(w).run_on_profile(profile, seed, policy)
+    }
 
     fn small_workload() -> Workload {
         generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
     }
 
-    fn state_with_pending<'a>(w: &'a Workload, pending: &[usize]) -> SchedulingState<'a> {
-        let queries = (0..w.len())
+    fn runtimes_with_pending(w: &Workload, pending: &[usize]) -> Vec<QueryRuntime> {
+        (0..w.len())
             .map(|i| {
                 let mut rt = QueryRuntime::pending(0.0);
                 if !pending.contains(&i) {
@@ -142,15 +159,24 @@ mod tests {
                 }
                 rt
             })
-            .collect();
-        SchedulingState { workload: w, now: 0.0, queries, free_connection: 0 }
+            .collect()
+    }
+
+    fn state_over<'a>(w: &'a Workload, queries: &'a [QueryRuntime]) -> SchedulingState<'a> {
+        SchedulingState {
+            workload: w,
+            now: 0.0,
+            queries,
+            free_connection: 0,
+        }
     }
 
     #[test]
     fn fifo_picks_lowest_pending_id() {
         let w = small_workload();
         let mut s = FifoScheduler::new();
-        let state = state_with_pending(&w, &[5, 3, 9]);
+        let queries = runtimes_with_pending(&w, &[5, 3, 9]);
+        let state = state_over(&w, &queries);
         assert_eq!(s.select(&state).query, QueryId(3));
     }
 
@@ -158,9 +184,12 @@ mod tests {
     fn mcf_picks_most_expensive_pending_query() {
         let w = small_workload();
         let mut s = McfScheduler::new();
-        let state = state_with_pending(&w, &[0, 1, 2, 3, 4]);
+        let queries = runtimes_with_pending(&w, &[0, 1, 2, 3, 4]);
+        let state = state_over(&w, &queries);
         let picked = s.select(&state).query;
-        let max_cost = (0..5).map(|i| w.query(QueryId(i)).plan.total_cost()).fold(0.0, f64::max);
+        let max_cost = (0..5)
+            .map(|i| w.query(QueryId(i)).plan.total_cost())
+            .fold(0.0, f64::max);
         assert!((w.query(picked).plan.total_cost() - max_cost).abs() < 1e-9);
     }
 
@@ -171,14 +200,16 @@ mod tests {
         let mut costs = vec![1.0; w.len()];
         costs[7] = 1e9;
         let mut s = McfScheduler::with_costs(costs);
-        let state = state_with_pending(&w, &[0, 3, 7, 9]);
+        let queries = runtimes_with_pending(&w, &[0, 3, 7, 9]);
+        let state = state_over(&w, &queries);
         assert_eq!(s.select(&state).query, QueryId(7));
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
         let w = small_workload();
-        let state = state_with_pending(&w, &(0..w.len()).collect::<Vec<_>>());
+        let queries = runtimes_with_pending(&w, &(0..w.len()).collect::<Vec<_>>());
+        let state = state_over(&w, &queries);
         let mut a = RandomScheduler::new(3);
         let mut b = RandomScheduler::new(3);
         let mut c = RandomScheduler::new(4);
@@ -200,7 +231,7 @@ mod tests {
         ]
         .iter_mut()
         {
-            let log = run_episode(policy.as_mut(), &w, &profile, None, 0);
+            let log = run_round(policy.as_mut(), &w, &profile, 0);
             assert_eq!(log.len(), w.len(), "{} dropped queries", policy.name());
         }
     }
@@ -215,16 +246,29 @@ mod tests {
             let mut h = ExecutionHistory::new();
             let mut fifo = FifoScheduler::new();
             for round in 0..2 {
-                h.push(run_episode(&mut fifo, &w, &profile, None, round));
+                h.push(run_round(&mut fifo, &w, &profile, round));
             }
             h
         };
         let costs: Vec<f64> = (0..w.len())
             .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(0.0))
             .collect();
-        let fifo_eval = evaluate_strategy(&mut FifoScheduler::new(), &w, &profile, Some(&history), 3, 100);
-        let mcf_eval =
-            evaluate_strategy(&mut McfScheduler::with_costs(costs), &w, &profile, Some(&history), 3, 100);
+        let fifo_eval = evaluate_strategy(
+            &mut FifoScheduler::new(),
+            &w,
+            &profile,
+            Some(&history),
+            3,
+            100,
+        );
+        let mcf_eval = evaluate_strategy(
+            &mut McfScheduler::with_costs(costs),
+            &w,
+            &profile,
+            Some(&history),
+            3,
+            100,
+        );
         assert!(
             mcf_eval.mean_makespan < fifo_eval.mean_makespan,
             "MCF {} should beat FIFO {}",

@@ -3,35 +3,49 @@
 //! The batch-query scheduling framework of the BQSched reproduction: the
 //! problem definition from §II of the paper turned into code.
 //!
+//! The single entry point is [`ScheduleSession`]: configure a round with the
+//! builder (workload, history, round label, per-query timeout, decision
+//! budget, completion hooks), attach any [`ExecutorBackend`] — the simulated
+//! DBMS, the learned incremental simulator, or a future real-DBMS adapter —
+//! and [`run`](ScheduleSession::run) it under a [`SchedulerPolicy`]:
+//!
+//! ```
+//! use bq_core::{FifoScheduler, ScheduleSession};
+//! use bq_dbms::{DbmsProfile, ExecutionEngine};
+//! use bq_plan::{generate, Benchmark, WorkloadSpec};
+//!
+//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+//! let profile = DbmsProfile::dbms_x();
+//! let mut engine = ExecutionEngine::new(profile.clone(), &workload, 0);
+//! let log = ScheduleSession::builder(&workload)
+//!     .dbms(profile.kind)
+//!     .round(0)
+//!     .build(&mut engine)
+//!     .run(&mut FifoScheduler::new());
+//! assert_eq!(log.len(), workload.len());
+//! assert!(log.makespan() > 0.0);
+//! ```
+//!
+//! The executor surface is event-driven and allocation-free: backends expose
+//! borrowed [`ConnectionSlot`] views and yield [`ExecEvent`]s one at a time,
+//! and the session owns the runtime arena that [`SchedulingState`] borrows —
+//! no per-decision cloning anywhere on the hot path.
+//!
+//! Module map:
+//!
+//! * [`session`] — the [`ScheduleSession`] builder/facade and its event loop;
+//! * [`scheduler`] — the [`SchedulerPolicy`] trait every strategy implements
+//!   and the [`ExecutorBackend`] abstraction over execution substrates;
 //! * [`state`] — what a scheduler observes ([`SchedulingState`]) and decides
 //!   ([`Action`]): the next pending query plus its running parameters;
-//! * [`scheduler`] — the [`SchedulerPolicy`] trait every strategy implements
-//!   and the [`QueryExecutor`] abstraction over the simulated DBMS / learned
-//!   simulator;
-//! * [`runner`] — the episode runner that keeps all `|C|` connections busy;
+//! * [`runner`] — deprecated `run_episode` / `run_episode_on` shims that pin
+//!   the legacy episode semantics on top of the session;
 //! * [`log`] — per-round execution logs and the accumulated
 //!   [`ExecutionHistory`] that feeds MCF, adaptive masking, gain clustering
 //!   and the incremental simulator;
 //! * [`metrics`] — the paper's `t̄_ov` / `σ_ov` evaluation protocol;
 //! * [`heuristics`] — Random, FIFO and MCF baselines;
 //! * [`gantt`] — Gantt-chart extraction for the Figure 9 case study.
-//!
-//! ```
-//! use bq_core::{evaluate_strategy, FifoScheduler};
-//! use bq_dbms::DbmsProfile;
-//! use bq_plan::{generate, Benchmark, WorkloadSpec};
-//!
-//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-//! let eval = evaluate_strategy(
-//!     &mut FifoScheduler::new(),
-//!     &workload,
-//!     &DbmsProfile::dbms_x(),
-//!     None,
-//!     2,
-//!     0,
-//! );
-//! assert!(eval.mean_makespan > 0.0);
-//! ```
 
 #![warn(missing_docs)]
 
@@ -41,12 +55,15 @@ pub mod log;
 pub mod metrics;
 pub mod runner;
 pub mod scheduler;
+pub mod session;
 pub mod state;
 
 pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
 pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
+#[allow(deprecated)]
 pub use runner::{run_episode, run_episode_on};
-pub use scheduler::{QueryExecutor, SchedulerPolicy};
+pub use scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy};
+pub use session::{CompletionHook, ScheduleSession, ScheduleSessionBuilder};
 pub use state::{Action, QueryRuntime, QueryStatus, SchedulingState};

@@ -4,9 +4,9 @@
 //! rounds of scheduling under identical settings: the average makespan
 //! `t̄_ov` (efficiency) and its standard deviation `σ_ov` (stability).
 
-use crate::log::{EpisodeLog, ExecutionHistory};
-use crate::runner::run_episode;
+use crate::log::ExecutionHistory;
 use crate::scheduler::SchedulerPolicy;
+use crate::session::ScheduleSession;
 use bq_dbms::DbmsProfile;
 use bq_plan::Workload;
 use serde::{Deserialize, Serialize};
@@ -29,7 +29,12 @@ impl StrategyEvaluation {
     pub fn from_makespans(strategy: impl Into<String>, makespans: Vec<f64>) -> Self {
         let mean = mean(&makespans);
         let std = std_dev(&makespans);
-        Self { strategy: strategy.into(), makespans, mean_makespan: mean, std_makespan: std }
+        Self {
+            strategy: strategy.into(),
+            makespans,
+            mean_makespan: mean,
+            std_makespan: std,
+        }
     }
 
     /// Relative improvement of this strategy over `other` in mean makespan
@@ -74,7 +79,10 @@ pub fn evaluate_strategy(
 ) -> StrategyEvaluation {
     let mut makespans = Vec::with_capacity(rounds as usize);
     for round in 0..rounds {
-        let log = run_episode(policy, workload, profile, history, seed_base + round);
+        let seed = seed_base + round;
+        let log = ScheduleSession::builder(workload)
+            .maybe_history(history)
+            .run_on_profile(profile, seed, policy);
         makespans.push(log.makespan());
     }
     StrategyEvaluation::from_makespans(policy.name().to_string(), makespans)
@@ -92,7 +100,8 @@ pub fn collect_history(
 ) -> ExecutionHistory {
     let mut history = ExecutionHistory::new();
     for round in 0..rounds {
-        let log: EpisodeLog = run_episode(policy, workload, profile, None, seed_base + round);
+        let seed = seed_base + round;
+        let log = ScheduleSession::builder(workload).run_on_profile(profile, seed, policy);
         history.push(log);
     }
     history

@@ -1,11 +1,14 @@
-//! The episode runner: keeps every connection busy, exactly as the paper's
-//! problem simplification prescribes ("we select and submit the next query to
-//! execute to connection c_i once the previous query on c_i finishes").
+//! Legacy episode runners, kept as thin shims over
+//! [`ScheduleSession`](crate::session::ScheduleSession).
+//!
+//! These pin the original episode semantics: for a fixed seed they produce
+//! byte-identical [`EpisodeLog`]s to a session configured the same way (the
+//! integration tests assert this). New code should use the session builder.
 
 use crate::log::{EpisodeLog, ExecutionHistory};
-use crate::scheduler::{QueryExecutor, SchedulerPolicy};
-use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
-use bq_dbms::{DbmsProfile, ExecutionEngine};
+use crate::scheduler::{ExecutorBackend, SchedulerPolicy};
+use crate::session::ScheduleSession;
+use bq_dbms::DbmsProfile;
 use bq_plan::Workload;
 
 /// Run one complete scheduling round of `workload` on `executor` under
@@ -14,7 +17,8 @@ use bq_plan::Workload;
 /// `history` (when available) provides the per-query average execution times
 /// that populate the `t̄_i` running-state feature and that heuristics such as
 /// MCF rely on.
-pub fn run_episode_on<E: QueryExecutor>(
+#[deprecated(note = "use ScheduleSession::builder(...) instead")]
+pub fn run_episode_on<E: ExecutorBackend>(
     policy: &mut dyn SchedulerPolicy,
     workload: &Workload,
     executor: &mut E,
@@ -22,73 +26,17 @@ pub fn run_episode_on<E: QueryExecutor>(
     dbms: bq_dbms::DbmsKind,
     round: u64,
 ) -> EpisodeLog {
-    let n = workload.len();
-    let mut log = EpisodeLog::new(dbms, policy.name().to_string(), round);
-    policy.begin_episode(workload);
-
-    let avg_times: Vec<f64> = (0..n)
-        .map(|i| history.and_then(|h| h.avg_exec_time(bq_plan::QueryId(i))).unwrap_or(0.0))
-        .collect();
-    let mut runtimes: Vec<QueryRuntime> =
-        avg_times.iter().map(|&t| QueryRuntime::pending(t)).collect();
-    let mut finished = 0usize;
-
-    while finished < n {
-        // Fill every free connection while pending queries remain.
-        loop {
-            let pending_left = runtimes.iter().any(|q| q.status == QueryStatus::Pending);
-            let free = executor.free_connections();
-            if !pending_left || free.is_empty() {
-                break;
-            }
-            // Refresh elapsed times for running queries.
-            let now = executor.now();
-            for (q, params, elapsed, _conn) in executor.running() {
-                let rt = &mut runtimes[q.0];
-                rt.status = QueryStatus::Running;
-                rt.params = Some(params);
-                rt.elapsed = elapsed;
-            }
-            let state = SchedulingState {
-                workload,
-                now,
-                queries: runtimes.clone(),
-                free_connection: free[0],
-            };
-            let action = policy.select(&state);
-            assert!(
-                runtimes[action.query.0].status == QueryStatus::Pending,
-                "policy {} selected non-pending query {:?}",
-                policy.name(),
-                action.query
-            );
-            executor.submit(action.query, action.params);
-            runtimes[action.query.0].status = QueryStatus::Running;
-            runtimes[action.query.0].params = Some(action.params);
-        }
-
-        // Advance to the next completion(s).
-        let completions = executor.step_until_completion();
-        assert!(
-            !completions.is_empty(),
-            "executor stalled with {finished}/{n} queries finished"
-        );
-        for c in completions {
-            let rt = &mut runtimes[c.query.0];
-            rt.status = QueryStatus::Finished;
-            rt.elapsed = c.finished_at - c.started_at;
-            finished += 1;
-            policy.observe_completion(&c);
-            log.push_completion(workload, &c);
-        }
-    }
-
-    policy.end_episode(&log);
-    log
+    ScheduleSession::builder(workload)
+        .maybe_history(history)
+        .dbms(dbms)
+        .round(round)
+        .build(executor)
+        .run(policy)
 }
 
 /// Convenience wrapper: run one round against a fresh simulated DBMS engine
 /// built from `profile`, using `seed` for the engine's execution noise.
+#[deprecated(note = "use ScheduleSession::builder(...) instead")]
 pub fn run_episode(
     policy: &mut dyn SchedulerPolicy,
     workload: &Workload,
@@ -96,14 +44,17 @@ pub fn run_episode(
     history: Option<&ExecutionHistory>,
     seed: u64,
 ) -> EpisodeLog {
-    let mut engine = ExecutionEngine::new(profile.clone(), workload, seed);
-    run_episode_on(policy, workload, &mut engine, history, profile.kind, seed)
+    ScheduleSession::builder(workload)
+        .maybe_history(history)
+        .run_on_profile(profile, seed, policy)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::heuristics::FifoScheduler;
+    use bq_dbms::DbmsProfile;
     use bq_plan::{generate, Benchmark, WorkloadSpec};
 
     #[test]
@@ -145,5 +96,23 @@ mod tests {
         let log2 = run_episode(&mut policy, &w, &profile, Some(&history), 1);
         assert_eq!(log2.len(), w.len());
         assert!(history.avg_exec_time(bq_plan::QueryId(0)).is_some());
+    }
+
+    #[test]
+    fn shim_is_byte_identical_to_session() {
+        use crate::session::ScheduleSession;
+        use bq_dbms::ExecutionEngine;
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        for seed in [0u64, 7, 42] {
+            let legacy = run_episode(&mut FifoScheduler::new(), &w, &profile, None, seed);
+            let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+            let session = ScheduleSession::builder(&w)
+                .dbms(profile.kind)
+                .round(seed)
+                .build(&mut engine)
+                .run(&mut FifoScheduler::new());
+            assert_eq!(legacy.to_json(), session.to_json(), "seed {seed}");
+        }
     }
 }

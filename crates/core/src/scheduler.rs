@@ -2,13 +2,17 @@
 //!
 //! [`SchedulerPolicy`] is the interface every strategy implements — the
 //! heuristics (Random/FIFO/MCF), the adapted LSched baseline and BQSched
-//! itself. [`QueryExecutor`] abstracts "the thing queries are submitted to":
-//! either the simulated DBMS ([`bq_dbms::ExecutionEngine`]) or BQSched's
-//! learned incremental simulator, so the same episode runner drives training
-//! on both (the paper's pre-train-on-simulator / fine-tune-on-DBMS paradigm).
+//! itself. [`ExecutorBackend`] abstracts "the thing queries are submitted to"
+//! as an event-driven, allocation-free surface: either the simulated DBMS
+//! ([`bq_dbms::ExecutionEngine`]), BQSched's learned incremental simulator,
+//! or a future real-DBMS adapter, so the same
+//! [`ScheduleSession`](crate::session::ScheduleSession) drives training on
+//! all of them (the paper's pre-train-on-simulator / fine-tune-on-DBMS
+//! paradigm, kept non-intrusive).
 
 use crate::log::EpisodeLog;
 use crate::state::{Action, SchedulingState};
+pub use bq_dbms::ConnectionSlot;
 use bq_dbms::{ExecutionEngine, QueryCompletion, RunParams};
 use bq_plan::{QueryId, Workload};
 
@@ -35,59 +39,172 @@ pub trait SchedulerPolicy {
     fn end_episode(&mut self, _log: &EpisodeLog) {}
 }
 
-/// The execution substrate a scheduling round runs against.
+/// One event observed on the executor surface.
+///
+/// Events are the only way information flows out of a backend while a
+/// session runs, which keeps the scheduler non-intrusive: it sees
+/// submissions being accepted and queries completing, never the executor's
+/// internal resource state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecEvent {
+    /// A submission was accepted onto a connection.
+    ///
+    /// For the in-process backends this is a synchronous echo the session
+    /// simply consumes; it exists so that real-DBMS / async adapters — where
+    /// acceptance is *not* synchronous with `submit` — fit the same event
+    /// model without an API change.
+    Submitted {
+        /// The accepted query.
+        query: QueryId,
+        /// Connection it was placed on.
+        connection: usize,
+    },
+    /// A query finished (possibly one of several at the same instant; the
+    /// rest stay buffered and are returned by subsequent polls without
+    /// advancing virtual time).
+    Completed(QueryCompletion),
+    /// Nothing is running and no event is buffered.
+    Idle,
+}
+
+/// Borrow-based view over the queries currently executing: iterates
+/// `(query, params, elapsed, connection)` without allocating.
+#[derive(Debug, Clone)]
+pub struct RunningView<'a> {
+    slots: &'a [ConnectionSlot],
+    now: f64,
+    next: usize,
+}
+
+impl<'a> RunningView<'a> {
+    /// Build a view over `slots` at virtual time `now`.
+    pub fn new(slots: &'a [ConnectionSlot], now: f64) -> Self {
+        Self {
+            slots,
+            now,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for RunningView<'_> {
+    type Item = (QueryId, RunParams, f64, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < self.slots.len() {
+            let connection = self.next;
+            self.next += 1;
+            if let ConnectionSlot::Busy {
+                query,
+                params,
+                started_at,
+            } = self.slots[connection]
+            {
+                return Some((query, params, self.now - started_at, connection));
+            }
+        }
+        None
+    }
+}
+
+/// The execution substrate a scheduling round runs against, as an
+/// event-driven surface.
 ///
 /// Both the simulated DBMS and the learned incremental simulator implement
 /// this; schedulers never know which one they are talking to, matching the
-/// paper's non-intrusive design.
-pub trait QueryExecutor {
-    /// Total number of client connections.
-    fn connections(&self) -> usize;
-
-    /// Connections currently free, ascending.
-    fn free_connections(&self) -> Vec<usize>;
+/// paper's non-intrusive design. The contract is allocation-free on the hot
+/// path: occupancy is exposed as a borrowed [`ConnectionSlot`] slice and
+/// completions are pulled one at a time via [`ExecutorBackend::poll_event`].
+pub trait ExecutorBackend {
+    /// Per-connection occupancy, indexed by connection id.
+    fn connections(&self) -> &[ConnectionSlot];
 
     /// Current virtual time.
     fn now(&self) -> f64;
 
-    /// Currently running queries as `(query, params, elapsed, connection)`.
-    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)>;
+    /// Submit a query to a specific free connection.
+    ///
+    /// # Panics
+    /// Implementations panic if the connection is busy or out of range.
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize);
 
-    /// Submit a query to the first free connection; returns the connection.
-    fn submit(&mut self, query: QueryId, params: RunParams) -> usize;
+    /// Return the next event: buffered events first (without advancing
+    /// virtual time), then — if queries are running — advance until at least
+    /// one completes. Returns [`ExecEvent::Idle`] when nothing is running and
+    /// nothing is buffered.
+    fn poll_event(&mut self) -> ExecEvent;
 
-    /// Advance until at least one query finishes; returns the completions
-    /// (empty if nothing was running).
-    fn step_until_completion(&mut self) -> Vec<QueryCompletion>;
-}
+    /// Whether buffered events exist, i.e. the next
+    /// [`ExecutorBackend::poll_event`] will not advance virtual time.
+    fn events_pending(&self) -> bool;
 
-impl QueryExecutor for ExecutionEngine {
-    fn connections(&self) -> usize {
-        self.profile().connections
+    /// Advance virtual time to at most `until` without requiring a
+    /// completion; completions occurring on the way are buffered as usual.
+    /// The session layer uses this to stop at per-query timeout deadlines.
+    /// Backends that cannot advance partially may leave this a no-op (the
+    /// default), in which case timeouts only fire at completion boundaries.
+    fn advance_to(&mut self, until: f64) {
+        let _ = until;
     }
 
-    fn free_connections(&self) -> Vec<usize> {
-        ExecutionEngine::free_connections(self)
+    /// Cancel the query on `connection` (per-query timeout support),
+    /// returning its partial completion stamped at the current virtual time.
+    /// Backends without cancellation return `None` (the default).
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        let _ = connection;
+        None
+    }
+
+    /// Total number of client connections.
+    fn connection_count(&self) -> usize {
+        self.connections().len()
+    }
+
+    /// Lowest-numbered free connection, if any.
+    fn first_free(&self) -> Option<usize> {
+        self.connections().iter().position(ConnectionSlot::is_free)
+    }
+
+    /// Allocation-free iterator over the currently running queries as
+    /// `(query, params, elapsed, connection)`.
+    fn running_view(&self) -> RunningView<'_> {
+        RunningView::new(self.connections(), self.now())
+    }
+}
+
+impl ExecutorBackend for ExecutionEngine {
+    fn connections(&self) -> &[ConnectionSlot] {
+        self.connection_slots()
     }
 
     fn now(&self) -> f64 {
         ExecutionEngine::now(self)
     }
 
-    fn running(&self) -> Vec<(QueryId, RunParams, f64, usize)> {
-        let now = ExecutionEngine::now(self);
-        ExecutionEngine::running(self)
-            .iter()
-            .map(|r| (r.query, r.params, now - r.started_at, r.connection))
-            .collect()
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+        self.submit_to(query, params, connection);
     }
 
-    fn submit(&mut self, query: QueryId, params: RunParams) -> usize {
-        ExecutionEngine::submit(self, query, params)
+    fn poll_event(&mut self) -> ExecEvent {
+        if let Some((query, connection)) = self.pop_submitted_event() {
+            return ExecEvent::Submitted { query, connection };
+        }
+        match self.pop_completion_event() {
+            Some(completion) => ExecEvent::Completed(completion),
+            None => ExecEvent::Idle,
+        }
     }
 
-    fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
-        ExecutionEngine::step_until_completion(self)
+    fn events_pending(&self) -> bool {
+        self.has_buffered_events()
+    }
+
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        self.cancel_connection(connection)
+    }
+
+    fn advance_to(&mut self, until: f64) {
+        ExecutionEngine::advance_to(self, until);
     }
 }
 
@@ -98,16 +215,59 @@ mod tests {
     use bq_plan::{generate, Benchmark, WorkloadSpec};
 
     #[test]
-    fn engine_implements_executor() {
+    fn engine_implements_backend() {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
         let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
-        let exec: &mut dyn QueryExecutor = &mut e;
-        assert_eq!(exec.connections(), 18);
-        assert_eq!(exec.free_connections().len(), 18);
-        exec.submit(QueryId(0), RunParams::default_config());
-        assert_eq!(exec.running().len(), 1);
-        let done = exec.step_until_completion();
-        assert_eq!(done.len(), 1);
+        let exec: &mut dyn ExecutorBackend = &mut e;
+        assert_eq!(exec.connection_count(), 18);
+        assert!(exec.connections().iter().all(ConnectionSlot::is_free));
+        assert_eq!(exec.first_free(), Some(0));
+
+        exec.submit(QueryId(0), RunParams::default_config(), 0);
+        assert_eq!(exec.running_view().count(), 1);
+        assert_eq!(exec.first_free(), Some(1));
+        assert!(exec.events_pending(), "submission echo must be buffered");
+        assert_eq!(
+            exec.poll_event(),
+            ExecEvent::Submitted {
+                query: QueryId(0),
+                connection: 0
+            }
+        );
+
+        match exec.poll_event() {
+            ExecEvent::Completed(c) => {
+                assert_eq!(c.query, QueryId(0));
+                assert!(c.finished_at > 0.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(exec.poll_event(), ExecEvent::Idle);
         assert!(exec.now() > 0.0);
+    }
+
+    #[test]
+    fn running_view_reports_elapsed_times() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        ExecutorBackend::submit(&mut e, QueryId(0), RunParams::default_config(), 3);
+        let view: Vec<_> = e.running_view().collect();
+        assert_eq!(view.len(), 1);
+        let (q, _, elapsed, conn) = view[0];
+        assert_eq!(q, QueryId(0));
+        assert_eq!(conn, 3);
+        assert_eq!(elapsed, 0.0);
+    }
+
+    #[test]
+    fn cancel_frees_the_connection() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        ExecutorBackend::submit(&mut e, QueryId(2), RunParams::default_config(), 0);
+        let c = ExecutorBackend::cancel(&mut e, 0).expect("query was running");
+        assert_eq!(c.query, QueryId(2));
+        assert_eq!(c.finished_at, c.started_at, "cancelled immediately");
+        assert!(e.connections()[0].is_free());
+        assert!(ExecutorBackend::cancel(&mut e, 0).is_none());
     }
 }

@@ -1,0 +1,583 @@
+//! The [`ScheduleSession`] facade: one entry point for running a scheduling
+//! round against any [`ExecutorBackend`].
+//!
+//! A session owns the per-query runtime arena and drives the event loop that
+//! the paper's problem simplification prescribes ("we select and submit the
+//! next query to execute to connection c_i once the previous query on c_i
+//! finishes"): fill every free connection while queries pend, then consume
+//! executor events until the next completion(s), repeat. The hot loop is
+//! allocation-free — [`SchedulingState`] borrows the arena instead of being
+//! cloned per decision, and connection occupancy is read from the backend's
+//! borrowed [`ConnectionSlot`] slice.
+//!
+//! ```
+//! use bq_core::{FifoScheduler, ScheduleSession};
+//! use bq_dbms::{DbmsProfile, ExecutionEngine};
+//! use bq_plan::{generate, Benchmark, WorkloadSpec};
+//!
+//! let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+//! let profile = DbmsProfile::dbms_x();
+//! let mut engine = ExecutionEngine::new(profile.clone(), &workload, 0);
+//! let log = ScheduleSession::builder(&workload)
+//!     .dbms(profile.kind)
+//!     .round(0)
+//!     .build(&mut engine)
+//!     .run(&mut FifoScheduler::new());
+//! assert_eq!(log.len(), workload.len());
+//! ```
+
+use crate::log::{EpisodeLog, ExecutionHistory};
+use crate::scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, SchedulerPolicy};
+use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
+use bq_dbms::{DbmsKind, QueryCompletion};
+use bq_plan::Workload;
+
+/// Callback invoked on every completion (including timeout cancellations).
+pub type CompletionHook<'a> = Box<dyn FnMut(&QueryCompletion) + 'a>;
+
+/// Tolerance when comparing virtual-time instants (deadline arithmetic).
+const TIME_EPS: f64 = 1e-9;
+
+/// Configures and builds a [`ScheduleSession`].
+///
+/// Collapses the positional-argument episode runners into one readable entry
+/// point: workload, backend, history, round label, decision budget and
+/// per-query timeout hooks all live here.
+pub struct ScheduleSessionBuilder<'a> {
+    workload: &'a Workload,
+    history: Option<&'a ExecutionHistory>,
+    dbms: Option<DbmsKind>,
+    round: Option<u64>,
+    query_timeout: Option<f64>,
+    decision_budget: Option<usize>,
+    on_completion: Option<CompletionHook<'a>>,
+}
+
+impl<'a> ScheduleSessionBuilder<'a> {
+    fn new(workload: &'a Workload) -> Self {
+        Self {
+            workload,
+            history: None,
+            dbms: None,
+            round: None,
+            query_timeout: None,
+            decision_budget: None,
+            on_completion: None,
+        }
+    }
+
+    /// Use `history` to populate the per-query average execution times that
+    /// feed the `t̄_i` running-state feature and cost-based heuristics.
+    pub fn history(mut self, history: &'a ExecutionHistory) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Like [`ScheduleSessionBuilder::history`], but accepts an `Option`
+    /// (convenient when threading history through generic call sites).
+    pub fn maybe_history(mut self, history: Option<&'a ExecutionHistory>) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Label the episode log with the DBMS the round ran on (default: X).
+    pub fn dbms(mut self, dbms: DbmsKind) -> Self {
+        self.dbms = Some(dbms);
+        self
+    }
+
+    /// Round index recorded in the episode log (default: 0).
+    pub fn round(mut self, round: u64) -> Self {
+        self.round = Some(round);
+        self
+    }
+
+    /// Cancel any query whose elapsed execution reaches `seconds` (virtual
+    /// time). The session bounds time advancement by the earliest deadline
+    /// (via [`crate::scheduler::ExecutorBackend::advance_to`]), so the
+    /// cancellation lands at the deadline itself; the partial execution is
+    /// logged as a completion at that instant. Backends without cancellation
+    /// support ignore the timeout.
+    pub fn query_timeout(mut self, seconds: f64) -> Self {
+        self.query_timeout = Some(seconds);
+        self
+    }
+
+    /// Guardrail for runaway policies: the session panics if it is asked for
+    /// more than `max` scheduling decisions in one round (a correct policy
+    /// needs exactly one decision per query).
+    pub fn decision_budget(mut self, max: usize) -> Self {
+        self.decision_budget = Some(max);
+        self
+    }
+
+    /// Invoke `hook` on every completion, after the log records it.
+    pub fn on_completion(mut self, hook: impl FnMut(&QueryCompletion) + 'a) -> Self {
+        self.on_completion = Some(Box::new(hook));
+        self
+    }
+
+    /// The common "one round on a fresh simulated DBMS" shape: build an
+    /// [`ExecutionEngine`](bq_dbms::ExecutionEngine) from `profile` seeded
+    /// with `seed` and run `policy` to completion. Unless the caller set
+    /// them explicitly, the log is labeled with `profile.kind` and
+    /// `round(seed)`.
+    pub fn run_on_profile(
+        mut self,
+        profile: &bq_dbms::DbmsProfile,
+        seed: u64,
+        policy: &mut dyn SchedulerPolicy,
+    ) -> EpisodeLog {
+        let mut engine = bq_dbms::ExecutionEngine::new(profile.clone(), self.workload, seed);
+        self.dbms = Some(self.dbms.unwrap_or(profile.kind));
+        self.round = Some(self.round.unwrap_or(seed));
+        self.build(&mut engine).run(policy)
+    }
+
+    /// Attach the executor backend and finish building.
+    pub fn build<E: ExecutorBackend>(self, backend: &'a mut E) -> ScheduleSession<'a, E> {
+        let n = self.workload.len();
+        let runtimes = (0..n)
+            .map(|i| {
+                let avg = self
+                    .history
+                    .and_then(|h| h.avg_exec_time(bq_plan::QueryId(i)))
+                    .unwrap_or(0.0);
+                QueryRuntime::pending(avg)
+            })
+            .collect();
+        ScheduleSession {
+            workload: self.workload,
+            dbms: self.dbms.unwrap_or(DbmsKind::X),
+            round: self.round.unwrap_or(0),
+            query_timeout: self.query_timeout,
+            decision_budget: self.decision_budget,
+            on_completion: self.on_completion,
+            backend,
+            runtimes,
+            finished: 0,
+            decisions: 0,
+        }
+    }
+}
+
+/// One scheduling round bound to a backend, ready to [`ScheduleSession::run`].
+pub struct ScheduleSession<'a, E> {
+    workload: &'a Workload,
+    dbms: DbmsKind,
+    round: u64,
+    query_timeout: Option<f64>,
+    decision_budget: Option<usize>,
+    on_completion: Option<CompletionHook<'a>>,
+    backend: &'a mut E,
+    /// Session-owned runtime arena; [`SchedulingState`] borrows it.
+    runtimes: Vec<QueryRuntime>,
+    finished: usize,
+    decisions: usize,
+}
+
+impl<'a> ScheduleSession<'a, ()> {
+    /// Start configuring a session for `workload`.
+    ///
+    /// (`()` is a type-level "no backend yet" placeholder; the concrete
+    /// backend is attached by [`ScheduleSessionBuilder::build`].)
+    pub fn builder(workload: &Workload) -> ScheduleSessionBuilder<'_> {
+        ScheduleSessionBuilder::new(workload)
+    }
+}
+
+impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
+    /// Run the round to completion and return its episode log.
+    pub fn run(mut self, policy: &mut dyn SchedulerPolicy) -> EpisodeLog {
+        let n = self.workload.len();
+        let mut log = EpisodeLog::new(self.dbms, policy.name().to_string(), self.round);
+        policy.begin_episode(self.workload);
+
+        while self.finished < n {
+            // Apply buffered completions (e.g. produced by a bounded advance
+            // on the previous iteration) BEFORE any refill, so the policy
+            // never selects on a stale arena and simultaneous completions
+            // are processed as one batch — exactly the legacy semantics.
+            self.drain_buffered_events(policy, &mut log);
+            if self.finished >= n {
+                break;
+            }
+
+            self.fill_free_connections(policy);
+            // Consume the fill's submission echoes (no time advance).
+            if self.drain_buffered_events(policy, &mut log) {
+                continue; // a backend completed instantly: refill first
+            }
+
+            // Per-query timeouts: bound the next advance by the earliest
+            // deadline so the cancel fires at (not long after) the deadline —
+            // even when the next natural completion lies far beyond it.
+            if let Some(timeout) = self.query_timeout {
+                if let Some(deadline) = self.earliest_deadline(timeout) {
+                    if deadline > self.backend.now() + TIME_EPS {
+                        self.backend.advance_to(deadline);
+                        if self.backend.events_pending() {
+                            continue; // natural completions arrived first
+                        }
+                    }
+                    if self.cancel_timed_out(policy, &mut log) > 0 {
+                        continue;
+                    }
+                }
+            }
+
+            // Advance to the next natural completion and apply, with its
+            // simultaneous batch, before refilling.
+            match self.backend.poll_event() {
+                ExecEvent::Completed(c) => {
+                    self.apply_completion(c, policy, &mut log);
+                    self.drain_buffered_events(policy, &mut log);
+                }
+                ExecEvent::Submitted { .. } => {}
+                ExecEvent::Idle => panic!(
+                    "executor stalled with {}/{} queries finished",
+                    self.finished, n
+                ),
+            }
+        }
+
+        policy.end_episode(&log);
+        log
+    }
+
+    /// Pop every buffered event (no virtual-time advance); returns whether
+    /// any completion was applied.
+    fn drain_buffered_events(
+        &mut self,
+        policy: &mut dyn SchedulerPolicy,
+        log: &mut EpisodeLog,
+    ) -> bool {
+        let mut completed = false;
+        while self.backend.events_pending() {
+            match self.backend.poll_event() {
+                ExecEvent::Submitted { .. } => {}
+                ExecEvent::Completed(c) => {
+                    completed = true;
+                    self.apply_completion(c, policy, log);
+                }
+                ExecEvent::Idle => break,
+            }
+        }
+        completed
+    }
+
+    /// Earliest `started_at + timeout` over the busy connections.
+    fn earliest_deadline(&self, timeout: f64) -> Option<f64> {
+        self.backend
+            .connections()
+            .iter()
+            .filter_map(|slot| match slot {
+                ConnectionSlot::Busy { started_at, .. } => Some(started_at + timeout),
+                ConnectionSlot::Free => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
+    }
+
+    /// Submit to every free connection while pending queries remain,
+    /// refreshing the runtime arena before each decision. Zero heap
+    /// allocations per iteration.
+    fn fill_free_connections(&mut self, policy: &mut dyn SchedulerPolicy) {
+        loop {
+            let pending_left = self
+                .runtimes
+                .iter()
+                .any(|q| q.status == QueryStatus::Pending);
+            if !pending_left {
+                break;
+            }
+            let Some(free) = self.backend.first_free() else {
+                break;
+            };
+
+            // Refresh elapsed times for running queries.
+            let now = self.backend.now();
+            for (q, params, elapsed, _conn) in self.backend.running_view() {
+                let rt = &mut self.runtimes[q.0];
+                rt.status = QueryStatus::Running;
+                rt.params = Some(params);
+                rt.elapsed = elapsed;
+            }
+
+            let state = SchedulingState {
+                workload: self.workload,
+                now,
+                queries: &self.runtimes,
+                free_connection: free,
+            };
+            let action = policy.select(&state);
+            assert!(
+                self.runtimes[action.query.0].status == QueryStatus::Pending,
+                "policy {} selected non-pending query {:?}",
+                policy.name(),
+                action.query
+            );
+            // Enforce the budget BEFORE submitting, so an over-budget action
+            // is never launched on the backend (which may be a real DBMS).
+            self.decisions += 1;
+            if let Some(budget) = self.decision_budget {
+                assert!(
+                    self.decisions <= budget,
+                    "decision budget exhausted: {} decisions for {} queries",
+                    self.decisions,
+                    self.workload.len()
+                );
+            }
+            self.backend.submit(action.query, action.params, free);
+            self.runtimes[action.query.0].status = QueryStatus::Running;
+            self.runtimes[action.query.0].params = Some(action.params);
+        }
+    }
+
+    fn apply_completion(
+        &mut self,
+        completion: QueryCompletion,
+        policy: &mut dyn SchedulerPolicy,
+        log: &mut EpisodeLog,
+    ) {
+        let rt = &mut self.runtimes[completion.query.0];
+        rt.status = QueryStatus::Finished;
+        rt.elapsed = completion.finished_at - completion.started_at;
+        self.finished += 1;
+        policy.observe_completion(&completion);
+        log.push_completion(self.workload, &completion);
+        if let Some(hook) = self.on_completion.as_mut() {
+            hook(&completion);
+        }
+    }
+
+    /// Cancel queries whose elapsed time has reached the configured timeout;
+    /// returns how many were cancelled.
+    fn cancel_timed_out(
+        &mut self,
+        policy: &mut dyn SchedulerPolicy,
+        log: &mut EpisodeLog,
+    ) -> usize {
+        let timeout = self.query_timeout.expect("checked by caller");
+        let now = self.backend.now();
+        let mut cancelled = 0;
+        for conn in 0..self.backend.connection_count() {
+            let slot = self.backend.connections()[conn];
+            if let ConnectionSlot::Busy { started_at, .. } = slot {
+                if now - started_at >= timeout - TIME_EPS {
+                    if let Some(c) = self.backend.cancel(conn) {
+                        self.apply_completion(c, policy, log);
+                        cancelled += 1;
+                    }
+                }
+            }
+        }
+        cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::FifoScheduler;
+    use crate::state::Action;
+    use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
+    use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
+
+    #[test]
+    fn session_completes_every_query_exactly_once() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+        let log = ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(log.len(), w.len());
+        let mut seen = vec![false; w.len()];
+        for r in &log.records {
+            assert!(!seen[r.query.0], "query {:?} completed twice", r.query);
+            seen[r.query.0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn completion_hook_sees_every_completion() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0);
+        let mut observed = 0usize;
+        let log = ScheduleSession::builder(&w)
+            .on_completion(|_c| observed += 1)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(observed, log.len());
+    }
+
+    #[test]
+    fn decision_budget_counts_one_decision_per_query() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0);
+        let session = ScheduleSession::builder(&w)
+            .decision_budget(w.len())
+            .build(&mut engine);
+        let log = session.run(&mut FifoScheduler::new());
+        assert_eq!(log.len(), w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "decision budget exhausted")]
+    fn decision_budget_trips_on_overrun() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0);
+        ScheduleSession::builder(&w)
+            .decision_budget(2)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+    }
+
+    #[test]
+    fn query_timeout_cancels_long_runners() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        // Establish the untimed duration distribution first.
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+        let base = ScheduleSession::builder(&w)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        let max_duration = base
+            .records
+            .iter()
+            .map(|r| r.duration())
+            .fold(0.0, f64::max);
+        let timeout = max_duration / 2.0;
+
+        let mut engine = ExecutionEngine::new(profile, &w, 0);
+        let log = ScheduleSession::builder(&w)
+            .query_timeout(timeout)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        // Every query still completes exactly once, no logged duration
+        // exceeds the deadline (the session advances time at most to the
+        // earliest deadline before cancelling), and at least one query was
+        // actually cancelled at the deadline.
+        assert_eq!(log.len(), w.len());
+        let max_logged = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
+        assert!(
+            max_logged <= timeout + 1e-6,
+            "duration {max_logged} overshot the {timeout}s timeout"
+        );
+        assert!(
+            log.records
+                .iter()
+                .any(|r| (r.duration() - timeout).abs() < 1e-6),
+            "at least one query should be clipped exactly at the deadline"
+        );
+        assert!(log.makespan() <= base.makespan());
+    }
+
+    #[test]
+    fn run_on_profile_respects_explicit_labels() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        // Defaults come from the profile and seed...
+        let log =
+            ScheduleSession::builder(&w).run_on_profile(&profile, 3, &mut FifoScheduler::new());
+        assert_eq!(log.dbms, profile.kind);
+        assert_eq!(log.round, 3);
+        // ...but explicit labels win.
+        let log = ScheduleSession::builder(&w)
+            .dbms(bq_dbms::DbmsKind::Z)
+            .round(7)
+            .run_on_profile(&profile, 3, &mut FifoScheduler::new());
+        assert_eq!(log.dbms, bq_dbms::DbmsKind::Z);
+        assert_eq!(log.round, 7);
+    }
+
+    #[test]
+    fn generous_timeout_is_a_no_op() {
+        // A timeout no query ever reaches must not perturb the episode at
+        // all — same completions, same ordering, byte-identical log. This
+        // pins the event ordering of the bounded-advance path: completions
+        // buffered by `advance_to` are applied before any refill.
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let mut a = ExecutionEngine::new(profile.clone(), &w, 5);
+        let untimed = ScheduleSession::builder(&w)
+            .build(&mut a)
+            .run(&mut FifoScheduler::new());
+        let mut b = ExecutionEngine::new(profile, &w, 5);
+        let timed = ScheduleSession::builder(&w)
+            .query_timeout(1e9)
+            .build(&mut b)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(untimed.to_json(), timed.to_json());
+    }
+
+    #[test]
+    fn sole_running_query_is_still_cancelled_at_its_deadline() {
+        // Regression: a timeout must clip the tail query even when it is the
+        // only one left running (no natural completion event before its
+        // deadline).
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let w = w.subset(&[0]);
+        let profile = DbmsProfile::dbms_x();
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+        let natural = ScheduleSession::builder(&w)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new())
+            .makespan();
+
+        let timeout = natural / 3.0;
+        let mut engine = ExecutionEngine::new(profile, &w, 0);
+        let log = ScheduleSession::builder(&w)
+            .query_timeout(timeout)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(log.len(), 1);
+        assert!(
+            (log.records[0].duration() - timeout).abs() < 1e-6,
+            "sole runner should be cancelled at its deadline: duration {} vs timeout {timeout}",
+            log.records[0].duration()
+        );
+    }
+
+    /// A policy whose `select` allocates nothing — used to pin the
+    /// allocation-free contract of the session's fill loop.
+    pub(crate) struct FirstPendingNoAlloc;
+
+    impl SchedulerPolicy for FirstPendingNoAlloc {
+        fn name(&self) -> &str {
+            "FirstPendingNoAlloc"
+        }
+
+        fn select(&mut self, state: &SchedulingState<'_>) -> Action {
+            let pick = state
+                .queries
+                .iter()
+                .position(|q| q.status == QueryStatus::Pending)
+                .expect("select() called with no pending queries");
+            Action {
+                query: QueryId(pick),
+                params: RunParams::default_config(),
+            }
+        }
+    }
+
+    #[test]
+    fn no_alloc_policy_matches_fifo_schedule() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let mut a = ExecutionEngine::new(profile.clone(), &w, 3);
+        let mut b = ExecutionEngine::new(profile, &w, 3);
+        let la = ScheduleSession::builder(&w)
+            .build(&mut a)
+            .run(&mut FifoScheduler::new());
+        let lb = ScheduleSession::builder(&w)
+            .build(&mut b)
+            .run(&mut FirstPendingNoAlloc);
+        let ja = la.to_json();
+        // Only the strategy name differs.
+        let jb = lb.to_json().replace("FirstPendingNoAlloc", "FIFO");
+        assert_eq!(ja, jb);
+    }
+}

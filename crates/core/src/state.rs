@@ -51,19 +51,29 @@ pub struct QueryRuntime {
 impl QueryRuntime {
     /// A fresh pending entry with a known historical average.
     pub fn pending(avg_exec_time: f64) -> Self {
-        Self { status: QueryStatus::Pending, params: None, elapsed: 0.0, avg_exec_time }
+        Self {
+            status: QueryStatus::Pending,
+            params: None,
+            elapsed: 0.0,
+            avg_exec_time,
+        }
     }
 }
 
 /// The observation a scheduler receives when asked for its next action.
-#[derive(Debug, Clone)]
+///
+/// This is a *borrowed view*: the per-query runtimes live in an arena owned
+/// by the driving [`ScheduleSession`](crate::session::ScheduleSession) (or
+/// whoever builds the state) and are lent to the policy for the duration of
+/// one `select()` call, so constructing a state allocates nothing.
+#[derive(Debug, Clone, Copy)]
 pub struct SchedulingState<'a> {
     /// The batch query set being scheduled (plans + profiles).
     pub workload: &'a Workload,
     /// Current virtual time.
     pub now: f64,
     /// Runtime info per query, indexed by `QueryId.0`.
-    pub queries: Vec<QueryRuntime>,
+    pub queries: &'a [QueryRuntime],
     /// The connection that is free and waiting for a query.
     pub free_connection: usize,
 }
@@ -91,7 +101,10 @@ impl<'a> SchedulingState<'a> {
 
     /// Number of finished queries.
     pub fn finished_count(&self) -> usize {
-        self.queries.iter().filter(|q| q.status == QueryStatus::Finished).count()
+        self.queries
+            .iter()
+            .filter(|q| q.status == QueryStatus::Finished)
+            .count()
     }
 
     /// Whether every query has finished.
@@ -113,7 +126,10 @@ pub struct Action {
 impl Action {
     /// Convenience constructor using the default parameter configuration.
     pub fn with_default_params(query: QueryId) -> Self {
-        Self { query, params: RunParams::default_config() }
+        Self {
+            query,
+            params: RunParams::default_config(),
+        }
     }
 }
 
@@ -132,10 +148,16 @@ mod tests {
     #[test]
     fn state_partitions_queries_by_status() {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-        let mut queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        let mut queries: Vec<QueryRuntime> =
+            (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
         queries[0].status = QueryStatus::Running;
         queries[1].status = QueryStatus::Finished;
-        let state = SchedulingState { workload: &w, now: 5.0, queries, free_connection: 0 };
+        let state = SchedulingState {
+            workload: &w,
+            now: 5.0,
+            queries: &queries,
+            free_connection: 0,
+        };
         assert_eq!(state.pending_queries().len(), w.len() - 2);
         assert_eq!(state.running_queries(), vec![QueryId(0)]);
         assert_eq!(state.finished_count(), 1);

@@ -1,0 +1,102 @@
+//! Pins the allocation contract of the session hot loop: running an episode
+//! performs no per-fill-iteration heap allocations. The legacy runner cloned
+//! the whole runtime vector per `select()` call and rebuilt free-connection /
+//! running vectors inside the fill loop, which cost several allocations per
+//! decision *and* per fill iteration; the session's borrowed views reduce the
+//! episode to O(completions) allocations (log records and their name strings).
+
+use bq_core::{Action, QueryStatus, ScheduleSession, SchedulerPolicy, SchedulingState};
+use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
+use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A policy whose `select` allocates nothing, so the measurement isolates the
+/// session + engine hot loop.
+struct FirstPending;
+
+impl SchedulerPolicy for FirstPending {
+    fn name(&self) -> &str {
+        "FirstPending"
+    }
+
+    fn select(&mut self, state: &SchedulingState<'_>) -> Action {
+        let pick = state
+            .queries
+            .iter()
+            .position(|q| q.status == QueryStatus::Pending)
+            .expect("no pending query");
+        Action {
+            query: QueryId(pick),
+            params: RunParams::default_config(),
+        }
+    }
+}
+
+#[test]
+fn session_episode_allocations_scale_with_completions_not_decisions() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let n = w.len() as u64;
+
+    // Warm-up run: lets the engine's reusable scratch buffers and event
+    // queues reach their steady-state capacity profile.
+    {
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+        let log = ScheduleSession::builder(&w)
+            .build(&mut engine)
+            .run(&mut FirstPending);
+        assert_eq!(log.len(), w.len());
+    }
+
+    // Measured run: engine construction excluded, episode included.
+    let mut engine = ExecutionEngine::new(profile.clone(), &w, 1);
+    let session = ScheduleSession::builder(&w).build(&mut engine);
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let log = session.run(&mut FirstPending);
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(log.len(), w.len());
+    // Budget: the remaining allocations are the episode log (one record plus
+    // one name string per completion, amortized vector growth), engine
+    // scratch growth on first use, and the policy-name string — nothing
+    // proportional to decisions x connections. The legacy runner needed
+    // >5 allocations per decision (runtime-arena clone + free/running vecs),
+    // i.e. >5n even before log records; stay well under that.
+    let budget = 4 * n + 32;
+    assert!(
+        allocs <= budget,
+        "session episode allocated {allocs} times for {n} queries (budget {budget}); \
+         the hot loop is no longer allocation-free"
+    );
+}

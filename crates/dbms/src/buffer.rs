@@ -22,7 +22,10 @@ impl BufferPool {
     /// Create an empty (cold) buffer pool with the given capacity.
     pub fn new(capacity_pages: f64) -> Self {
         assert!(capacity_pages > 0.0, "buffer capacity must be positive");
-        Self { capacity_pages, entries: Vec::new() }
+        Self {
+            capacity_pages,
+            entries: Vec::new(),
+        }
     }
 
     /// Total capacity in pages.
@@ -37,7 +40,11 @@ impl BufferPool {
 
     /// Pages of `table` currently resident.
     pub fn cached_pages(&self, table: TableId) -> f64 {
-        self.entries.iter().find(|(t, _)| *t == table).map(|(_, p)| *p).unwrap_or(0.0)
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == table)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
     }
 
     /// Fraction of a read of `needed_pages` from `table` that would be served

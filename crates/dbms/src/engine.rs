@@ -21,6 +21,7 @@ use bq_plan::{QueryId, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Static resource demand of one query, captured at engine construction.
 #[derive(Debug, Clone)]
@@ -60,9 +61,33 @@ impl RunningQuery {
     }
 }
 
+/// Occupancy of one client connection, exposed as a borrow-based view so
+/// schedulers can inspect the executor without per-decision allocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConnectionSlot {
+    /// No query assigned; ready for a submission.
+    Free,
+    /// A query is executing on this connection.
+    Busy {
+        /// The running query.
+        query: QueryId,
+        /// Parameters it was submitted with.
+        params: RunParams,
+        /// Virtual time at which it was submitted.
+        started_at: f64,
+    },
+}
+
+impl ConnectionSlot {
+    /// Whether the slot has no query assigned.
+    pub fn is_free(&self) -> bool {
+        matches!(self, ConnectionSlot::Free)
+    }
+}
+
 /// Completion record returned by the engine — the only feedback a
 /// non-intrusive scheduler receives.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryCompletion {
     /// The finished query.
     pub query: QueryId,
@@ -93,6 +118,24 @@ pub struct ExecutionEngine {
     now: f64,
     rng: StdRng,
     completed: usize,
+    slots: Vec<ConnectionSlot>,
+    completion_events: VecDeque<QueryCompletion>,
+    submitted_events: VecDeque<(QueryId, usize)>,
+    scratch: RateScratch,
+}
+
+/// Reusable buffers for the rate computation, so advancing virtual time does
+/// not allocate on every event-loop iteration.
+#[derive(Debug, Default)]
+struct RateScratch {
+    rates: Vec<(f64, f64)>,
+    node_members: Vec<usize>,
+    cpu_active: Vec<usize>,
+    caps: Vec<f64>,
+    granted: Vec<f64>,
+    open: Vec<usize>,
+    still_open: Vec<usize>,
+    io_active: Vec<usize>,
 }
 
 /// Spilled bytes are written and re-read, so each spilled page costs two I/Os.
@@ -118,7 +161,11 @@ impl ExecutionEngine {
                 memory_pages: q.profile.memory_pages,
             })
             .collect();
-        let buffers = (0..profile.nodes).map(|_| BufferPool::new(profile.buffer_pages)).collect();
+        let buffers = (0..profile.nodes)
+            .map(|_| BufferPool::new(profile.buffer_pages))
+            .collect();
+        let slots = vec![ConnectionSlot::Free; profile.connections];
+        let connections = profile.connections;
         Self {
             profile,
             demands,
@@ -127,6 +174,10 @@ impl ExecutionEngine {
             now: 0.0,
             rng: StdRng::seed_from_u64(seed),
             completed: 0,
+            slots,
+            completion_events: VecDeque::with_capacity(connections),
+            submitted_events: VecDeque::with_capacity(connections),
+            scratch: RateScratch::default(),
         }
     }
 
@@ -160,11 +211,34 @@ impl ExecutionEngine {
         self.running.is_empty()
     }
 
+    /// Per-connection occupancy, indexed by connection id. This is the
+    /// allocation-free view the event-driven executor surface builds on.
+    pub fn connection_slots(&self) -> &[ConnectionSlot] {
+        &self.slots
+    }
+
+    /// Connections that currently have no query assigned, in ascending order,
+    /// without allocating.
+    pub fn free_connections_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_free())
+            .map(|(c, _)| c)
+    }
+
+    /// Lowest-numbered free connection, if any.
+    pub fn first_free_connection(&self) -> Option<usize> {
+        self.slots.iter().position(ConnectionSlot::is_free)
+    }
+
     /// Connections that currently have no query assigned, in ascending order.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should prefer
+    /// [`ExecutionEngine::free_connections_iter`] or
+    /// [`ExecutionEngine::connection_slots`].
     pub fn free_connections(&self) -> Vec<usize> {
-        (0..self.profile.connections)
-            .filter(|c| !self.running.iter().any(|r| r.connection == *c))
-            .collect()
+        self.free_connections_iter().collect()
     }
 
     /// Submit `query` with `params` to the first free connection.
@@ -174,9 +248,8 @@ impl ExecutionEngine {
     /// # Panics
     /// Panics if every connection is busy or the query id is out of range.
     pub fn submit(&mut self, query: QueryId, params: RunParams) -> usize {
-        let connection = *self
-            .free_connections()
-            .first()
+        let connection = self
+            .first_free_connection()
             .expect("submit() called with no free connection");
         self.submit_to(query, params, connection);
         connection
@@ -184,9 +257,12 @@ impl ExecutionEngine {
 
     /// Submit `query` with `params` to a specific free connection.
     pub fn submit_to(&mut self, query: QueryId, params: RunParams, connection: usize) {
-        assert!(connection < self.profile.connections, "connection {connection} out of range");
         assert!(
-            !self.running.iter().any(|r| r.connection == connection),
+            connection < self.profile.connections,
+            "connection {connection} out of range"
+        );
+        assert!(
+            self.slots[connection].is_free(),
             "connection {connection} is busy"
         );
         assert!(query.0 < self.demands.len(), "query {query:?} out of range");
@@ -195,8 +271,8 @@ impl ExecutionEngine {
 
         // Execution noise: every run of the same query differs slightly, which
         // is what produces the σ_ov the paper reports.
-        let noise = 1.0
-            + self.profile.noise_std * (self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0);
+        let noise =
+            1.0 + self.profile.noise_std * (self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0);
         let noise = noise.clamp(0.7, 1.4);
 
         // Effective I/O after buffer hits and concurrent-scan sharing.
@@ -206,7 +282,10 @@ impl ExecutionEngine {
             let concurrent_scan = self.running.iter().any(|r| {
                 self.profile.node_of_connection(r.connection) == node
                     && r.io_remaining > 0.0
-                    && self.demands[r.query.0].table_pages.iter().any(|(t, _)| *t == table)
+                    && self.demands[r.query.0]
+                        .table_pages
+                        .iter()
+                        .any(|(t, _)| *t == table)
             });
             if concurrent_scan {
                 hit = hit.max(CONCURRENT_SCAN_HIT);
@@ -235,110 +314,213 @@ impl ExecutionEngine {
             io_remaining: io_pages * noise,
             parallel_fraction: demand.parallel_fraction,
         });
+        self.slots[connection] = ConnectionSlot::Busy {
+            query,
+            params,
+            started_at: self.now,
+        };
+        self.submitted_events.push_back((query, connection));
+    }
+
+    /// Cancel whatever is running on `connection`, freeing it immediately.
+    ///
+    /// Returns a completion record stamped at the current virtual time (the
+    /// partial execution), or `None` if the connection was already free. This
+    /// is the hook the session layer uses for per-query timeouts.
+    pub fn cancel_connection(&mut self, connection: usize) -> Option<QueryCompletion> {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.connection == connection)?;
+        let r = self.running.swap_remove(idx);
+        self.slots[connection] = ConnectionSlot::Free;
+        self.completed += 1;
+        Some(QueryCompletion {
+            query: r.query,
+            connection,
+            params: r.params,
+            started_at: r.started_at,
+            finished_at: self.now,
+        })
+    }
+
+    /// Pop one buffered "query accepted" notice `(query, connection)`.
+    pub fn pop_submitted_event(&mut self) -> Option<(QueryId, usize)> {
+        self.submitted_events.pop_front()
+    }
+
+    /// Pop one completion, advancing virtual time first if none is buffered.
+    /// Returns `None` when nothing is running (the engine is idle).
+    pub fn pop_completion_event(&mut self) -> Option<QueryCompletion> {
+        if self.completion_events.is_empty() {
+            self.advance_until_completion();
+        }
+        self.completion_events.pop_front()
+    }
+
+    /// Whether buffered events exist that can be popped without advancing
+    /// virtual time.
+    pub fn has_buffered_events(&self) -> bool {
+        !self.completion_events.is_empty() || !self.submitted_events.is_empty()
     }
 
     /// Per-query (cpu_rate, io_rate) under the current mix, in work units and
-    /// pages per virtual second respectively.
-    fn current_rates(&self) -> Vec<(f64, f64)> {
-        let mut rates = vec![(0.0, 0.0); self.running.len()];
+    /// pages per virtual second respectively. Results land in
+    /// `self.scratch.rates`; every buffer is reused across calls so the event
+    /// loop performs no per-iteration allocations once warm.
+    fn compute_rates(&mut self) {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.rates.clear();
+        s.rates.resize(self.running.len(), (0.0, 0.0));
         for node in 0..self.profile.nodes {
-            let idx: Vec<usize> = self
-                .running
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| self.profile.node_of_connection(r.connection) == node)
-                .map(|(i, _)| i)
-                .collect();
-            if idx.is_empty() {
+            s.node_members.clear();
+            s.node_members.extend(
+                self.running
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| self.profile.node_of_connection(r.connection) == node)
+                    .map(|(i, _)| i),
+            );
+            if s.node_members.is_empty() {
                 continue;
             }
             // --- CPU: water-filling allocation of the node's cores over the
             // queries that still have CPU work, capped by each query's
             // requested degree of parallelism.
             let cores = self.profile.cores_per_node as f64;
-            let cpu_active: Vec<usize> =
-                idx.iter().copied().filter(|&i| self.running[i].cpu_remaining > 0.0).collect();
-            if !cpu_active.is_empty() {
-                let caps: Vec<f64> =
-                    cpu_active.iter().map(|&i| self.running[i].params.workers as f64).collect();
-                let mut granted = vec![0.0f64; cpu_active.len()];
+            s.cpu_active.clear();
+            s.cpu_active.extend(
+                s.node_members
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.running[i].cpu_remaining > 0.0),
+            );
+            if !s.cpu_active.is_empty() {
+                s.caps.clear();
+                s.caps.extend(
+                    s.cpu_active
+                        .iter()
+                        .map(|&i| self.running[i].params.workers as f64),
+                );
+                s.granted.clear();
+                s.granted.resize(s.cpu_active.len(), 0.0);
                 let mut remaining = cores;
-                let mut open: Vec<usize> = (0..cpu_active.len()).collect();
-                while remaining > 1e-6 && !open.is_empty() {
-                    let share = remaining / open.len() as f64;
-                    let mut still_open = Vec::new();
-                    for &k in &open {
-                        let take = (caps[k] - granted[k]).min(share);
-                        granted[k] += take;
+                s.open.clear();
+                s.open.extend(0..s.cpu_active.len());
+                while remaining > 1e-6 && !s.open.is_empty() {
+                    let share = remaining / s.open.len() as f64;
+                    s.still_open.clear();
+                    for &k in &s.open {
+                        let take = (s.caps[k] - s.granted[k]).min(share);
+                        s.granted[k] += take;
                         remaining -= take;
-                        if caps[k] - granted[k] > 1e-9 {
-                            still_open.push(k);
+                        if s.caps[k] - s.granted[k] > 1e-9 {
+                            s.still_open.push(k);
                         }
                     }
-                    if still_open.len() == open.len() {
+                    if s.still_open.len() == s.open.len() {
                         break;
                     }
-                    open = still_open;
+                    std::mem::swap(&mut s.open, &mut s.still_open);
                 }
                 // Context-switch / memory-bandwidth interference when the total
                 // requested workers oversubscribe the cores, softened by the
                 // DBMS's own workload management. Requesting parallelism that
                 // cannot be used productively therefore has a real cost, which
                 // is what adaptive masking exploits.
-                let total_workers: f64 = caps.iter().sum();
+                let total_workers: f64 = s.caps.iter().sum();
                 let overload = (total_workers / cores).max(1.0);
-                let penalty = 1.0
-                    + (overload - 1.0) * 0.3 * (1.0 - self.profile.contention_mitigation);
-                for (k, &i) in cpu_active.iter().enumerate() {
+                let penalty =
+                    1.0 + (overload - 1.0) * 0.3 * (1.0 - self.profile.contention_mitigation);
+                for (k, &i) in s.cpu_active.iter().enumerate() {
                     let p = self.running[i].parallel_fraction;
-                    let g = granted[k];
-                    let speedup =
-                        if g >= 1.0 { 1.0 / ((1.0 - p) + p / g) } else { g.max(0.05) };
-                    rates[i].0 = self.profile.cpu_units_per_sec * speedup / penalty;
+                    let g = s.granted[k];
+                    let speedup = if g >= 1.0 {
+                        1.0 / ((1.0 - p) + p / g)
+                    } else {
+                        g.max(0.05)
+                    };
+                    s.rates[i].0 = self.profile.cpu_units_per_sec * speedup / penalty;
                 }
             }
             // --- I/O: share the node's bandwidth over queries still reading.
-            let io_active: Vec<usize> = idx.iter().copied().filter(|&i| self.running[i].io_remaining > 0.0).collect();
-            if !io_active.is_empty() {
+            s.io_active.clear();
+            s.io_active.extend(
+                s.node_members
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.running[i].io_remaining > 0.0),
+            );
+            if !s.io_active.is_empty() {
                 let bw = self.profile.io_pages_per_sec;
-                let fair = bw / io_active.len() as f64;
+                let fair = bw / s.io_active.len() as f64;
                 let cap = bw * self.profile.max_io_share_per_query;
-                for &i in &io_active {
-                    rates[i].1 = fair.min(cap).max(1.0);
+                for &i in &s.io_active {
+                    s.rates[i].1 = fair.min(cap).max(1.0);
                 }
             }
         }
-        rates
+        self.scratch = s;
     }
 
-    /// Advance virtual time until at least one running query completes and
-    /// return all completions that occurred at that instant. Returns an empty
-    /// vector if nothing is running.
-    pub fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
-        if self.running.is_empty() {
-            return Vec::new();
+    /// Advance virtual time until at least one running query completes,
+    /// pushing the completions (all events of that instant) into the internal
+    /// event buffer and freeing their connections. No-op when idle.
+    fn advance_until_completion(&mut self) {
+        self.advance_bounded(f64::INFINITY);
+    }
+
+    /// Advance virtual time to at most `until` (without requiring a
+    /// completion). Completions occurring on the way are buffered as usual.
+    /// This is what lets the session layer enforce per-query timeouts even
+    /// when the next natural completion lies far beyond the deadline.
+    pub fn advance_to(&mut self, until: f64) {
+        // Never move the clock while completions are still buffered: the
+        // caller must drain them first (they precede `until`). Keeps the
+        // ExecutorBackend contract identical across backends.
+        if self.completion_events.is_empty() {
+            self.advance_bounded(until);
         }
-        let mut completions = Vec::new();
-        // Bounded loop: each iteration either finishes a query or exhausts
-        // some query's I/O phase, so it terminates in O(2 * |running|) steps.
+    }
+
+    /// Advance until a completion occurs or `until` is reached.
+    fn advance_bounded(&mut self, until: f64) {
+        if self.running.is_empty() {
+            return;
+        }
+        let mut emitted = false;
+        // Bounded loop: each iteration either finishes a query, exhausts
+        // some query's I/O phase, or reaches `until`, so it terminates in
+        // O(2 * |running|) steps.
         for _ in 0..(4 * self.running.len() + 8) {
-            let rates = self.current_rates();
+            if self.now >= until {
+                break;
+            }
+            self.compute_rates();
             // Time until the next interesting event under constant rates.
             let mut dt = f64::INFINITY;
             for (i, r) in self.running.iter().enumerate() {
-                let (cpu_rate, io_rate) = rates[i];
-                let t_cpu = if r.cpu_remaining > 0.0 { r.cpu_remaining / cpu_rate.max(1e-9) } else { 0.0 };
-                let t_io = if r.io_remaining > 0.0 { r.io_remaining / io_rate.max(1e-9) } else { 0.0 };
+                let (cpu_rate, io_rate) = self.scratch.rates[i];
+                let t_cpu = if r.cpu_remaining > 0.0 {
+                    r.cpu_remaining / cpu_rate.max(1e-9)
+                } else {
+                    0.0
+                };
+                let t_io = if r.io_remaining > 0.0 {
+                    r.io_remaining / io_rate.max(1e-9)
+                } else {
+                    0.0
+                };
                 let t_done = t_cpu.max(t_io);
                 dt = dt.min(t_done);
                 if r.io_remaining > 0.0 && t_io > 0.0 {
                     dt = dt.min(t_io);
                 }
             }
-            let dt = dt.max(MIN_DT);
+            let dt = dt.max(MIN_DT).min((until - self.now).max(0.0));
             self.now += dt;
             for (i, r) in self.running.iter_mut().enumerate() {
-                let (cpu_rate, io_rate) = rates[i];
+                let (cpu_rate, io_rate) = self.scratch.rates[i];
                 r.cpu_remaining = (r.cpu_remaining - cpu_rate * dt).max(0.0);
                 r.io_remaining = (r.io_remaining - io_rate * dt).max(0.0);
             }
@@ -347,7 +529,8 @@ impl ExecutionEngine {
             while i < self.running.len() {
                 if self.running[i].cpu_remaining <= 1e-9 && self.running[i].io_remaining <= 1e-9 {
                     let r = self.running.swap_remove(i);
-                    completions.push(QueryCompletion {
+                    self.slots[r.connection] = ConnectionSlot::Free;
+                    self.completion_events.push_back(QueryCompletion {
                         query: r.query,
                         connection: r.connection,
                         params: r.params,
@@ -355,15 +538,33 @@ impl ExecutionEngine {
                         finished_at: now,
                     });
                     self.completed += 1;
+                    emitted = true;
                 } else {
                     i += 1;
                 }
             }
-            if !completions.is_empty() {
+            if emitted {
                 break;
             }
         }
-        completions
+    }
+
+    /// Advance virtual time until at least one running query completes and
+    /// return all completions that occurred at that instant. Returns an empty
+    /// vector if nothing is running.
+    ///
+    /// Allocates the returned `Vec`; the event-driven surface
+    /// ([`ExecutionEngine::pop_completion_event`]) is the allocation-free way
+    /// to consume completions.
+    pub fn step_until_completion(&mut self) -> Vec<QueryCompletion> {
+        // Legacy pull-style callers never consume submission echoes; discard
+        // them so a long-lived engine driven through this API does not
+        // accumulate stale events.
+        self.submitted_events.clear();
+        if self.completion_events.is_empty() {
+            self.advance_until_completion();
+        }
+        self.completion_events.drain(..).collect()
     }
 }
 
@@ -408,7 +609,11 @@ mod tests {
                 e.submit(QueryId(q), default_params());
             }
             let done = e.step_until_completion();
-            assert!(!done.is_empty(), "engine stalled with {} finished", finished);
+            assert!(
+                !done.is_empty(),
+                "engine stalled with {} finished",
+                finished
+            );
             finished += done.len();
         }
         assert_eq!(e.completed_count(), w.len());
@@ -460,7 +665,13 @@ mod tests {
         let mut busy = ExecutionEngine::new(profile, &w, 7);
         busy.submit(QueryId(0), default_params());
         for i in 1..16 {
-            busy.submit(QueryId(i), RunParams { workers: 4, memory: MemoryGrant::Low });
+            busy.submit(
+                QueryId(i),
+                RunParams {
+                    workers: 4,
+                    memory: MemoryGrant::Low,
+                },
+            );
         }
         // Run until query 0 finishes.
         let mut t_busy = None;
@@ -489,7 +700,10 @@ mod tests {
         let (io_q, _) = w
             .iter()
             .max_by(|a, b| {
-                a.1.profile.io_fraction().partial_cmp(&b.1.profile.io_fraction()).unwrap()
+                a.1.profile
+                    .io_fraction()
+                    .partial_cmp(&b.1.profile.io_fraction())
+                    .unwrap()
             })
             .unwrap();
         // The same query executed twice back to back: the second run should
@@ -511,17 +725,37 @@ mod tests {
         // Find the most CPU-bound query.
         let (cpu_q, _) = w
             .iter()
-            .min_by(|a, b| a.1.profile.io_fraction().partial_cmp(&b.1.profile.io_fraction()).unwrap())
+            .min_by(|a, b| {
+                a.1.profile
+                    .io_fraction()
+                    .partial_cmp(&b.1.profile.io_fraction())
+                    .unwrap()
+            })
             .map(|(id, q)| (id, q.profile.io_fraction()))
             .unwrap();
         let profile = DbmsProfile::dbms_x();
         let mut slow = ExecutionEngine::new(profile.clone(), &w, 11);
-        slow.submit(cpu_q, RunParams { workers: 1, memory: MemoryGrant::High });
+        slow.submit(
+            cpu_q,
+            RunParams {
+                workers: 1,
+                memory: MemoryGrant::High,
+            },
+        );
         let t1 = slow.step_until_completion()[0].duration();
         let mut fast = ExecutionEngine::new(profile, &w, 11);
-        fast.submit(cpu_q, RunParams { workers: 4, memory: MemoryGrant::High });
+        fast.submit(
+            cpu_q,
+            RunParams {
+                workers: 4,
+                memory: MemoryGrant::High,
+            },
+        );
         let t4 = fast.step_until_completion()[0].duration();
-        assert!(t4 < t1 * 0.8, "4 workers should speed up a CPU-bound query: {t4} vs {t1}");
+        assert!(
+            t4 < t1 * 0.8,
+            "4 workers should speed up a CPU-bound query: {t4} vs {t1}"
+        );
     }
 
     #[test]
@@ -530,7 +764,12 @@ mod tests {
         // Find the query with the largest memory demand.
         let (q, _) = w
             .iter()
-            .max_by(|a, b| a.1.profile.memory_pages.partial_cmp(&b.1.profile.memory_pages).unwrap())
+            .max_by(|a, b| {
+                a.1.profile
+                    .memory_pages
+                    .partial_cmp(&b.1.profile.memory_pages)
+                    .unwrap()
+            })
             .unwrap();
         let profile = DbmsProfile::dbms_x();
         assert!(
@@ -541,12 +780,27 @@ mod tests {
         // query depends on how contended the I/O path is, so the assertion is
         // on the induced I/O volume rather than on the duration.
         let mut low = ExecutionEngine::new(profile.clone(), &w, 13);
-        low.submit(q, RunParams { workers: 2, memory: MemoryGrant::Low });
+        low.submit(
+            q,
+            RunParams {
+                workers: 2,
+                memory: MemoryGrant::Low,
+            },
+        );
         let io_low = low.running()[0].io_remaining();
         let mut high = ExecutionEngine::new(profile, &w, 13);
-        high.submit(q, RunParams { workers: 2, memory: MemoryGrant::High });
+        high.submit(
+            q,
+            RunParams {
+                workers: 2,
+                memory: MemoryGrant::High,
+            },
+        );
         let io_high = high.running()[0].io_remaining();
-        assert!(io_high < io_low, "high memory should avoid spill I/O: {io_high} vs {io_low}");
+        assert!(
+            io_high < io_low,
+            "high memory should avoid spill I/O: {io_high} vs {io_low}"
+        );
     }
 
     #[test]
@@ -567,7 +821,10 @@ mod tests {
         let a = run(1);
         let b = run(1);
         let c = run(2);
-        assert!((a - b).abs() < 1e-9, "same seed must reproduce the makespan");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "same seed must reproduce the makespan"
+        );
         assert!((a - c).abs() > 1e-9, "different seeds should differ");
     }
 

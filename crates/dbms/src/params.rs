@@ -46,7 +46,10 @@ pub struct RunParams {
 impl RunParams {
     /// The conservative default configuration (1 worker, low memory).
     pub fn default_config() -> Self {
-        Self { workers: 1, memory: MemoryGrant::Low }
+        Self {
+            workers: 1,
+            memory: MemoryGrant::Low,
+        }
     }
 }
 
@@ -79,7 +82,9 @@ impl ParamSpace {
     /// A degenerate space with only the default configuration — used by the
     /// heuristic baselines (Random/FIFO/MCF), which do not tune parameters.
     pub fn default_only() -> Self {
-        Self { configs: vec![RunParams::default_config()] }
+        Self {
+            configs: vec![RunParams::default_config()],
+        }
     }
 
     /// Number of configurations.
@@ -118,7 +123,8 @@ impl ParamSpace {
             .filter(|(i, _)| allowed[*i])
             .min_by_key(|(_, c)| {
                 let worker_dist = (c.workers as i64 - target.workers as i64).unsigned_abs();
-                let mem_dist = (c.memory.index() as i64 - target.memory.index() as i64).unsigned_abs();
+                let mem_dist =
+                    (c.memory.index() as i64 - target.memory.index() as i64).unsigned_abs();
                 worker_dist * 2 + mem_dist
             })
             .map(|(i, _)| i)
@@ -167,7 +173,10 @@ mod tests {
     #[test]
     fn closest_allowed_respects_mask() {
         let s = ParamSpace::full();
-        let target = RunParams { workers: 4, memory: MemoryGrant::High };
+        let target = RunParams {
+            workers: 4,
+            memory: MemoryGrant::High,
+        };
         let target_idx = s.index_of(target).unwrap();
         let mut allowed = vec![true; s.len()];
         allowed[target_idx] = false;
@@ -182,6 +191,9 @@ mod tests {
     fn closest_allowed_none_when_everything_masked() {
         let s = ParamSpace::full();
         let allowed = vec![false; s.len()];
-        assert_eq!(s.closest_allowed(RunParams::default_config(), &allowed), None);
+        assert_eq!(
+            s.closest_allowed(RunParams::default_config(), &allowed),
+            None
+        );
     }
 }

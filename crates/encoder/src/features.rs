@@ -165,7 +165,11 @@ pub fn mean_features(features: &Tensor, subset: &[usize]) -> Tensor {
     }
     for &i in subset {
         for c in 0..d {
-            out.set(0, c, out.get(0, c) + features.get(i, c) / subset.len() as f32);
+            out.set(
+                0,
+                c,
+                out.get(0, c) + features.get(i, c) / subset.len() as f32,
+            );
         }
     }
     out
@@ -206,7 +210,10 @@ mod tests {
         for i in 0..n {
             assert_eq!(bias.get(i, i), 0.0);
             for j in 0..n {
-                assert!((bias.get(i, j) - bias.get(j, i)).abs() < 1e-6, "tree distance is symmetric");
+                assert!(
+                    (bias.get(i, j) - bias.get(j, i)).abs() < 1e-6,
+                    "tree distance is symmetric"
+                );
                 assert!(bias.get(i, j) <= 0.0);
             }
             // Super node row/column has zero bias.
@@ -218,11 +225,20 @@ mod tests {
     #[test]
     fn state_features_encode_status_params_and_times() {
         let w = workload();
-        let mut queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(5.0)).collect();
+        let mut queries: Vec<QueryRuntime> =
+            (0..w.len()).map(|_| QueryRuntime::pending(5.0)).collect();
         queries[2].status = QueryStatus::Running;
-        queries[2].params = Some(RunParams { workers: 4, memory: MemoryGrant::High });
+        queries[2].params = Some(RunParams {
+            workers: 4,
+            memory: MemoryGrant::High,
+        });
         queries[2].elapsed = 2.5;
-        let state = SchedulingState { workload: &w, now: 2.5, queries, free_connection: 0 };
+        let state = SchedulingState {
+            workload: &w,
+            now: 2.5,
+            queries: &queries,
+            free_connection: 0,
+        };
         let scale = FeatureScale { time_scale: 10.0 };
         let m = state_feature_matrix(&state, scale);
         assert_eq!(m.shape(), (w.len(), STATE_FEATURE_DIM));

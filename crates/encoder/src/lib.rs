@@ -26,5 +26,7 @@ pub use features::{
     mean_features, node_features, plan_node_features, query_state_features, state_feature_matrix,
     tree_bias, FeatureScale, NODE_FEATURE_DIM, STATE_FEATURE_DIM, TABLE_BUCKETS,
 };
-pub use plan_encoder::{pretrain_on_cost, seeded_rng, PlanEncoder, PlanEncoderConfig, PretrainReport};
+pub use plan_encoder::{
+    pretrain_on_cost, seeded_rng, PlanEncoder, PlanEncoderConfig, PretrainReport,
+};
 pub use state_encoder::{EncodedObservation, StateEncoder, StateEncoderConfig, StateRepr};

@@ -34,7 +34,12 @@ pub struct PlanEncoderConfig {
 
 impl Default for PlanEncoderConfig {
     fn default() -> Self {
-        Self { dim: 32, heads: 4, blocks: 2, tree_bias_per_hop: 0.5 }
+        Self {
+            dim: 32,
+            heads: 4,
+            blocks: 2,
+            tree_bias_per_hop: 0.5,
+        }
     }
 }
 
@@ -51,13 +56,42 @@ pub struct PlanEncoder {
 impl PlanEncoder {
     /// Create a new encoder, registering its parameters in `store`.
     pub fn new(store: &mut ParamStore, config: PlanEncoderConfig, rng: &mut StdRng) -> Self {
-        let node_proj = Linear::new(store, "plan.node_proj", NODE_FEATURE_DIM, config.dim, Activation::Tanh, rng);
+        let node_proj = Linear::new(
+            store,
+            "plan.node_proj",
+            NODE_FEATURE_DIM,
+            config.dim,
+            Activation::Tanh,
+            rng,
+        );
         let super_node = store.add_xavier("plan.super_node", 1, config.dim, rng);
         let blocks = (0..config.blocks)
-            .map(|i| AttentionBlock::new(store, &format!("plan.block{i}"), config.dim, config.heads, config.dim * 2, rng))
+            .map(|i| {
+                AttentionBlock::new(
+                    store,
+                    &format!("plan.block{i}"),
+                    config.dim,
+                    config.heads,
+                    config.dim * 2,
+                    rng,
+                )
+            })
             .collect();
-        let cost_head = Mlp::new(store, "plan.cost_head", &[config.dim, config.dim, 1], Activation::Tanh, Activation::None, rng);
-        Self { config, node_proj, super_node, blocks, cost_head }
+        let cost_head = Mlp::new(
+            store,
+            "plan.cost_head",
+            &[config.dim, config.dim, 1],
+            Activation::Tanh,
+            Activation::None,
+            rng,
+        );
+        Self {
+            config,
+            node_proj,
+            super_node,
+            blocks,
+            cost_head,
+        }
     }
 
     /// Encoder configuration.
@@ -108,7 +142,12 @@ impl PlanEncoder {
 
     /// Record the cost-prediction head on top of a plan embedding node
     /// (predicts normalised log total cost).
-    pub fn predict_cost(&self, g: &mut Graph, store: &ParamStore, plan_embedding: NodeId) -> NodeId {
+    pub fn predict_cost(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        plan_embedding: NodeId,
+    ) -> NodeId {
         self.cost_head.forward(g, store, plan_embedding)
     }
 }
@@ -136,7 +175,11 @@ pub fn pretrain_on_cost(
 ) -> PretrainReport {
     let mut adam = Adam::new(lr);
     // Normalised log-cost targets.
-    let log_costs: Vec<f64> = workload.queries.iter().map(|q| (q.plan.total_cost() + 1.0).ln()).collect();
+    let log_costs: Vec<f64> = workload
+        .queries
+        .iter()
+        .map(|q| (q.plan.total_cost() + 1.0).ln())
+        .collect();
     let max_log = log_costs.iter().copied().fold(1.0, f64::max);
     let mut initial = 0.0;
     let mut last = 0.0;
@@ -161,7 +204,11 @@ pub fn pretrain_on_cost(
         }
         last = epoch_loss;
     }
-    PretrainReport { initial_loss: initial, final_loss: last, epochs }
+    PretrainReport {
+        initial_loss: initial,
+        final_loss: last,
+        epochs,
+    }
 }
 
 /// Deterministic RNG helper used by constructors throughout the encoder and
@@ -199,7 +246,10 @@ mod tests {
         let enc = PlanEncoder::new(&mut store, PlanEncoderConfig::default(), &mut rng);
         let a = enc.embed(&store, &w.queries[0].plan);
         let b = enc.embed(&store, &w.queries[1].plan);
-        assert!(a.sub(&b).norm() > 1e-4, "distinct plans should embed differently");
+        assert!(
+            a.sub(&b).norm() > 1e-4,
+            "distinct plans should embed differently"
+        );
     }
 
     #[test]
@@ -228,7 +278,12 @@ mod tests {
         let w = small_workload();
         let mut store = ParamStore::new();
         let mut rng = seeded_rng(5);
-        let config = PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 };
+        let config = PlanEncoderConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            tree_bias_per_hop: 0.5,
+        };
         let enc = PlanEncoder::new(&mut store, config, &mut rng);
         let report = pretrain_on_cost(&enc, &mut store, &w, 8, 0.005);
         assert!(

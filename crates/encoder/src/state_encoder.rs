@@ -33,7 +33,12 @@ pub struct StateEncoderConfig {
 
 impl Default for StateEncoderConfig {
     fn default() -> Self {
-        Self { plan_dim: 32, dim: 32, heads: 4, blocks: 1 }
+        Self {
+            plan_dim: 32,
+            dim: 32,
+            heads: 4,
+            blocks: 1,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ impl EncodedObservation {
         plan_embs: &Tensor,
         scale: FeatureScale,
     ) -> Self {
-        assert_eq!(plan_embs.rows(), state.queries.len(), "one plan embedding per query required");
+        assert_eq!(
+            plan_embs.rows(),
+            state.queries.len(),
+            "one plan embedding per query required"
+        );
         let features = state_feature_matrix(state, scale);
         let running = state
             .queries
@@ -77,7 +86,12 @@ impl EncodedObservation {
             .filter(|(_, q)| q.status == QueryStatus::Pending)
             .map(|(i, _)| i)
             .collect();
-        Self { plan_embs: plan_embs.clone(), features, running, pending }
+        Self {
+            plan_embs: plan_embs.clone(),
+            features,
+            running,
+            pending,
+        }
     }
 
     /// Number of entities (queries or clusters) in the observation.
@@ -127,7 +141,14 @@ impl StateEncoder {
         let super_query = store.add_xavier("state.super_query", 1, config.dim, rng);
         let blocks = (0..config.blocks)
             .map(|i| {
-                AttentionBlock::new(store, &format!("state.block{i}"), config.dim, config.heads, config.dim * 2, rng)
+                AttentionBlock::new(
+                    store,
+                    &format!("state.block{i}"),
+                    config.dim,
+                    config.heads,
+                    config.dim * 2,
+                    rng,
+                )
             })
             .collect();
         let global_head = Mlp::new(
@@ -146,7 +167,14 @@ impl StateEncoder {
             Activation::Tanh,
             rng,
         );
-        Self { config, input_proj, super_query, blocks, global_head, query_head }
+        Self {
+            config,
+            input_proj,
+            super_query,
+            blocks,
+            global_head,
+            query_head,
+        }
     }
 
     /// Encoder configuration.
@@ -160,10 +188,19 @@ impl StateEncoder {
     }
 
     /// Record the encoding of `obs` on `g`.
-    pub fn forward(&self, g: &mut Graph, store: &ParamStore, obs: &EncodedObservation) -> StateRepr {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+    ) -> StateRepr {
         let n = obs.len();
         assert!(n > 0, "cannot encode an empty observation");
-        assert_eq!(obs.plan_embs.cols(), self.config.plan_dim, "plan embedding width mismatch");
+        assert_eq!(
+            obs.plan_embs.cols(),
+            self.config.plan_dim,
+            "plan embedding width mismatch"
+        );
 
         // x_i = MLP(e_i ∥ f_i)
         let plan = g.input(obs.plan_embs.clone());
@@ -211,13 +248,19 @@ mod tests {
 
     fn obs_for(n_running: usize) -> (bq_plan::Workload, EncodedObservation) {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-        let mut queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        let mut queries: Vec<QueryRuntime> =
+            (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
         for q in queries.iter_mut().take(n_running) {
             q.status = QueryStatus::Running;
             q.params = Some(bq_dbms::RunParams::default_config());
             q.elapsed = 1.0;
         }
-        let state = SchedulingState { workload: &w, now: 1.0, queries, free_connection: 0 };
+        let state = SchedulingState {
+            workload: &w,
+            now: 1.0,
+            queries: &queries,
+            free_connection: 0,
+        };
         let plan_embs = Tensor::from_rows(
             &(0..w.len())
                 .map(|i| (0..32).map(|j| ((i * 7 + j) % 11) as f32 * 0.05).collect())
@@ -263,7 +306,10 @@ mod tests {
         let mut gb = Graph::new();
         let rb = enc.forward(&mut gb, &store, &obs_b);
         let diff = ga.value(ra.global).sub(gb.value(rb.global)).norm();
-        assert!(diff > 1e-5, "global state must reflect running queries, diff {diff}");
+        assert!(
+            diff > 1e-5,
+            "global state must reflect running queries, diff {diff}"
+        );
     }
 
     #[test]
@@ -272,9 +318,16 @@ mod tests {
         // without any architectural change (paper: generalization ability).
         let (w, obs_full) = obs_for(1);
         let small = w.subset(&(0..5).collect::<Vec<_>>());
-        let mut queries: Vec<QueryRuntime> = (0..small.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+        let mut queries: Vec<QueryRuntime> = (0..small.len())
+            .map(|_| QueryRuntime::pending(1.0))
+            .collect();
         queries[0].status = QueryStatus::Running;
-        let state = SchedulingState { workload: &small, now: 0.0, queries, free_connection: 0 };
+        let state = SchedulingState {
+            workload: &small,
+            now: 0.0,
+            queries: &queries,
+            free_connection: 0,
+        };
         let plan_embs = obs_full.plan_embs.slice_rows(0, 5);
         let obs_small = EncodedObservation::from_state(&state, &plan_embs, FeatureScale::default());
 
@@ -294,7 +347,12 @@ mod tests {
     fn mismatched_embedding_rows_rejected() {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
         let queries: Vec<QueryRuntime> = (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
-        let state = SchedulingState { workload: &w, now: 0.0, queries, free_connection: 0 };
+        let state = SchedulingState {
+            workload: &w,
+            now: 0.0,
+            queries: &queries,
+            free_connection: 0,
+        };
         let plan_embs = Tensor::zeros(3, 32);
         let _ = EncodedObservation::from_state(&state, &plan_embs, FeatureScale::default());
     }

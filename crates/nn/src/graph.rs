@@ -108,7 +108,12 @@ impl Graph {
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool, aux: Option<Tensor>) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node { value, op, needs_grad, aux });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+            aux,
+        });
         id
     }
 
@@ -466,7 +471,9 @@ impl Graph {
             if !self.nodes[id].needs_grad {
                 continue;
             }
-            let Some(gy) = self.grads[id].clone() else { continue };
+            let Some(gy) = self.grads[id].clone() else {
+                continue;
+            };
             let op = self.nodes[id].op.clone();
             match op {
                 Op::Input | Op::Param(_) => {}
@@ -725,8 +732,10 @@ impl Graph {
                             let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
                             let std = (var + eps).sqrt();
                             let g_mean: f32 = (0..x.cols()).map(|c| gy.get(r, c)).sum::<f32>() / d;
-                            let gy_dot_y: f32 =
-                                (0..x.cols()).map(|c| gy.get(r, c) * y.get(r, c)).sum::<f32>() / d;
+                            let gy_dot_y: f32 = (0..x.cols())
+                                .map(|c| gy.get(r, c) * y.get(r, c))
+                                .sum::<f32>()
+                                / d;
                             for c in 0..x.cols() {
                                 let v = (gy.get(r, c) - g_mean - y.get(r, c) * gy_dot_y) / std;
                                 da.set(r, c, v);
@@ -898,7 +907,11 @@ mod tests {
         let wq = store.add_xavier("wq", 4, 4, &mut rng);
         let wk = store.add_xavier("wk", 4, 4, &mut rng);
         let wv = store.add_xavier("wv", 4, 4, &mut rng);
-        let x = Tensor::from_vec(3, 4, (0..12).map(|i| ((i % 5) as f32) * 0.2 - 0.4).collect());
+        let x = Tensor::from_vec(
+            3,
+            4,
+            (0..12).map(|i| ((i % 5) as f32) * 0.2 - 0.4).collect(),
+        );
         let target = Tensor::zeros(3, 4);
 
         check_gradients(
@@ -956,7 +969,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut store = ParamStore::new();
         let w = store.add_xavier("w", 3, 4, &mut rng);
-        let x = Tensor::from_vec(6, 3, (0..18).map(|i| ((i % 4) as f32) * 0.25 - 0.3).collect());
+        let x = Tensor::from_vec(
+            6,
+            3,
+            (0..18).map(|i| ((i % 4) as f32) * 0.25 - 0.3).collect(),
+        );
         let actions = Tensor::one_hot_rows(4, &[0, 1, 2, 3, 1, 0]);
         let old_logp = Tensor::col(&[-1.2, -1.4, -1.3, -1.5, -1.1, -1.6]);
         let adv = Tensor::col(&[0.5, -0.2, 1.0, -1.0, 0.3, 0.8]);

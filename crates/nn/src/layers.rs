@@ -55,7 +55,13 @@ impl Linear {
     ) -> Self {
         let weight = store.add_xavier(format!("{name}.weight"), in_dim, out_dim, rng);
         let bias = store.add_zeros(format!("{name}.bias"), 1, out_dim);
-        Self { weight, bias, in_dim, out_dim, activation }
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+            activation,
+        }
     }
 
     /// Input dimensionality.
@@ -107,10 +113,17 @@ impl Mlp {
         out_act: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
-            let act = if i + 2 == sizes.len() { out_act } else { hidden_act };
+            let act = if i + 2 == sizes.len() {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Linear::new(
                 store,
                 &format!("{name}.{i}"),
@@ -161,9 +174,17 @@ pub struct LayerNorm {
 impl LayerNorm {
     /// Create a layer norm over vectors of width `dim`.
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
-        let gamma = store.add(format!("{name}.gamma"), crate::tensor::Tensor::full(1, dim, 1.0));
+        let gamma = store.add(
+            format!("{name}.gamma"),
+            crate::tensor::Tensor::full(1, dim, 1.0),
+        );
         let beta = store.add_zeros(format!("{name}.beta"), 1, dim);
-        Self { gamma, beta, dim, eps: 1e-5 }
+        Self {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Normalised width.
@@ -214,7 +235,10 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim {dim} must be divisible by heads {heads}");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} must be divisible by heads {heads}"
+        );
         let head_dim = dim / heads;
         let mut wq = Vec::with_capacity(heads);
         let mut wk = Vec::with_capacity(heads);
@@ -226,7 +250,16 @@ impl MultiHeadAttention {
         }
         let wo = store.add_xavier(format!("{name}.wo"), dim, dim, rng);
         let bo = store.add_zeros(format!("{name}.bo"), 1, dim);
-        Self { wq, wk, wv, wo, bo, dim, heads, head_dim }
+        Self {
+            wq,
+            wk,
+            wv,
+            wo,
+            bo,
+            dim,
+            heads,
+            head_dim,
+        }
     }
 
     /// Model dimensionality.
@@ -252,7 +285,11 @@ impl MultiHeadAttention {
         bias: Option<&crate::tensor::Tensor>,
     ) -> NodeId {
         let n = g.value(x).rows();
-        assert_eq!(g.value(x).cols(), self.dim, "attention input width mismatch");
+        assert_eq!(
+            g.value(x).cols(),
+            self.dim,
+            "attention input width mismatch"
+        );
         if let Some(b) = bias {
             assert_eq!(b.shape(), (n, n), "attention bias must be [n, n]");
         }
@@ -312,8 +349,22 @@ impl AttentionBlock {
         Self {
             attention: MultiHeadAttention::new(store, &format!("{name}.mha"), dim, heads, rng),
             norm1: LayerNorm::new(store, &format!("{name}.norm1"), dim),
-            ff1: Linear::new(store, &format!("{name}.ff1"), dim, ff_dim, Activation::Relu, rng),
-            ff2: Linear::new(store, &format!("{name}.ff2"), ff_dim, dim, Activation::None, rng),
+            ff1: Linear::new(
+                store,
+                &format!("{name}.ff1"),
+                dim,
+                ff_dim,
+                Activation::Relu,
+                rng,
+            ),
+            ff2: Linear::new(
+                store,
+                &format!("{name}.ff2"),
+                ff_dim,
+                dim,
+                Activation::None,
+                rng,
+            ),
             norm2: LayerNorm::new(store, &format!("{name}.norm2"), dim),
         }
     }
@@ -366,7 +417,14 @@ mod tests {
     fn mlp_stacks_layers() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "m", &[8, 16, 4, 1], Activation::Relu, Activation::None, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[8, 16, 4, 1],
+            Activation::Relu,
+            Activation::None,
+            &mut rng,
+        );
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 1);
         let mut g = Graph::new();
@@ -380,12 +438,21 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]));
+        let x = g.input(Tensor::from_vec(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        ));
         let y = ln.forward(&mut g, &store, x);
         let v = g.value(y);
         for r in 0..2 {
             let mean: f32 = v.row_slice(r).iter().sum::<f32>() / 4.0;
-            let var: f32 = v.row_slice(r).iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            let var: f32 = v
+                .row_slice(r)
+                .iter()
+                .map(|&a| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
         }
@@ -397,7 +464,11 @@ mod tests {
         let mut store = ParamStore::new();
         let mha = MultiHeadAttention::new(&mut store, "mha", 8, 2, &mut rng);
         let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec(5, 8, (0..40).map(|i| (i as f32) * 0.01).collect()));
+        let x = g.input(Tensor::from_vec(
+            5,
+            8,
+            (0..40).map(|i| (i as f32) * 0.01).collect(),
+        ));
         let y = mha.forward(&mut g, &store, x, None);
         assert_eq!(g.value(y).shape(), (5, 8));
         assert!(g.value(y).all_finite());
@@ -435,8 +506,9 @@ mod tests {
             assert!((g1.value(y1).get(0, c) - g2.value(y2).get(0, c)).abs() < 1e-5);
             assert!((g1.value(y1).get(1, c) - g2.value(y2).get(1, c)).abs() < 1e-5);
         }
-        let row2_diff: f32 =
-            (0..4).map(|c| (g1.value(y1).get(2, c) - g2.value(y2).get(2, c)).abs()).sum();
+        let row2_diff: f32 = (0..4)
+            .map(|c| (g1.value(y1).get(2, c) - g2.value(y2).get(2, c)).abs())
+            .sum();
         assert!(row2_diff > 1e-3);
     }
 
@@ -446,7 +518,11 @@ mod tests {
         let mut store = ParamStore::new();
         let block = AttentionBlock::new(&mut store, "blk", 8, 2, 16, &mut rng);
         let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec(6, 8, (0..48).map(|i| ((i % 7) as f32) * 0.1).collect()));
+        let x = g.input(Tensor::from_vec(
+            6,
+            8,
+            (0..48).map(|i| ((i % 7) as f32) * 0.1).collect(),
+        ));
         let y = block.forward(&mut g, &store, x, None);
         assert_eq!(g.value(y).shape(), (6, 8));
         assert!(g.value(y).all_finite());
@@ -457,7 +533,14 @@ mod tests {
         // Train y = 2*x0 - x1 with an MLP; loss should drop substantially.
         let mut rng = StdRng::seed_from_u64(13);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "m", &[2, 16, 1], Activation::Tanh, Activation::None, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::None,
+            &mut rng,
+        );
         let mut adam = Adam::new(0.01);
 
         let xs: Vec<Vec<f32>> = (0..32)
@@ -483,7 +566,10 @@ mod tests {
             g.flush_grads(&mut store);
             adam.step(&mut store);
         }
-        assert!(last < first.unwrap() * 0.1, "loss did not drop: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap() * 0.1,
+            "loss did not drop: {first:?} -> {last}"
+        );
         assert!(last < 0.01, "final loss too high: {last}");
     }
 }

@@ -28,7 +28,16 @@ impl Adam {
     /// Create an Adam optimizer with the given learning rate and default
     /// moment coefficients (0.9 / 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Builder-style weight decay setter.
@@ -94,7 +103,11 @@ pub struct Sgd {
 impl Sgd {
     /// Create an SGD optimizer.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Builder-style momentum setter.
@@ -108,7 +121,8 @@ impl Sgd {
         while self.velocity.len() < store.len() {
             let idx = self.velocity.len();
             let p = store.get(crate::params::ParamId(idx));
-            self.velocity.push(Tensor::zeros(p.value.rows(), p.value.cols()));
+            self.velocity
+                .push(Tensor::zeros(p.value.rows(), p.value.cols()));
         }
         for (id, p) in store.iter_mut() {
             let vel = &mut self.velocity[id.index()];

@@ -36,7 +36,11 @@ pub struct Param {
 impl Param {
     fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        Self { name: name.into(), value, grad }
+        Self {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 }
 
@@ -69,7 +73,9 @@ impl ParamStore {
         rng: &mut impl Rng,
     ) -> ParamId {
         let limit = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         self.add(name, Tensor::from_vec(rows, cols, data))
     }
 
@@ -132,7 +138,10 @@ impl ParamStore {
 
     /// Iterate mutably over all parameters.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
-        self.params.iter_mut().enumerate().map(|(i, p)| (ParamId(i), p))
+        self.params
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
     }
 
     /// Global L2 norm of all gradients, used for gradient clipping.
@@ -162,9 +171,18 @@ impl ParamStore {
     /// Used to snapshot the "old" policy before a PPO update and to load
     /// checkpoints saved during simulator pre-training.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.params.len(), other.params.len(), "param store layout mismatch");
+        assert_eq!(
+            self.params.len(),
+            other.params.len(),
+            "param store layout mismatch"
+        );
         for (dst, src) in self.params.iter_mut().zip(other.params.iter()) {
-            assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch for {}", dst.name);
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "param shape mismatch for {}",
+                dst.name
+            );
             dst.value = src.value.clone();
         }
     }

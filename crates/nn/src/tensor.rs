@@ -30,12 +30,20 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// Create a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a tensor filled with a constant value.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a tensor from a flat row-major vector.
@@ -78,7 +86,11 @@ impl Tensor {
             assert_eq!(r.len(), cols, "all rows must have identical length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// One-hot row vector of length `dim` with a 1.0 at `index`.
@@ -159,7 +171,13 @@ impl Tensor {
 
     /// The single value of a `1 x 1` tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() requires a 1x1 tensor, got {}x{}", self.rows, self.cols);
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a 1x1 tensor, got {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
@@ -213,7 +231,11 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise unary map into a new tensor.
@@ -332,7 +354,11 @@ impl Tensor {
             data.extend_from_slice(self.row_slice(r));
             data.extend_from_slice(other.row_slice(r));
         }
-        Tensor { rows: self.rows, cols, data }
+        Tensor {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Concatenate two tensors along rows (`[a, d] ++ [b, d] -> [a+b, d]`).
@@ -340,14 +366,22 @@ impl Tensor {
         assert_eq!(self.cols, other.cols, "concat_rows column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Extract a contiguous block of rows.
     pub fn slice_rows(&self, start: usize, len: usize) -> Tensor {
         assert!(start + len <= self.rows, "slice_rows out of range");
         let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
-        Tensor { rows: len, cols: self.cols, data }
+        Tensor {
+            rows: len,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Extract a contiguous block of columns.
@@ -357,17 +391,29 @@ impl Tensor {
         for r in 0..self.rows {
             data.extend_from_slice(&self.data[r * self.cols + start..r * self.cols + start + len]);
         }
-        Tensor { rows: self.rows, cols: len, data }
+        Tensor {
+            rows: self.rows,
+            cols: len,
+            data,
+        }
     }
 
     /// Gather the given rows into a new tensor (rows may repeat).
     pub fn select_rows(&self, indices: &[usize]) -> Tensor {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
-            assert!(i < self.rows, "select_rows index {i} out of range {}", self.rows);
+            assert!(
+                i < self.rows,
+                "select_rows index {i} out of range {}",
+                self.rows
+            );
             data.extend_from_slice(self.row_slice(i));
         }
-        Tensor { rows: indices.len(), cols: self.cols, data }
+        Tensor {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// True if every element is finite.

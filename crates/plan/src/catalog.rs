@@ -99,7 +99,11 @@ impl Catalog {
                 is_fact,
             })
             .collect();
-        Self { benchmark, scale_factor, tables }
+        Self {
+            benchmark,
+            scale_factor,
+            tables,
+        }
     }
 
     /// All tables in the catalog.
@@ -130,7 +134,11 @@ impl Catalog {
     /// Effective row count of a table at this catalog's scale factor.
     pub fn rows(&self, id: TableId) -> u64 {
         let t = self.table(id);
-        let factor = if t.is_fact { self.scale_factor } else { self.scale_factor.sqrt().max(1.0) };
+        let factor = if t.is_fact {
+            self.scale_factor
+        } else {
+            self.scale_factor.sqrt().max(1.0)
+        };
         ((t.base_rows as f64) * factor).round().max(1.0) as u64
     }
 
@@ -149,12 +157,20 @@ impl Catalog {
 
     /// Identifiers of all fact tables.
     pub fn fact_tables(&self) -> Vec<TableId> {
-        self.tables.iter().filter(|t| t.is_fact).map(|t| t.id).collect()
+        self.tables
+            .iter()
+            .filter(|t| t.is_fact)
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Identifiers of all dimension tables.
     pub fn dimension_tables(&self) -> Vec<TableId> {
-        self.tables.iter().filter(|t| !t.is_fact).map(|t| t.id).collect()
+        self.tables
+            .iter()
+            .filter(|t| !t.is_fact)
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Return a copy of this catalog at a different scale factor (used by the
@@ -260,7 +276,10 @@ mod tests {
         let dim = c1.table_by_name("customer").unwrap().id;
         let fact_growth = c100.rows(fact) as f64 / c1.rows(fact) as f64;
         let dim_growth = c100.rows(dim) as f64 / c1.rows(dim) as f64;
-        assert!((fact_growth - 100.0).abs() < 1.0, "fact growth {fact_growth}");
+        assert!(
+            (fact_growth - 100.0).abs() < 1.0,
+            "fact growth {fact_growth}"
+        );
         assert!((dim_growth - 10.0).abs() < 0.5, "dim growth {dim_growth}");
     }
 

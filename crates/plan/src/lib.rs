@@ -37,6 +37,8 @@ pub mod workload;
 
 pub use catalog::{Benchmark, Catalog, TableDef, TableId, PAGE_BYTES};
 pub use perturb::perturb_query_set;
-pub use plan::{FlatNode, Operator, PlanNode, QueryId, QueryPlan, IO_COST_PER_PAGE, OPERATOR_COUNT};
+pub use plan::{
+    FlatNode, Operator, PlanNode, QueryId, QueryPlan, IO_COST_PER_PAGE, OPERATOR_COUNT,
+};
 pub use profile::ResourceProfile;
 pub use workload::{generate, BatchQuery, Workload, WorkloadSpec};

@@ -23,7 +23,10 @@ use rand::{seq::SliceRandom, Rng, SeedableRng};
 pub fn perturb_query_set(workload: &Workload, factor: f64, seed: u64) -> Workload {
     assert!(factor > 0.0, "perturbation factor must be positive");
     let n = workload.len();
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xB05C));
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xB05C),
+    );
     if (factor - 1.0).abs() < 1e-9 {
         return workload.subset(&(0..n).collect::<Vec<_>>());
     }
@@ -59,7 +62,7 @@ mod tests {
         let w = base();
         let p = perturb_query_set(&w, 0.8, 1);
         assert_eq!(p.len(), 79); // round(99 * 0.8)
-        // Ids renumbered densely.
+                                 // Ids renumbered densely.
         for (i, q) in p.queries.iter().enumerate() {
             assert_eq!(q.plan.id.0, i);
         }
@@ -70,7 +73,7 @@ mod tests {
         let w = base();
         let p = perturb_query_set(&w, 1.2, 1);
         assert_eq!(p.len(), 119); // 99 + round(99 * 0.2)
-        // The first 99 queries are the originals in order.
+                                  // The first 99 queries are the originals in order.
         for i in 0..99 {
             assert_eq!(p.queries[i].plan.template, w.queries[i].plan.template);
         }
@@ -93,12 +96,24 @@ mod tests {
         let b = perturb_query_set(&w, 0.9, 3);
         let c = perturb_query_set(&w, 0.9, 4);
         assert_eq!(
-            a.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>(),
-            b.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>()
+            a.queries
+                .iter()
+                .map(|q| q.plan.name.clone())
+                .collect::<Vec<_>>(),
+            b.queries
+                .iter()
+                .map(|q| q.plan.name.clone())
+                .collect::<Vec<_>>()
         );
         assert_ne!(
-            a.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>(),
-            c.queries.iter().map(|q| q.plan.name.clone()).collect::<Vec<_>>()
+            a.queries
+                .iter()
+                .map(|q| q.plan.name.clone())
+                .collect::<Vec<_>>(),
+            c.queries
+                .iter()
+                .map(|q| q.plan.name.clone())
+                .collect::<Vec<_>>()
         );
     }
 

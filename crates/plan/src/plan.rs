@@ -98,12 +98,18 @@ impl Operator {
 
     /// Whether the operator is a join.
     pub fn is_join(&self) -> bool {
-        matches!(self, Operator::HashJoin | Operator::MergeJoin | Operator::NestedLoopJoin)
+        matches!(
+            self,
+            Operator::HashJoin | Operator::MergeJoin | Operator::NestedLoopJoin
+        )
     }
 
     /// Whether the operator may spill to disk under memory pressure.
     pub fn is_memory_intensive(&self) -> bool {
-        matches!(self, Operator::HashJoin | Operator::HashAggregate | Operator::Sort | Operator::Materialize)
+        matches!(
+            self,
+            Operator::HashJoin | Operator::HashAggregate | Operator::Sort | Operator::Materialize
+        )
     }
 }
 
@@ -154,7 +160,7 @@ impl PlanNode {
         let input_rows: f64 = children.iter().map(|c| c.est_rows).sum();
         let est_rows = match op {
             Operator::HashAggregate => (input_rows * selectivity).max(1.0).min(input_rows),
-            Operator::Limit => (input_rows * selectivity).min(100.0).max(1.0),
+            Operator::Limit => (input_rows * selectivity).clamp(1.0, 100.0),
             _ if op.is_join() => {
                 // Join output modelled as the larger input scaled by selectivity.
                 let max_in = children.iter().map(|c| c.est_rows).fold(1.0, f64::max);
@@ -163,8 +169,20 @@ impl PlanNode {
             _ => (input_rows * selectivity).max(1.0),
         };
         let cpu_cost = input_rows * op.cpu_weight()
-            + if op == Operator::Sort { input_rows.max(2.0).ln() * input_rows * 0.002 } else { 0.0 };
-        Self { op, table: None, selectivity, est_rows, cpu_cost, io_cost: 0.0, children }
+            + if op == Operator::Sort {
+                input_rows.max(2.0).ln() * input_rows * 0.002
+            } else {
+                0.0
+            };
+        Self {
+            op,
+            table: None,
+            selectivity,
+            est_rows,
+            cpu_cost,
+            io_cost: 0.0,
+            children,
+        }
     }
 
     /// Number of nodes in the subtree rooted here.
@@ -174,7 +192,11 @@ impl PlanNode {
 
     /// Height of the subtree (a leaf has height 0).
     pub fn height(&self) -> usize {
-        self.children.iter().map(PlanNode::height).max().map_or(0, |h| h + 1)
+        self.children
+            .iter()
+            .map(PlanNode::height)
+            .max()
+            .map_or(0, |h| h + 1)
     }
 }
 
@@ -273,7 +295,12 @@ impl QueryPlan {
     /// depth, height) — the input format of the QueryFormer-style encoder.
     pub fn flatten(&self) -> Vec<FlatNode> {
         let mut out = Vec::with_capacity(self.node_count());
-        fn walk(n: &PlanNode, parent: Option<usize>, depth: usize, out: &mut Vec<FlatNode>) -> usize {
+        fn walk(
+            n: &PlanNode,
+            parent: Option<usize>,
+            depth: usize,
+            out: &mut Vec<FlatNode>,
+        ) -> usize {
             let index = out.len();
             out.push(FlatNode {
                 index,
@@ -320,7 +347,12 @@ mod tests {
         let join = PlanNode::internal(Operator::HashJoin, 0.5, vec![scan1, scan2]);
         let agg = PlanNode::internal(Operator::HashAggregate, 0.1, vec![join]);
         let root = PlanNode::internal(Operator::Sort, 1.0, vec![agg]);
-        QueryPlan { id: QueryId(0), template: 1, name: "test_q1".into(), root }
+        QueryPlan {
+            id: QueryId(0),
+            template: 1,
+            name: "test_q1".into(),
+            root,
+        }
     }
 
     #[test]
@@ -338,7 +370,7 @@ mod tests {
             Operator::Limit,
             Operator::Materialize,
         ];
-        let mut seen = vec![false; OPERATOR_COUNT];
+        let mut seen = [false; OPERATOR_COUNT];
         for op in ops {
             let i = op.index();
             assert!(i < OPERATOR_COUNT);
@@ -385,7 +417,10 @@ mod tests {
         // Leaves have height 0, root has the max height.
         let max_height = flat.iter().map(|n| n.height).max().unwrap();
         assert_eq!(flat[0].height, max_height);
-        assert!(flat.iter().filter(|n| n.op.is_scan()).all(|n| n.height == 0));
+        assert!(flat
+            .iter()
+            .filter(|n| n.op.is_scan())
+            .all(|n| n.height == 0));
     }
 
     #[test]

@@ -56,12 +56,25 @@ impl ResourceProfile {
         }
         let table_pages = plan.scanned_tables();
         let io_pages: f64 = table_pages.iter().map(|(_, p)| *p).sum();
-        let parallel_fraction = if cpu_work > 0.0 { (parallel_cpu / cpu_work).clamp(0.0, 1.0) } else { 0.0 };
+        let parallel_fraction = if cpu_work > 0.0 {
+            (parallel_cpu / cpu_work).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         // Sanity: every scanned table must exist in the catalog.
         for (t, _) in &table_pages {
-            debug_assert!(t.0 < catalog.len(), "profile references unknown table {t:?}");
+            debug_assert!(
+                t.0 < catalog.len(),
+                "profile references unknown table {t:?}"
+            );
         }
-        Self { cpu_work, io_pages, table_pages, parallel_fraction, memory_pages }
+        Self {
+            cpu_work,
+            io_pages,
+            table_pages,
+            parallel_fraction,
+            memory_pages,
+        }
     }
 
     /// Fraction of total work that is I/O (pages weighted by
@@ -130,7 +143,12 @@ mod tests {
             node = PlanNode::internal(Operator::Sort, 1.0, vec![node]);
         }
         let root = PlanNode::internal(Operator::HashAggregate, 0.1, vec![node]);
-        QueryPlan { id: QueryId(0), template: 0, name: "p".into(), root }
+        QueryPlan {
+            id: QueryId(0),
+            template: 0,
+            name: "p".into(),
+            root,
+        }
     }
 
     #[test]
@@ -148,11 +166,21 @@ mod tests {
     #[test]
     fn shared_pages_symmetric_and_bounded() {
         let catalog = Catalog::new(Benchmark::TpcH, 1.0);
-        let a = ResourceProfile::from_plan(&plan_on(&catalog, &["lineitem", "orders"], false), &catalog);
-        let b = ResourceProfile::from_plan(&plan_on(&catalog, &["lineitem", "customer"], false), &catalog);
-        let c = ResourceProfile::from_plan(&plan_on(&catalog, &["part", "supplier"], false), &catalog);
+        let a = ResourceProfile::from_plan(
+            &plan_on(&catalog, &["lineitem", "orders"], false),
+            &catalog,
+        );
+        let b = ResourceProfile::from_plan(
+            &plan_on(&catalog, &["lineitem", "customer"], false),
+            &catalog,
+        );
+        let c =
+            ResourceProfile::from_plan(&plan_on(&catalog, &["part", "supplier"], false), &catalog);
         let ab = a.shared_pages(&b);
-        assert!((ab - b.shared_pages(&a)).abs() < 1e-9, "sharing must be symmetric");
+        assert!(
+            (ab - b.shared_pages(&a)).abs() < 1e-9,
+            "sharing must be symmetric"
+        );
         assert!(ab > 0.0, "plans sharing lineitem must overlap");
         assert!(ab <= a.io_pages && ab <= b.io_pages);
         assert_eq!(a.shared_pages(&c), 0.0, "disjoint footprints share nothing");

@@ -40,7 +40,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Convenience constructor with seed 42.
     pub fn new(benchmark: Benchmark, data_scale: f64, query_scale: usize) -> Self {
-        Self { benchmark, data_scale, query_scale, seed: 42 }
+        Self {
+            benchmark,
+            data_scale,
+            query_scale,
+            seed: 42,
+        }
     }
 
     /// Builder-style seed override.
@@ -88,7 +93,10 @@ impl Workload {
 
     /// Iterate over `(QueryId, &BatchQuery)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (QueryId, &BatchQuery)> {
-        self.queries.iter().enumerate().map(|(i, q)| (QueryId(i), q))
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId(i), q))
     }
 
     /// Sum of the abstract costs of all queries (an upper bound on serial
@@ -109,7 +117,11 @@ impl Workload {
                 q
             })
             .collect();
-        Workload { spec: self.spec.clone(), catalog: self.catalog.clone(), queries }
+        Workload {
+            spec: self.spec.clone(),
+            catalog: self.catalog.clone(),
+            queries,
+        }
     }
 }
 
@@ -159,7 +171,7 @@ fn archetype_for(benchmark: Benchmark, template: usize) -> Archetype {
         },
         Benchmark::Job => {
             // JOB is dominated by selective multi-way joins over IMDb.
-            if template % 5 == 0 {
+            if template.is_multiple_of(5) {
                 Archetype::Moderate
             } else {
                 Archetype::Selective
@@ -182,7 +194,11 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             queries.push(BatchQuery { plan, profile });
         }
     }
-    Workload { spec: spec.clone(), catalog, queries }
+    Workload {
+        spec: spec.clone(),
+        catalog,
+        queries,
+    }
 }
 
 fn template_rng(spec: &WorkloadSpec, template: usize, replica: usize) -> StdRng {
@@ -244,20 +260,52 @@ fn generate_template_plan(
     let facts = catalog.fact_tables();
     let dims = catalog.dimension_tables();
 
-    let (n_facts, n_dims, scan_sel, join_sel, deep_agg): (usize, usize, (f64, f64), (f64, f64), bool) =
-        match archetype {
-            Archetype::HeavyFactJoin => (rng.gen_range(2..=3), rng.gen_range(3..=5), (0.5, 0.95), (0.4, 0.8), true),
-            Archetype::CpuAggregation => (1, rng.gen_range(2..=4), (0.3, 0.7), (0.3, 0.6), true),
-            Archetype::IoScan => (rng.gen_range(1..=2), rng.gen_range(1..=2), (0.7, 1.0), (0.5, 0.9), false),
-            Archetype::Selective => (1, rng.gen_range(2..=5), (0.001, 0.05), (0.05, 0.3), false),
-            Archetype::Moderate => (1, rng.gen_range(2..=3), (0.1, 0.5), (0.2, 0.5), false),
-        };
+    let (n_facts, n_dims, scan_sel, join_sel, deep_agg): (
+        usize,
+        usize,
+        (f64, f64),
+        (f64, f64),
+        bool,
+    ) = match archetype {
+        Archetype::HeavyFactJoin => (
+            rng.gen_range(2..=3),
+            rng.gen_range(3..=5),
+            (0.5, 0.95),
+            (0.4, 0.8),
+            true,
+        ),
+        Archetype::CpuAggregation => (1, rng.gen_range(2..=4), (0.3, 0.7), (0.3, 0.6), true),
+        Archetype::IoScan => (
+            rng.gen_range(1..=2),
+            rng.gen_range(1..=2),
+            (0.7, 1.0),
+            (0.5, 0.9),
+            false,
+        ),
+        Archetype::Selective => (1, rng.gen_range(2..=5), (0.001, 0.05), (0.05, 0.3), false),
+        Archetype::Moderate => (1, rng.gen_range(2..=3), (0.1, 0.5), (0.2, 0.5), false),
+    };
 
-    let fact_tables = pick_distinct(&mut rng, &facts, n_facts);
+    // Heavy templates are heavy because they join the *largest* fact tables
+    // (store_sales, catalog_sales, ... on real TPC-DS); everything else picks
+    // its facts at random. Keeping this structural guarantees the long tail
+    // regardless of the RNG stream.
+    let fact_tables = if archetype == Archetype::HeavyFactJoin {
+        let mut by_size = facts.clone();
+        by_size.sort_by_key(|&t| core::cmp::Reverse(catalog.pages(t)));
+        by_size.truncate(n_facts.min(by_size.len()));
+        by_size
+    } else {
+        pick_distinct(&mut rng, &facts, n_facts)
+    };
     let dim_tables = pick_distinct(&mut rng, &dims, n_dims);
 
     // Fact scans: sequential unless the archetype is selective.
-    let fact_op = if archetype == Archetype::Selective { Operator::IndexScan } else { Operator::SeqScan };
+    let fact_op = if archetype == Archetype::Selective {
+        Operator::IndexScan
+    } else {
+        Operator::SeqScan
+    };
     let mut scans: Vec<PlanNode> = fact_tables
         .iter()
         .map(|&t| scan_node(&mut rng, catalog, t, fact_op, scan_sel))
@@ -300,7 +348,11 @@ fn generate_template_plan(
         node = PlanNode::internal(Operator::Filter, rng.gen_range(0.3..0.9), vec![node]);
     }
     // Aggregation pipeline.
-    node = PlanNode::internal(Operator::HashAggregate, rng.gen_range(0.01..0.2), vec![node]);
+    node = PlanNode::internal(
+        Operator::HashAggregate,
+        rng.gen_range(0.01..0.2),
+        vec![node],
+    );
     if deep_agg {
         node = PlanNode::internal(Operator::Sort, 1.0, vec![node]);
         if rng.gen_bool(0.7) {
@@ -310,7 +362,11 @@ fn generate_template_plan(
             // Materialised sub-result re-aggregated: the hallmark of the most
             // expensive TPC-DS queries (q4, q14, ...).
             node = PlanNode::internal(Operator::Materialize, 1.0, vec![node]);
-            node = PlanNode::internal(Operator::HashAggregate, rng.gen_range(0.05..0.3), vec![node]);
+            node = PlanNode::internal(
+                Operator::HashAggregate,
+                rng.gen_range(0.05..0.3),
+                vec![node],
+            );
         }
     } else if rng.gen_bool(0.5) {
         node = PlanNode::internal(Operator::Sort, 1.0, vec![node]);
@@ -319,7 +375,11 @@ fn generate_template_plan(
         node = PlanNode::internal(Operator::Limit, 0.01, vec![node]);
     }
 
-    let suffix = if spec.query_scale > 1 { format!("_r{replica}") } else { String::new() };
+    let suffix = if spec.query_scale > 1 {
+        format!("_r{replica}")
+    } else {
+        String::new()
+    };
     QueryPlan {
         id,
         template,
@@ -373,7 +433,10 @@ mod tests {
             .zip(b.queries.iter())
             .filter(|(x, y)| (x.plan.total_cost() - y.plan.total_cost()).abs() > 1e-9)
             .count();
-        assert!(diff > 10, "seeds should change most query costs, changed {diff}");
+        assert!(
+            diff > 10,
+            "seeds should change most query costs, changed {diff}"
+        );
     }
 
     #[test]
@@ -383,7 +446,10 @@ mod tests {
         costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = costs[costs.len() / 2];
         let max = *costs.last().unwrap();
-        assert!(max > 5.0 * median, "expected a long tail: max {max} vs median {median}");
+        assert!(
+            max > 5.0 * median,
+            "expected a long tail: max {max} vs median {median}"
+        );
         // Heavy templates are indeed among the most expensive.
         let heavy_cost = w
             .queries
@@ -391,16 +457,29 @@ mod tests {
             .filter(|q| TPCDS_HEAVY.contains(&q.plan.template))
             .map(|q| q.plan.total_cost())
             .fold(f64::INFINITY, f64::min);
-        assert!(heavy_cost > median, "heavy templates should exceed the median cost");
+        assert!(
+            heavy_cost > median,
+            "heavy templates should exceed the median cost"
+        );
     }
 
     #[test]
     fn mix_of_io_and_cpu_intensive_queries() {
         let w = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
-        let io = w.queries.iter().filter(|q| q.profile.is_io_intensive()).count();
+        let io = w
+            .queries
+            .iter()
+            .filter(|q| q.profile.is_io_intensive())
+            .count();
         let cpu = w.len() - io;
-        assert!(io >= 10, "expected at least 10 IO-intensive queries, got {io}");
-        assert!(cpu >= 10, "expected at least 10 CPU-intensive queries, got {cpu}");
+        assert!(
+            io >= 10,
+            "expected at least 10 IO-intensive queries, got {io}"
+        );
+        assert!(
+            cpu >= 10,
+            "expected at least 10 CPU-intensive queries, got {cpu}"
+        );
     }
 
     #[test]
@@ -448,6 +527,9 @@ mod tests {
             .flat_map(|q| q.plan.flatten())
             .filter(|n| n.op == Operator::NestedLoopJoin)
             .count();
-        assert!(nlj_count > 5, "expected nested-loop joins in JOB, got {nlj_count}");
+        assert!(
+            nlj_count > 5,
+            "expected nested-loop joins in JOB, got {nlj_count}"
+        );
     }
 }

@@ -101,7 +101,10 @@ pub struct PpoTrainer {
 impl PpoTrainer {
     /// Create a trainer with the given configuration.
     pub fn new(config: PpoConfig) -> Self {
-        Self { optimizer: Adam::new(config.lr), config }
+        Self {
+            optimizer: Adam::new(config.lr),
+            config,
+        }
     }
 
     /// Run one PPO update on `buffer` and return diagnostics.
@@ -180,7 +183,13 @@ pub struct IqPpoConfig {
 
 impl Default for IqPpoConfig {
     fn default() -> Self {
-        Self { ppo: PpoConfig::default(), ppo_iters_per_aux: 10, aux_epochs: 2, beta_clone: 1.0, aux_lr: 3e-4 }
+        Self {
+            ppo: PpoConfig::default(),
+            ppo_iters_per_aux: 10,
+            aux_epochs: 2,
+            beta_clone: 1.0,
+            aux_lr: 3e-4,
+        }
     }
 }
 
@@ -197,7 +206,11 @@ pub struct IqPpoTrainer {
 impl IqPpoTrainer {
     /// Create a trainer with the given configuration.
     pub fn new(config: IqPpoConfig) -> Self {
-        Self { ppo: PpoTrainer::new(config.ppo), aux_optimizer: Adam::new(config.aux_lr), config }
+        Self {
+            ppo: PpoTrainer::new(config.ppo),
+            aux_optimizer: Adam::new(config.aux_lr),
+            config,
+        }
     }
 
     /// Number of PPO iterations to run between auxiliary phases.
@@ -224,8 +237,11 @@ impl IqPpoTrainer {
         store: &mut ParamStore,
         buffer: &RolloutBuffer<M::Obs>,
     ) -> AuxStats {
-        let with_aux: Vec<&crate::buffer::Transition<M::Obs>> =
-            buffer.transitions().iter().filter(|t| t.aux.is_some()).collect();
+        let with_aux: Vec<&crate::buffer::Transition<M::Obs>> = buffer
+            .transitions()
+            .iter()
+            .filter(|t| t.aux.is_some())
+            .collect();
         if with_aux.is_empty() {
             return AuxStats::default();
         }
@@ -275,7 +291,11 @@ pub struct PpgTrainer {
 impl PpgTrainer {
     /// Create a trainer with the given configuration.
     pub fn new(config: IqPpoConfig) -> Self {
-        Self { ppo: PpoTrainer::new(config.ppo), aux_optimizer: Adam::new(config.aux_lr), config }
+        Self {
+            ppo: PpoTrainer::new(config.ppo),
+            aux_optimizer: Adam::new(config.aux_lr),
+            config,
+        }
     }
 
     /// Run one PPO phase.
@@ -348,9 +368,30 @@ mod tests {
     impl BanditModel {
         fn new(store: &mut ParamStore, rng: &mut StdRng) -> Self {
             Self {
-                policy: Mlp::new(store, "policy", &[4, 16, 4], Activation::Tanh, Activation::None, rng),
-                value: Mlp::new(store, "value", &[4, 16, 1], Activation::Tanh, Activation::None, rng),
-                aux: Mlp::new(store, "aux", &[4, 16, 1], Activation::Tanh, Activation::None, rng),
+                policy: Mlp::new(
+                    store,
+                    "policy",
+                    &[4, 16, 4],
+                    Activation::Tanh,
+                    Activation::None,
+                    rng,
+                ),
+                value: Mlp::new(
+                    store,
+                    "value",
+                    &[4, 16, 1],
+                    Activation::Tanh,
+                    Activation::None,
+                    rng,
+                ),
+                aux: Mlp::new(
+                    store,
+                    "aux",
+                    &[4, 16, 1],
+                    Activation::Tanh,
+                    Activation::None,
+                    rng,
+                ),
             }
         }
 
@@ -370,13 +411,24 @@ mod tests {
             (logits, value)
         }
 
-        fn aux_prediction(&self, g: &mut Graph, store: &ParamStore, obs: &usize, _index: usize) -> NodeId {
+        fn aux_prediction(
+            &self,
+            g: &mut Graph,
+            store: &ParamStore,
+            obs: &usize,
+            _index: usize,
+        ) -> NodeId {
             let x = g.input(Self::obs_tensor(*obs));
             self.aux.forward(g, store, x)
         }
     }
 
-    fn sample_action(model: &BanditModel, store: &ParamStore, obs: usize, rng: &mut StdRng) -> (usize, f32, f32, Vec<f32>) {
+    fn sample_action(
+        model: &BanditModel,
+        store: &ParamStore,
+        obs: usize,
+        rng: &mut StdRng,
+    ) -> (usize, f32, f32, Vec<f32>) {
         let mut g = Graph::new();
         let (logits, value) = model.evaluate(&mut g, store, &obs);
         let probs = g.value(logits).softmax_rows();
@@ -416,7 +468,10 @@ mod tests {
                 reward,
                 done: true,
                 action_probs: probs,
-                aux: Some(AuxTarget { earliest_index: 0, finish_time: obs as f32 / 4.0 }),
+                aux: Some(AuxTarget {
+                    earliest_index: 0,
+                    finish_time: obs as f32 / 4.0,
+                }),
             });
         }
         (buffer, total_reward / steps as f32)
@@ -427,7 +482,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let model = BanditModel::new(&mut store, &mut rng);
-        let mut trainer = PpoTrainer::new(PpoConfig { lr: 0.01, epochs: 4, ..PpoConfig::default() });
+        let mut trainer = PpoTrainer::new(PpoConfig {
+            lr: 0.01,
+            epochs: 4,
+            ..PpoConfig::default()
+        });
 
         let (_, initial_acc) = collect_bandit_rollout(&model, &store, &mut rng, 200);
         for _ in 0..30 {
@@ -459,7 +518,11 @@ mod tests {
         let mut store = ParamStore::new();
         let model = BanditModel::new(&mut store, &mut rng);
         let config = IqPpoConfig {
-            ppo: PpoConfig { lr: 0.01, epochs: 4, ..PpoConfig::default() },
+            ppo: PpoConfig {
+                lr: 0.01,
+                epochs: 4,
+                ..PpoConfig::default()
+            },
             aux_epochs: 3,
             beta_clone: 1.0,
             aux_lr: 0.01,
@@ -501,7 +564,11 @@ mod tests {
         let mut store = ParamStore::new();
         let model = BanditModel::new(&mut store, &mut rng);
         let mut trainer = PpgTrainer::new(IqPpoConfig {
-            ppo: PpoConfig { lr: 0.01, epochs: 2, ..PpoConfig::default() },
+            ppo: PpoConfig {
+                lr: 0.01,
+                epochs: 2,
+                ..PpoConfig::default()
+            },
             aux_epochs: 3,
             beta_clone: 1.0,
             aux_lr: 0.01,
@@ -513,7 +580,12 @@ mod tests {
         for _ in 0..5 {
             last = trainer.aux_phase(&model, &mut store, &buffer);
         }
-        assert!(last.aux_loss < first.aux_loss, "{} -> {}", first.aux_loss, last.aux_loss);
+        assert!(
+            last.aux_loss < first.aux_loss,
+            "{} -> {}",
+            first.aux_loss,
+            last.aux_loss
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub struct RolloutBuffer<O> {
 
 impl<O> Default for RolloutBuffer<O> {
     fn default() -> Self {
-        Self { transitions: Vec::new() }
+        Self {
+            transitions: Vec::new(),
+        }
     }
 }
 
@@ -108,7 +110,13 @@ impl<O> RolloutBuffer<O> {
     /// the value after a terminal state is zero.
     pub fn gae(&self, gamma: f32, lambda: f32) -> Vec<Estimate> {
         let n = self.transitions.len();
-        let mut estimates = vec![Estimate { advantage: 0.0, value_target: 0.0 }; n];
+        let mut estimates = vec![
+            Estimate {
+                advantage: 0.0,
+                value_target: 0.0
+            };
+            n
+        ];
         let mut next_advantage = 0.0f32;
         let mut next_value = 0.0f32;
         for i in (0..n).rev() {
@@ -119,7 +127,10 @@ impl<O> RolloutBuffer<O> {
             }
             let delta = t.reward + gamma * next_value - t.value;
             let advantage = delta + gamma * lambda * next_advantage;
-            estimates[i] = Estimate { advantage, value_target: advantage + t.value };
+            estimates[i] = Estimate {
+                advantage,
+                value_target: advantage + t.value,
+            };
             next_advantage = advantage;
             next_value = t.value;
         }
@@ -134,7 +145,11 @@ impl<O> RolloutBuffer<O> {
             return est;
         }
         let mean = est.iter().map(|e| e.advantage).sum::<f32>() / est.len() as f32;
-        let var = est.iter().map(|e| (e.advantage - mean).powi(2)).sum::<f32>() / est.len() as f32;
+        let var = est
+            .iter()
+            .map(|e| (e.advantage - mean).powi(2))
+            .sum::<f32>()
+            / est.len() as f32;
         let std = var.sqrt().max(1e-6);
         for e in &mut est {
             e.advantage = (e.advantage - mean) / std;
@@ -195,7 +210,8 @@ mod tests {
         }
         let est = buf.normalized_gae(0.99, 0.95);
         let mean: f32 = est.iter().map(|e| e.advantage).sum::<f32>() / est.len() as f32;
-        let var: f32 = est.iter().map(|e| e.advantage * e.advantage).sum::<f32>() / est.len() as f32;
+        let var: f32 =
+            est.iter().map(|e| e.advantage * e.advantage).sum::<f32>() / est.len() as f32;
         assert!(mean.abs() < 1e-4);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -20,5 +20,7 @@
 pub mod algo;
 pub mod buffer;
 
-pub use algo::{ActorCritic, AuxStats, IqPpoConfig, IqPpoTrainer, PpgTrainer, PpoConfig, PpoStats, PpoTrainer};
+pub use algo::{
+    ActorCritic, AuxStats, IqPpoConfig, IqPpoTrainer, PpgTrainer, PpoConfig, PpoStats, PpoTrainer,
+};
 pub use buffer::{AuxTarget, Estimate, RolloutBuffer, Transition};

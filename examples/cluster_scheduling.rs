@@ -16,7 +16,11 @@ fn main() {
     // 2x query scale: every TPC-DS template is instantiated twice.
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 2));
     let profile = DbmsProfile::dbms_x();
-    println!("{} batch queries on {}", workload.len(), profile.kind.name());
+    println!(
+        "{} batch queries on {}",
+        workload.len(),
+        profile.kind.name()
+    );
 
     // Historical logs provide the concurrency overlaps the gain is computed from.
     let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 2, 3);
@@ -28,7 +32,9 @@ fn main() {
 
     // Agglomerative clustering into 40 clusters.
     let clustering = QueryClustering::agglomerative(&gains, 40);
-    let sizes: Vec<usize> = (0..clustering.num_clusters()).map(|c| clustering.members(c).len()).collect();
+    let sizes: Vec<usize> = (0..clustering.num_clusters())
+        .map(|c| clustering.members(c).len())
+        .collect();
     println!(
         "clustered into {} clusters (largest {}, smallest {})",
         clustering.num_clusters(),
@@ -46,21 +52,54 @@ fn main() {
 
     // Train a cluster-level BQSched agent and compare with FIFO.
     let config = BqSchedConfig {
-        plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-        state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+        plan_encoder: PlanEncoderConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            tree_bias_per_hop: 0.5,
+        },
+        state_encoder: StateEncoderConfig {
+            plan_dim: 16,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
         plan_pretrain_epochs: 1,
         cluster_count: Some(40),
         ..BqSchedConfig::default()
     };
     let mut agent = BqSchedAgent::new(&workload, &profile, Some(&history), config);
-    println!("agent schedules {} entities instead of {} queries", agent.num_entities(), workload.len());
-    let training = TrainingConfig { iterations: 1, ppo_iters: 1, rounds_per_iter: 2, eval_rounds: 1, seed: 5 };
+    println!(
+        "agent schedules {} entities instead of {} queries",
+        agent.num_entities(),
+        workload.len()
+    );
+    let training = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 1,
+        rounds_per_iter: 2,
+        eval_rounds: 1,
+        seed: 5,
+    };
     bq_sched::train_on_dbms(&mut agent, &workload, &profile, Some(&history), &training);
     agent.explore = false;
 
-    let fifo = evaluate_strategy(&mut FifoScheduler::new(), &workload, &profile, Some(&history), 3, 42);
+    let fifo = evaluate_strategy(
+        &mut FifoScheduler::new(),
+        &workload,
+        &profile,
+        Some(&history),
+        3,
+        42,
+    );
     let bq = evaluate_strategy(&mut agent, &workload, &profile, Some(&history), 3, 42);
-    println!("\nFIFO     makespan: {:.2}s ± {:.2}", fifo.mean_makespan, fifo.std_makespan);
-    println!("BQSched  makespan: {:.2}s ± {:.2}", bq.mean_makespan, bq.std_makespan);
+    println!(
+        "\nFIFO     makespan: {:.2}s ± {:.2}",
+        fifo.mean_makespan, fifo.std_makespan
+    );
+    println!(
+        "BQSched  makespan: {:.2}s ± {:.2}",
+        bq.mean_makespan, bq.std_makespan
+    );
     let _ = history.avg_exec_time(QueryId(0));
 }

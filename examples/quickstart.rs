@@ -1,12 +1,15 @@
-//! Quickstart: schedule the 22 TPC-H queries on the simulated DBMS-X with the
-//! built-in heuristics and compare their makespans.
+//! Quickstart: schedule the 22 TPC-H queries on the simulated DBMS-X through
+//! the `ScheduleSession` facade, then compare the built-in heuristics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bq_core::{collect_history, evaluate_strategy, FifoScheduler, McfScheduler, RandomScheduler};
-use bq_dbms::DbmsProfile;
+use bq_core::{
+    collect_history, evaluate_strategy, FifoScheduler, McfScheduler, RandomScheduler,
+    ScheduleSession,
+};
+use bq_dbms::{DbmsProfile, ExecutionEngine};
 use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
 
 fn main() {
@@ -27,12 +30,33 @@ fn main() {
         profile.connections
     );
 
-    // 3. Run a few FIFO rounds to build the execution history (the "offline
-    //    logs" every log-driven component of BQSched starts from).
-    let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 3, 7);
-    println!("collected {} historical rounds (mean makespan {:.2}s)", history.len(), history.mean_makespan());
+    // 3. Run one round through the single-entry facade: build a session over
+    //    the workload, attach a backend, run a policy. The same builder works
+    //    for the simulated DBMS, the learned simulator, or any future
+    //    `ExecutorBackend`.
+    let mut engine = ExecutionEngine::new(profile.clone(), &workload, 7);
+    let mut completions = 0usize;
+    let log = ScheduleSession::builder(&workload)
+        .dbms(profile.kind)
+        .round(7)
+        .on_completion(|_c| completions += 1)
+        .build(&mut engine)
+        .run(&mut FifoScheduler::new());
+    println!(
+        "one FIFO round: makespan {:.2}s, {} completions observed via hook",
+        log.makespan(),
+        completions
+    );
 
-    // 4. Evaluate the heuristics over m = 5 rounds each.
+    // 4. Build an execution history (the "offline logs" every log-driven
+    //    component of BQSched starts from) and evaluate the heuristics over
+    //    m = 5 rounds each.
+    let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 3, 7);
+    println!(
+        "collected {} historical rounds (mean makespan {:.2}s)",
+        history.len(),
+        history.mean_makespan()
+    );
     let costs: Vec<f64> = (0..workload.len())
         .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(0.0))
         .collect();
@@ -41,9 +65,15 @@ fn main() {
         ("FIFO", Box::new(FifoScheduler::new())),
         ("MCF", Box::new(McfScheduler::with_costs(costs))),
     ];
-    println!("\n{:<10} {:>12} {:>10}", "strategy", "makespan(s)", "std(s)");
+    println!(
+        "\n{:<10} {:>12} {:>10}",
+        "strategy", "makespan(s)", "std(s)"
+    );
     for (name, policy) in strategies.iter_mut() {
         let eval = evaluate_strategy(policy.as_mut(), &workload, &profile, Some(&history), 5, 42);
-        println!("{:<10} {:>12.2} {:>10.2}", name, eval.mean_makespan, eval.std_makespan);
+        println!(
+            "{:<10} {:>12.2} {:>10.2}",
+            name, eval.mean_makespan, eval.std_makespan
+        );
     }
 }

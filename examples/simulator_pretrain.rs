@@ -22,8 +22,18 @@ fn main() {
     let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 3, 1);
 
     let agent_config = BqSchedConfig {
-        plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-        state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+        plan_encoder: PlanEncoderConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            tree_bias_per_hop: 0.5,
+        },
+        state_encoder: StateEncoderConfig {
+            plan_dim: 16,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
         plan_pretrain_epochs: 1,
         ..BqSchedConfig::default()
     };
@@ -31,17 +41,36 @@ fn main() {
 
     // 1. Train the simulator's prediction model on the historical logs.
     let sim_config = SimulatorConfig {
-        encoder: StateEncoderConfig { plan_dim: agent.plan_embeddings().cols(), dim: 16, heads: 2, blocks: 1 },
+        encoder: StateEncoderConfig {
+            plan_dim: agent.plan_embeddings().cols(),
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
         ..SimulatorConfig::default()
     };
     let samples = samples_from_history(&workload, &history, agent.plan_embeddings(), &sim_config);
-    println!("extracted {} supervised samples from {} logged rounds", samples.len(), history.len());
+    println!(
+        "extracted {} supervised samples from {} logged rounds",
+        samples.len(),
+        history.len()
+    );
     let mut simulator = SimulatorModel::new(agent.plan_embeddings().cols(), sim_config, 9);
     let metrics = simulator.train(&samples, 10, 0.01);
-    println!("simulator: earliest-finisher accuracy {:.1}%, time MSE {:.4}", metrics.accuracy * 100.0, metrics.mse);
+    println!(
+        "simulator: earliest-finisher accuracy {:.1}%, time MSE {:.4}",
+        metrics.accuracy * 100.0,
+        metrics.mse
+    );
 
     // 2. Pre-train the scheduler against the simulator (consumes no DBMS time).
-    let pre_tc = TrainingConfig { iterations: 1, ppo_iters: 2, rounds_per_iter: 2, eval_rounds: 1, seed: 30 };
+    let pre_tc = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 2,
+        rounds_per_iter: 2,
+        eval_rounds: 1,
+        seed: 30,
+    };
     let embs = agent.plan_embeddings().clone();
     let pre_curve = pretrain_on_simulator(
         &mut agent,
@@ -52,22 +81,52 @@ fn main() {
         profile.connections,
         &pre_tc,
     );
-    println!("pre-training ran {} simulated rounds ({} DBMS rounds)", pre_curve.total_episodes, 0);
+    println!(
+        "pre-training ran {} simulated rounds ({} DBMS rounds)",
+        pre_curve.total_episodes, 0
+    );
 
     // 3. Fine-tune on the (simulated) DBMS with a small budget.
-    let fine_tc = TrainingConfig { iterations: 1, ppo_iters: 1, rounds_per_iter: 2, eval_rounds: 1, seed: 40 };
+    let fine_tc = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 1,
+        rounds_per_iter: 2,
+        eval_rounds: 1,
+        seed: 40,
+    };
     let fine_curve = train_on_dbms(&mut agent, &workload, &profile, Some(&history), &fine_tc);
-    println!("fine-tuning consumed {} DBMS rounds", fine_curve.total_episodes);
+    println!(
+        "fine-tuning consumed {} DBMS rounds",
+        fine_curve.total_episodes
+    );
 
     // 4. Compare with training from scratch on the DBMS only.
     let mut scratch = BqSchedAgent::new(&workload, &profile, Some(&history), agent_config);
-    let scratch_tc = TrainingConfig { iterations: 1, ppo_iters: 3, rounds_per_iter: 2, eval_rounds: 1, seed: 50 };
-    let scratch_curve = train_on_dbms(&mut scratch, &workload, &profile, Some(&history), &scratch_tc);
+    let scratch_tc = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 3,
+        rounds_per_iter: 2,
+        eval_rounds: 1,
+        seed: 50,
+    };
+    let scratch_curve = train_on_dbms(
+        &mut scratch,
+        &workload,
+        &profile,
+        Some(&history),
+        &scratch_tc,
+    );
 
     agent.explore = false;
     scratch.explore = false;
     let pre_eval = evaluate_strategy(&mut agent, &workload, &profile, Some(&history), 3, 77);
     let scratch_eval = evaluate_strategy(&mut scratch, &workload, &profile, Some(&history), 3, 77);
-    println!("\npretrain+finetune: makespan {:.2}s using {} DBMS rounds", pre_eval.mean_makespan, fine_curve.total_episodes);
-    println!("from scratch:      makespan {:.2}s using {} DBMS rounds", scratch_eval.mean_makespan, scratch_curve.total_episodes);
+    println!(
+        "\npretrain+finetune: makespan {:.2}s using {} DBMS rounds",
+        pre_eval.mean_makespan, fine_curve.total_episodes
+    );
+    println!(
+        "from scratch:      makespan {:.2}s using {} DBMS rounds",
+        scratch_eval.mean_makespan, scratch_curve.total_episodes
+    );
 }

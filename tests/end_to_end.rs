@@ -3,10 +3,24 @@
 //! public API of the umbrella crate.
 
 use bqsched::core::{
-    collect_history, evaluate_strategy, run_episode, FifoScheduler, GanttChart, McfScheduler,
-    RandomScheduler, SchedulerPolicy,
+    collect_history, evaluate_strategy, EpisodeLog, ExecutionHistory, FifoScheduler, GanttChart,
+    McfScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
 };
 use bqsched::dbms::{DbmsProfile, MemoryGrant, RunParams};
+use bqsched::plan::Workload;
+
+/// Run one scheduling round through the session facade on a fresh engine.
+fn run_round(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &Workload,
+    profile: &DbmsProfile,
+    history: Option<&ExecutionHistory>,
+    seed: u64,
+) -> EpisodeLog {
+    ScheduleSession::builder(workload)
+        .maybe_history(history)
+        .run_on_profile(profile, seed, policy)
+}
 use bqsched::encoder::{PlanEncoderConfig, StateEncoderConfig};
 use bqsched::plan::{generate, perturb_query_set, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{
@@ -16,8 +30,18 @@ use bqsched::sched::{
 
 fn small_agent_config() -> BqSchedConfig {
     BqSchedConfig {
-        plan_encoder: PlanEncoderConfig { dim: 16, heads: 2, blocks: 1, tree_bias_per_hop: 0.5 },
-        state_encoder: StateEncoderConfig { plan_dim: 16, dim: 16, heads: 2, blocks: 1 },
+        plan_encoder: PlanEncoderConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            tree_bias_per_hop: 0.5,
+        },
+        state_encoder: StateEncoderConfig {
+            plan_dim: 16,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
         plan_pretrain_epochs: 0,
         ..BqSchedConfig::default()
     }
@@ -34,8 +58,14 @@ fn every_strategy_completes_a_tpch_round_on_every_dbms() {
         ]
         .iter_mut()
         {
-            let log = run_episode(policy.as_mut(), &workload, &profile, None, 1);
-            assert_eq!(log.len(), workload.len(), "{} on {}", policy.name(), profile.kind.name());
+            let log = run_round(policy.as_mut(), &workload, &profile, None, 1);
+            assert_eq!(
+                log.len(),
+                workload.len(),
+                "{} on {}",
+                policy.name(),
+                profile.kind.name()
+            );
             assert!(log.makespan() > 0.0);
         }
     }
@@ -48,7 +78,7 @@ fn makespan_is_bounded_by_serial_execution() {
     // longest single query.
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
-    let log = run_episode(&mut FifoScheduler::new(), &workload, &profile, None, 3);
+    let log = run_round(&mut FifoScheduler::new(), &workload, &profile, None, 3);
     let longest = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
     let serial_sum: f64 = log.records.iter().map(|r| r.duration()).sum();
     assert!(log.makespan() >= longest - 1e-6);
@@ -60,10 +90,25 @@ fn mcf_with_history_beats_random_on_tpcds() {
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 2, 0);
-    let costs: Vec<f64> =
-        (0..workload.len()).map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(0.0)).collect();
-    let random = evaluate_strategy(&mut RandomScheduler::new(9), &workload, &profile, Some(&history), 3, 500);
-    let mcf = evaluate_strategy(&mut McfScheduler::with_costs(costs), &workload, &profile, Some(&history), 3, 500);
+    let costs: Vec<f64> = (0..workload.len())
+        .map(|i| history.avg_exec_time(QueryId(i)).unwrap_or(0.0))
+        .collect();
+    let random = evaluate_strategy(
+        &mut RandomScheduler::new(9),
+        &workload,
+        &profile,
+        Some(&history),
+        3,
+        500,
+    );
+    let mcf = evaluate_strategy(
+        &mut McfScheduler::with_costs(costs),
+        &workload,
+        &profile,
+        Some(&history),
+        3,
+        500,
+    );
     assert!(
         mcf.mean_makespan < random.mean_makespan,
         "MCF ({}) should beat Random ({})",
@@ -81,20 +126,29 @@ fn bqsched_agent_runs_untrained_and_after_training() {
 
     // Untrained greedy episode completes.
     agent.explore = false;
-    let log = run_episode(&mut agent, &workload, &profile, Some(&history), 0);
+    let log = run_round(&mut agent, &workload, &profile, Some(&history), 0);
     assert_eq!(log.len(), workload.len());
 
     // A short training run completes and the agent still schedules correctly.
-    let tc = TrainingConfig { iterations: 1, ppo_iters: 1, rounds_per_iter: 1, eval_rounds: 1, seed: 10 };
+    let tc = TrainingConfig {
+        iterations: 1,
+        ppo_iters: 1,
+        rounds_per_iter: 1,
+        eval_rounds: 1,
+        seed: 10,
+    };
     let curve = train_on_dbms(&mut agent, &workload, &profile, Some(&history), &tc);
     assert!(curve.total_episodes >= 1);
     agent.explore = false;
-    let log2 = run_episode(&mut agent, &workload, &profile, Some(&history), 1);
+    let log2 = run_round(&mut agent, &workload, &profile, Some(&history), 1);
     assert_eq!(log2.len(), workload.len());
     // All submitted parameter configurations are valid members of the space.
     for r in &log2.records {
         assert!(r.params.workers == 1 || r.params.workers == 2 || r.params.workers == 4);
-        assert!(matches!(r.params.memory, MemoryGrant::Low | MemoryGrant::High));
+        assert!(matches!(
+            r.params.memory,
+            MemoryGrant::Low | MemoryGrant::High
+        ));
     }
 }
 
@@ -107,7 +161,11 @@ fn lsched_and_bqsched_share_the_framework_but_differ_in_configuration() {
         &workload,
         &profile,
         None,
-        BqSchedConfig { use_masking: false, algorithm: Algorithm::Ppo, ..small_agent_config() },
+        BqSchedConfig {
+            use_masking: false,
+            algorithm: Algorithm::Ppo,
+            ..small_agent_config()
+        },
     );
     assert_eq!(bq.name(), "BQSched");
     assert_eq!(ls.name(), "LSched");
@@ -122,7 +180,12 @@ fn simulator_pipeline_produces_consistent_episodes() {
     let history = collect_history(&mut FifoScheduler::new(), &workload, &profile, 2, 0);
     let agent = BqSchedAgent::new(&workload, &profile, Some(&history), small_agent_config());
     let sim_config = SimulatorConfig {
-        encoder: StateEncoderConfig { plan_dim: agent.plan_embeddings().cols(), dim: 16, heads: 2, blocks: 1 },
+        encoder: StateEncoderConfig {
+            plan_dim: agent.plan_embeddings().cols(),
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
         ..SimulatorConfig::default()
     };
     let samples = samples_from_history(&workload, &history, agent.plan_embeddings(), &sim_config);
@@ -138,7 +201,7 @@ fn perturbed_workloads_still_schedule_correctly() {
     let profile = DbmsProfile::dbms_x();
     for factor in [0.8, 1.2] {
         let perturbed = perturb_query_set(&workload, factor, 1);
-        let log = run_episode(&mut FifoScheduler::new(), &perturbed, &profile, None, 0);
+        let log = run_round(&mut FifoScheduler::new(), &perturbed, &profile, None, 0);
         assert_eq!(log.len(), perturbed.len());
     }
 }
@@ -147,10 +210,14 @@ fn perturbed_workloads_still_schedule_correctly() {
 fn gantt_chart_covers_every_connection_used() {
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
-    let log = run_episode(&mut FifoScheduler::new(), &workload, &profile, None, 0);
+    let log = run_round(&mut FifoScheduler::new(), &workload, &profile, None, 0);
     let chart = GanttChart::from_log(&log);
     assert_eq!(chart.used_connections(), profile.connections);
-    assert!(chart.utilisation() > 0.3, "utilisation {}", chart.utilisation());
+    assert!(
+        chart.utilisation() > 0.3,
+        "utilisation {}",
+        chart.utilisation()
+    );
     let total_bars: usize = chart.rows.iter().map(Vec::len).sum();
     assert_eq!(total_bars, workload.len());
 }

@@ -3,11 +3,22 @@
 //! masking never removes every configuration, and clustering always yields a
 //! partition — for arbitrary workload subsets, seeds and parameters.
 
-use bqsched::core::{collect_history, run_episode, FifoScheduler, RandomScheduler};
+use bqsched::core::{
+    collect_history, EpisodeLog, FifoScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
+};
 use bqsched::dbms::{DbmsProfile, ParamSpace};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
 use proptest::prelude::*;
+
+fn run_round(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &bqsched::plan::Workload,
+    profile: &DbmsProfile,
+    seed: u64,
+) -> EpisodeLog {
+    ScheduleSession::builder(workload).run_on_profile(profile, seed, policy)
+}
 
 fn workload_for(benchmark: Benchmark, n: usize) -> bqsched::plan::Workload {
     let w = generate(&WorkloadSpec::new(benchmark, 1.0, 1));
@@ -22,7 +33,7 @@ proptest! {
     fn engine_conserves_queries_and_time(seed in 0u64..500, n in 4usize..22) {
         let workload = workload_for(Benchmark::TpcH, n);
         let profile = DbmsProfile::dbms_x();
-        let log = run_episode(&mut RandomScheduler::new(seed), &workload, &profile, None, seed);
+        let log = run_round(&mut RandomScheduler::new(seed), &workload, &profile, seed);
         // Every query completes exactly once.
         prop_assert_eq!(log.len(), workload.len());
         let mut seen = vec![false; workload.len()];
@@ -42,7 +53,7 @@ proptest! {
     fn scheduling_order_does_not_lose_connections(seed in 0u64..200) {
         let workload = workload_for(Benchmark::TpcH, 22);
         let profile = DbmsProfile::dbms_y();
-        let log = run_episode(&mut RandomScheduler::new(seed), &workload, &profile, None, seed);
+        let log = run_round(&mut RandomScheduler::new(seed), &workload, &profile, seed);
         // No connection index outside the profile's range is ever used.
         for r in &log.records {
             prop_assert!(r.connection < profile.connections);

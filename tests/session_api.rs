@@ -1,0 +1,245 @@
+//! Backend-generic contract tests for the `ScheduleSession` API: the same
+//! invariants must hold whether the session drives the simulated DBMS
+//! (`ExecutionEngine`) or the learned incremental simulator
+//! (`LearnedSimulator`), and the deprecated `run_episode`/`run_episode_on`
+//! shims must reproduce session output byte for byte.
+
+use bqsched::core::{
+    EpisodeLog, ExecutorBackend, FifoScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
+};
+use bqsched::dbms::{DbmsProfile, ExecutionEngine};
+use bqsched::nn::{ParamStore, Tensor};
+use bqsched::plan::{generate, Benchmark, Workload, WorkloadSpec};
+use bqsched::sched::{LearnedSimulator, SimulatorConfig, SimulatorModel};
+use proptest::prelude::*;
+
+/// Run one round through the session facade against any backend.
+fn session_round<E: ExecutorBackend>(
+    policy: &mut dyn SchedulerPolicy,
+    workload: &Workload,
+    backend: &mut E,
+    round: u64,
+) -> EpisodeLog {
+    ScheduleSession::builder(workload)
+        .round(round)
+        .build(backend)
+        .run(policy)
+}
+
+/// Check the two session invariants on a finished log:
+/// 1. every query completes exactly once;
+/// 2. between any two consecutive events, all `|C|` connections are busy
+///    while enough queries remain (work-conserving saturation).
+fn assert_session_invariants(log: &EpisodeLog, workload: &Workload, connections: usize) {
+    assert_eq!(log.len(), workload.len(), "every query must complete");
+    let mut seen = vec![false; workload.len()];
+    for r in &log.records {
+        assert!(!seen[r.query.0], "query {:?} completed twice", r.query);
+        seen[r.query.0] = true;
+        assert!(r.finished_at > r.started_at, "durations must be positive");
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "every query must appear in the log"
+    );
+
+    // Saturation: probe the midpoint of every inter-event interval.
+    let mut events: Vec<f64> = log
+        .records
+        .iter()
+        .flat_map(|r| [r.started_at, r.finished_at])
+        .collect();
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    events.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let n = workload.len();
+    for pair in events.windows(2) {
+        let t = (pair[0] + pair[1]) / 2.0;
+        let running = log
+            .records
+            .iter()
+            .filter(|r| r.started_at <= t && t < r.finished_at)
+            .count();
+        let finished = log.records.iter().filter(|r| r.finished_at <= t).count();
+        let expected = connections.min(n - finished);
+        assert_eq!(
+            running, expected,
+            "at t={t:.4} only {running}/{expected} connections were busy \
+             ({finished}/{n} finished)"
+        );
+    }
+}
+
+/// Build a learned-simulator backend over an (untrained, deterministic)
+/// prediction model. Returns the pieces the simulator borrows.
+fn simulator_parts(workload: &Workload) -> (SimulatorModel, Tensor, Vec<f64>) {
+    let mut store = ParamStore::new();
+    let mut rng = bqsched::encoder::seeded_rng(0);
+    let enc = bqsched::encoder::PlanEncoder::new(
+        &mut store,
+        bqsched::encoder::PlanEncoderConfig {
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+            tree_bias_per_hop: 0.5,
+        },
+        &mut rng,
+    );
+    let embs = enc.embed_workload(&store, workload);
+    let config = SimulatorConfig {
+        encoder: bqsched::encoder::StateEncoderConfig {
+            plan_dim: 16,
+            dim: 16,
+            heads: 2,
+            blocks: 1,
+        },
+        ..SimulatorConfig::default()
+    };
+    let model = SimulatorModel::new(16, config, 1);
+    let avg = vec![1.0; workload.len()];
+    (model, embs, avg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_sessions_saturate_and_complete(seed in 0u64..200, n in 6usize..22) {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let w = w.subset(&(0..n.min(w.len())).collect::<Vec<_>>());
+        let profile = DbmsProfile::dbms_x();
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+        let log = session_round(&mut RandomScheduler::new(seed), &w, &mut engine, seed);
+        assert_session_invariants(&log, &w, profile.connections);
+    }
+}
+
+#[test]
+fn simulator_sessions_saturate_and_complete() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let (model, embs, avg) = simulator_parts(&w);
+    for connections in [4usize, 8] {
+        let mut sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), connections);
+        let log = session_round(&mut FifoScheduler::new(), &w, &mut sim, 0);
+        assert_session_invariants(&log, &w, connections);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn engine_shim_is_byte_identical_to_session() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    for seed in [0u64, 3, 11, 40] {
+        let legacy =
+            bqsched::core::run_episode(&mut FifoScheduler::new(), &w, &profile, None, seed);
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+        let session = ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(seed)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(legacy.to_json(), session.to_json(), "engine seed {seed}");
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn simulator_shim_is_byte_identical_to_session() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let (model, embs, avg) = simulator_parts(&w);
+
+    let mut legacy_sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+    let legacy = bqsched::core::run_episode_on(
+        &mut FifoScheduler::new(),
+        &w,
+        &mut legacy_sim,
+        None,
+        bqsched::dbms::DbmsKind::X,
+        5,
+    );
+
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
+    let session = ScheduleSession::builder(&w)
+        .dbms(bqsched::dbms::DbmsKind::X)
+        .round(5)
+        .build(&mut sim)
+        .run(&mut FifoScheduler::new());
+
+    assert_eq!(legacy.to_json(), session.to_json());
+}
+
+#[test]
+fn simulator_timeouts_respect_predicted_completions() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let (model, embs, avg) = simulator_parts(&w);
+
+    // Baseline: natural (predicted) completions, no timeout.
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+    let natural = session_round(&mut FifoScheduler::new(), &w, &mut sim, 0);
+    let max_natural = natural
+        .records
+        .iter()
+        .map(|r| r.duration())
+        .fold(0.0, f64::max);
+
+    // A timeout far beyond every predicted duration must not change the
+    // episode: the simulator still completes queries via its predictions
+    // instead of cancelling everything at the deadline.
+    let generous = max_natural * 100.0;
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+    let log = ScheduleSession::builder(&w)
+        .round(0)
+        .query_timeout(generous)
+        .build(&mut sim)
+        .run(&mut FifoScheduler::new());
+    assert_eq!(natural.to_json(), log.to_json());
+
+    // A tight timeout clips at the deadline, and every duration respects it.
+    let tight = max_natural / 2.0;
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
+    let log = ScheduleSession::builder(&w)
+        .round(0)
+        .query_timeout(tight)
+        .build(&mut sim)
+        .run(&mut FifoScheduler::new());
+    assert_eq!(log.len(), w.len());
+    let max_timed = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
+    assert!(
+        max_timed <= tight + 1e-6,
+        "simulator duration {max_timed} overshot the {tight}s timeout"
+    );
+}
+
+#[test]
+fn random_policy_is_reproducible_across_backends_per_seed() {
+    // Same seed, same backend type => identical logs; the session introduces
+    // no hidden nondeterminism.
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+    let profile = DbmsProfile::dbms_y();
+    let run = |seed: u64| {
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+        session_round(&mut RandomScheduler::new(seed), &w, &mut engine, seed).to_json()
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
+
+#[test]
+fn query_ids_stay_in_range_for_both_backends() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let mut engine = ExecutionEngine::new(profile.clone(), &w, 2);
+    let log = session_round(&mut FifoScheduler::new(), &w, &mut engine, 2);
+    for r in &log.records {
+        assert!(r.query.0 < w.len());
+        assert!(r.connection < profile.connections);
+    }
+
+    let (model, embs, avg) = simulator_parts(&w);
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 5);
+    let log = session_round(&mut FifoScheduler::new(), &w, &mut sim, 2);
+    for r in &log.records {
+        assert!(r.query.0 < w.len());
+        assert!(r.connection < 5, "simulator connection out of range");
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `criterion` with the subset of the API the bench
+//! suite uses: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function(|b| b.iter(..))`, `group.finish()` and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs its
+//! closure `sample_size` times and prints mean / min wall-clock per iteration.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+        } else {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let min = samples.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            println!(
+                "{}/{id}: mean {:.3} ms, min {:.3} ms over {} samples",
+                self.name,
+                mean * 1e3,
+                min * 1e3,
+                samples.len()
+            );
+        }
+        self
+    }
+
+    /// End the group (printing happens per benchmark; nothing left to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over the group's sample count.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` once per sample, recording wall-clock seconds per run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Collect bench functions under one group name (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running every group (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,360 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the input
+//! item is parsed directly from the [`proc_macro::TokenStream`] and the impl
+//! is emitted as source text. Supported shapes — the only ones this workspace
+//! derives — are:
+//!
+//! * structs with named fields (serialized as a JSON object),
+//! * tuple structs (newtypes serialize transparently, larger ones as arrays),
+//! * enums whose variants are all unit variants (serialized as their name),
+//! * optional plain type parameters (bounded with `serde::Serialize` /
+//!   `serde::Deserialize` in the generated impl).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...); returns new index.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `<...>` generics starting at `i` (which must point at `<`).
+/// Returns (type parameter names, index just past the closing `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_param = true;
+    while let Some(tok) = tokens.get(i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expect_param = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: consume the quote and its ident.
+                expect_param = false;
+                i += 2;
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (params, i)
+}
+
+/// Split the tokens of a named-fields body into field names.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        let Some(TokenTree::Ident(id)) = body.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then skip the type up to the next top-level ','.
+        let mut angle = 0i32;
+        while let Some(tok) = body.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple-struct body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for (idx, tok) in body.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0
+                    // A trailing comma does not open a new field.
+                    && idx + 1 < body.len() =>
+                {
+                    count += 1;
+                }
+                _ => {}
+            }
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        count
+    } else {
+        0
+    }
+}
+
+/// Parse an enum body into unit-variant names (panics on payload variants).
+fn parse_variants(body: &[TokenTree], item: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        let Some(TokenTree::Ident(id)) = body.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Group(_)) => panic!(
+                "serde stand-in: enum {item} has a payload variant; only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            _ => panic!("serde stand-in: unexpected token in enum {item}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in: expected item name, got {other:?}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let (params, next) = parse_generics(&tokens, i);
+            generics = params;
+            i = next;
+        }
+    }
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while let Some(tok) = tokens.get(i) {
+        match tok {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum(parse_variants(&body, &name))
+            }
+            other => panic!("serde stand-in: expected enum body for {name}, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(count_tuple_fields(&body))
+            }
+            _ => Shape::Unit,
+        }
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+/// Derive `serde::Serialize` (`to_value`) for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => serde::Value::Str(\"{v}\".to_string())",
+                        item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "{} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        impl_header(&item, "Serialize")
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (`from_value`) for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::Value::map_get(map, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let map = v.as_map().ok_or_else(|| serde::Error::custom(\"expected map for {name}\"))?;\
+                 Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| serde::Error::custom(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\
+                 Ok({name}({}))",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{ {}, _ => Err(serde::Error::custom(\"unknown variant for {name}\")) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    let out = format!(
+        "{} {{ fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} }}",
+        impl_header(&item, "Deserialize")
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
