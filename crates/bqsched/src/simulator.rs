@@ -370,8 +370,9 @@ pub struct LearnedSimulator<'a> {
     plan_embs: &'a Tensor,
     avg_times: Vec<f64>,
     now: f64,
+    /// Sole owner of occupancy: which query runs on which connection, with
+    /// which params, since when. No shadow counters to keep in sync.
     slots: Vec<ConnectionSlot>,
-    running_count: usize,
     finished: Vec<bool>,
     /// Reusable per-query runtime buffer for building prediction states.
     runtimes: Vec<QueryRuntime>,
@@ -400,7 +401,6 @@ impl<'a> LearnedSimulator<'a> {
             avg_times,
             now: 0.0,
             slots: vec![ConnectionSlot::Free; connections],
-            running_count: 0,
             finished: vec![false; workload.len()],
             runtimes,
             completion_events: VecDeque::with_capacity(1),
@@ -451,7 +451,7 @@ impl<'a> LearnedSimulator<'a> {
     /// larger elapsed times). This is what makes per-query timeouts land at
     /// their deadline on the learned backend too.
     fn advance_bounded(&mut self, until: f64) {
-        if self.running_count == 0 {
+        if self.slots.iter().all(ConnectionSlot::is_free) {
             return;
         }
         self.refresh_runtimes();
@@ -491,7 +491,6 @@ impl<'a> LearnedSimulator<'a> {
             unreachable!("position() returned a busy slot");
         };
         self.slots[connection] = ConnectionSlot::Free;
-        self.running_count -= 1;
         self.finished[query.0] = true;
         self.completion_events.push_back(QueryCompletion {
             query,
@@ -523,7 +522,6 @@ impl ExecutorBackend for LearnedSimulator<'_> {
             params,
             started_at: self.now,
         };
-        self.running_count += 1;
         self.submitted_events.push_back((query, connection));
     }
 
@@ -560,7 +558,6 @@ impl ExecutorBackend for LearnedSimulator<'_> {
             return None;
         };
         self.slots[connection] = ConnectionSlot::Free;
-        self.running_count -= 1;
         self.finished[query.0] = true;
         Some(QueryCompletion {
             query,

@@ -130,21 +130,12 @@ impl SchedulerPolicy for McfScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::log::{EpisodeLog, ExecutionHistory};
+    use crate::log::ExecutionHistory;
     use crate::metrics::evaluate_strategy;
     use crate::session::ScheduleSession;
     use crate::state::{QueryRuntime, QueryStatus};
     use bq_dbms::DbmsProfile;
     use bq_plan::{generate, Benchmark, WorkloadSpec};
-
-    fn run_round(
-        policy: &mut dyn SchedulerPolicy,
-        w: &Workload,
-        profile: &DbmsProfile,
-        seed: u64,
-    ) -> EpisodeLog {
-        ScheduleSession::builder(w).run_on_profile(profile, seed, policy)
-    }
 
     fn small_workload() -> Workload {
         generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
@@ -231,7 +222,7 @@ mod tests {
         ]
         .iter_mut()
         {
-            let log = run_round(policy.as_mut(), &w, &profile, 0);
+            let log = ScheduleSession::builder(&w).run_on_profile(&profile, 0, policy.as_mut());
             assert_eq!(log.len(), w.len(), "{} dropped queries", policy.name());
         }
     }
@@ -246,7 +237,7 @@ mod tests {
             let mut h = ExecutionHistory::new();
             let mut fifo = FifoScheduler::new();
             for round in 0..2 {
-                h.push(run_round(&mut fifo, &w, &profile, round));
+                h.push(ScheduleSession::builder(&w).run_on_profile(&profile, round, &mut fifo));
             }
             h
         };

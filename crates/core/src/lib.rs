@@ -38,8 +38,6 @@
 //!   and the [`ExecutorBackend`] abstraction over execution substrates;
 //! * [`state`] — what a scheduler observes ([`SchedulingState`]) and decides
 //!   ([`Action`]): the next pending query plus its running parameters;
-//! * [`runner`] — deprecated `run_episode` / `run_episode_on` shims that pin
-//!   the legacy episode semantics on top of the session;
 //! * [`log`] — per-round execution logs and the accumulated
 //!   [`ExecutionHistory`] that feeds MCF, adaptive masking, gain clustering
 //!   and the incremental simulator;
@@ -53,7 +51,6 @@ pub mod gantt;
 pub mod heuristics;
 pub mod log;
 pub mod metrics;
-pub mod runner;
 pub mod scheduler;
 pub mod session;
 pub mod state;
@@ -62,8 +59,6 @@ pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
 pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
-#[allow(deprecated)]
-pub use runner::{run_episode, run_episode_on};
 pub use scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy};
 pub use session::{CompletionHook, ScheduleSession, ScheduleSessionBuilder};
 pub use state::{Action, QueryRuntime, QueryStatus, SchedulingState};

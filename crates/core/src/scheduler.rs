@@ -68,7 +68,12 @@ pub enum ExecEvent {
 }
 
 /// Borrow-based view over the queries currently executing: iterates
-/// `(query, params, elapsed, connection)` without allocating.
+/// `(query, params, elapsed, connection)` without allocating, in ascending
+/// connection order.
+///
+/// Because it reads straight off the [`ConnectionSlot`] slice — the single
+/// source of occupancy identity — the iteration order is deterministic
+/// regardless of the history of completions and cancellations.
 #[derive(Debug, Clone)]
 pub struct RunningView<'a> {
     slots: &'a [ConnectionSlot],
@@ -115,8 +120,22 @@ impl Iterator for RunningView<'_> {
 /// paper's non-intrusive design. The contract is allocation-free on the hot
 /// path: occupancy is exposed as a borrowed [`ConnectionSlot`] slice and
 /// completions are pulled one at a time via [`ExecutorBackend::poll_event`].
+///
+/// # Unified occupancy model
+///
+/// The [`ConnectionSlot`] slice is the backend's *single source of identity*
+/// for running queries: which query occupies which connection, with which
+/// parameters, since when. Backends must not carry a second running-set
+/// representation that could drift out of sync — per-query physical progress
+/// (if the backend models any) belongs in a slot-indexed side table keyed by
+/// connection id, with no identity fields of its own. Everything the session
+/// layer derives — [`ExecutorBackend::first_free`],
+/// [`ExecutorBackend::running_view`], timeout deadlines, cancellation targets
+/// — reads this one slice, and [`RunningView`] iterates it in ascending
+/// connection order, so all views are consistent by construction.
 pub trait ExecutorBackend {
-    /// Per-connection occupancy, indexed by connection id.
+    /// Per-connection occupancy, indexed by connection id. The single source
+    /// of identity for the running set (see the trait-level docs).
     fn connections(&self) -> &[ConnectionSlot];
 
     /// Current virtual time.

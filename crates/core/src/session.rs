@@ -27,7 +27,7 @@
 //! ```
 
 use crate::log::{EpisodeLog, ExecutionHistory};
-use crate::scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, SchedulerPolicy};
+use crate::scheduler::{ExecEvent, ExecutorBackend, SchedulerPolicy};
 use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
 use bq_dbms::{DbmsKind, QueryCompletion};
 use bq_plan::Workload;
@@ -271,10 +271,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         self.backend
             .connections()
             .iter()
-            .filter_map(|slot| match slot {
-                ConnectionSlot::Busy { started_at, .. } => Some(started_at + timeout),
-                ConnectionSlot::Free => None,
-            })
+            .filter_map(|slot| Some(slot.started_at()? + timeout))
             .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
     }
 
@@ -361,8 +358,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         let now = self.backend.now();
         let mut cancelled = 0;
         for conn in 0..self.backend.connection_count() {
-            let slot = self.backend.connections()[conn];
-            if let ConnectionSlot::Busy { started_at, .. } = slot {
+            if let Some(started_at) = self.backend.connections()[conn].started_at() {
                 if now - started_at >= timeout - TIME_EPS {
                     if let Some(c) = self.backend.cancel(conn) {
                         self.apply_completion(c, policy, log);
@@ -473,6 +469,18 @@ mod tests {
             "at least one query should be clipped exactly at the deadline"
         );
         assert!(log.makespan() <= base.makespan());
+    }
+
+    #[test]
+    fn connections_stay_busy_while_queries_pend() {
+        // With 22 queries and 18 connections, at least 18 queries must start
+        // at time 0 (the session keeps all connections busy).
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let log =
+            ScheduleSession::builder(&w).run_on_profile(&profile, 0, &mut FifoScheduler::new());
+        let at_zero = log.records.iter().filter(|r| r.started_at == 0.0).count();
+        assert_eq!(at_zero, profile.connections.min(w.len()));
     }
 
     #[test]

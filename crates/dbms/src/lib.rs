@@ -38,6 +38,6 @@ pub mod params;
 pub mod profiles;
 
 pub use buffer::BufferPool;
-pub use engine::{ConnectionSlot, ExecutionEngine, QueryCompletion, RunningQuery};
+pub use engine::{AdvanceStall, ConnectionSlot, ExecutionEngine, QueryCompletion};
 pub use params::{MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
 pub use profiles::{DbmsKind, DbmsProfile};

@@ -3,24 +3,10 @@
 //! public API of the umbrella crate.
 
 use bqsched::core::{
-    collect_history, evaluate_strategy, EpisodeLog, ExecutionHistory, FifoScheduler, GanttChart,
-    McfScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
+    collect_history, evaluate_strategy, FifoScheduler, GanttChart, McfScheduler, RandomScheduler,
+    ScheduleSession, SchedulerPolicy,
 };
 use bqsched::dbms::{DbmsProfile, MemoryGrant, RunParams};
-use bqsched::plan::Workload;
-
-/// Run one scheduling round through the session facade on a fresh engine.
-fn run_round(
-    policy: &mut dyn SchedulerPolicy,
-    workload: &Workload,
-    profile: &DbmsProfile,
-    history: Option<&ExecutionHistory>,
-    seed: u64,
-) -> EpisodeLog {
-    ScheduleSession::builder(workload)
-        .maybe_history(history)
-        .run_on_profile(profile, seed, policy)
-}
 use bqsched::encoder::{PlanEncoderConfig, StateEncoderConfig};
 use bqsched::plan::{generate, perturb_query_set, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{
@@ -58,7 +44,8 @@ fn every_strategy_completes_a_tpch_round_on_every_dbms() {
         ]
         .iter_mut()
         {
-            let log = run_round(policy.as_mut(), &workload, &profile, None, 1);
+            let log =
+                ScheduleSession::builder(&workload).run_on_profile(&profile, 1, policy.as_mut());
             assert_eq!(
                 log.len(),
                 workload.len(),
@@ -78,7 +65,8 @@ fn makespan_is_bounded_by_serial_execution() {
     // longest single query.
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
-    let log = run_round(&mut FifoScheduler::new(), &workload, &profile, None, 3);
+    let log =
+        ScheduleSession::builder(&workload).run_on_profile(&profile, 3, &mut FifoScheduler::new());
     let longest = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
     let serial_sum: f64 = log.records.iter().map(|r| r.duration()).sum();
     assert!(log.makespan() >= longest - 1e-6);
@@ -126,7 +114,9 @@ fn bqsched_agent_runs_untrained_and_after_training() {
 
     // Untrained greedy episode completes.
     agent.explore = false;
-    let log = run_round(&mut agent, &workload, &profile, Some(&history), 0);
+    let log = ScheduleSession::builder(&workload)
+        .history(&history)
+        .run_on_profile(&profile, 0, &mut agent);
     assert_eq!(log.len(), workload.len());
 
     // A short training run completes and the agent still schedules correctly.
@@ -140,7 +130,9 @@ fn bqsched_agent_runs_untrained_and_after_training() {
     let curve = train_on_dbms(&mut agent, &workload, &profile, Some(&history), &tc);
     assert!(curve.total_episodes >= 1);
     agent.explore = false;
-    let log2 = run_round(&mut agent, &workload, &profile, Some(&history), 1);
+    let log2 = ScheduleSession::builder(&workload)
+        .history(&history)
+        .run_on_profile(&profile, 1, &mut agent);
     assert_eq!(log2.len(), workload.len());
     // All submitted parameter configurations are valid members of the space.
     for r in &log2.records {
@@ -201,7 +193,11 @@ fn perturbed_workloads_still_schedule_correctly() {
     let profile = DbmsProfile::dbms_x();
     for factor in [0.8, 1.2] {
         let perturbed = perturb_query_set(&workload, factor, 1);
-        let log = run_round(&mut FifoScheduler::new(), &perturbed, &profile, None, 0);
+        let log = ScheduleSession::builder(&perturbed).run_on_profile(
+            &profile,
+            0,
+            &mut FifoScheduler::new(),
+        );
         assert_eq!(log.len(), perturbed.len());
     }
 }
@@ -210,7 +206,8 @@ fn perturbed_workloads_still_schedule_correctly() {
 fn gantt_chart_covers_every_connection_used() {
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
-    let log = run_round(&mut FifoScheduler::new(), &workload, &profile, None, 0);
+    let log =
+        ScheduleSession::builder(&workload).run_on_profile(&profile, 0, &mut FifoScheduler::new());
     let chart = GanttChart::from_log(&log);
     assert_eq!(chart.used_connections(), profile.connections);
     assert!(

@@ -3,22 +3,11 @@
 //! masking never removes every configuration, and clustering always yields a
 //! partition — for arbitrary workload subsets, seeds and parameters.
 
-use bqsched::core::{
-    collect_history, EpisodeLog, FifoScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
-};
+use bqsched::core::{collect_history, FifoScheduler, RandomScheduler, ScheduleSession};
 use bqsched::dbms::{DbmsProfile, ParamSpace};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
 use proptest::prelude::*;
-
-fn run_round(
-    policy: &mut dyn SchedulerPolicy,
-    workload: &bqsched::plan::Workload,
-    profile: &DbmsProfile,
-    seed: u64,
-) -> EpisodeLog {
-    ScheduleSession::builder(workload).run_on_profile(profile, seed, policy)
-}
 
 fn workload_for(benchmark: Benchmark, n: usize) -> bqsched::plan::Workload {
     let w = generate(&WorkloadSpec::new(benchmark, 1.0, 1));
@@ -33,7 +22,8 @@ proptest! {
     fn engine_conserves_queries_and_time(seed in 0u64..500, n in 4usize..22) {
         let workload = workload_for(Benchmark::TpcH, n);
         let profile = DbmsProfile::dbms_x();
-        let log = run_round(&mut RandomScheduler::new(seed), &workload, &profile, seed);
+        let log = ScheduleSession::builder(&workload)
+            .run_on_profile(&profile, seed, &mut RandomScheduler::new(seed));
         // Every query completes exactly once.
         prop_assert_eq!(log.len(), workload.len());
         let mut seen = vec![false; workload.len()];
@@ -53,7 +43,8 @@ proptest! {
     fn scheduling_order_does_not_lose_connections(seed in 0u64..200) {
         let workload = workload_for(Benchmark::TpcH, 22);
         let profile = DbmsProfile::dbms_y();
-        let log = run_round(&mut RandomScheduler::new(seed), &workload, &profile, seed);
+        let log = ScheduleSession::builder(&workload)
+            .run_on_profile(&profile, seed, &mut RandomScheduler::new(seed));
         // No connection index outside the profile's range is ever used.
         for r in &log.records {
             prop_assert!(r.connection < profile.connections);

@@ -1,8 +1,10 @@
 //! Backend-generic contract tests for the `ScheduleSession` API: the same
 //! invariants must hold whether the session drives the simulated DBMS
 //! (`ExecutionEngine`) or the learned incremental simulator
-//! (`LearnedSimulator`), and the deprecated `run_episode`/`run_episode_on`
-//! shims must reproduce session output byte for byte.
+//! (`LearnedSimulator`). Fixed seeds must reproduce episode logs byte for
+//! byte, and the unified occupancy views (the `ConnectionSlot` slice plus
+//! everything derived from it) must stay consistent across mid-round
+//! cancellations and timeouts on both backends.
 
 use bqsched::core::{
     EpisodeLog, ExecutorBackend, FifoScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
@@ -125,47 +127,149 @@ fn simulator_sessions_saturate_and_complete() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn engine_shim_is_byte_identical_to_session() {
+fn engine_logs_are_byte_identical_for_fixed_seeds() {
+    // The byte-identity oracle: an episode is a pure function of (workload,
+    // profile, seed, policy). Pins that the unified occupancy refactor keeps
+    // the engine deterministic, including within-instant completion batches.
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     for seed in [0u64, 3, 11, 40] {
-        let legacy =
-            bqsched::core::run_episode(&mut FifoScheduler::new(), &w, &profile, None, seed);
-        let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
-        let session = ScheduleSession::builder(&w)
-            .dbms(profile.kind)
-            .round(seed)
-            .build(&mut engine)
-            .run(&mut FifoScheduler::new());
-        assert_eq!(legacy.to_json(), session.to_json(), "engine seed {seed}");
+        let run = || {
+            let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+            ScheduleSession::builder(&w)
+                .dbms(profile.kind)
+                .round(seed)
+                .build(&mut engine)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        assert_eq!(run(), run(), "engine seed {seed}");
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn simulator_shim_is_byte_identical_to_session() {
+fn simulator_logs_are_byte_identical_for_fixed_seeds() {
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let (model, embs, avg) = simulator_parts(&w);
+    let run = || {
+        let mut sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+        ScheduleSession::builder(&w)
+            .dbms(bqsched::dbms::DbmsKind::X)
+            .round(5)
+            .build(&mut sim)
+            .run(&mut FifoScheduler::new())
+            .to_json()
+    };
+    assert_eq!(run(), run());
+}
 
-    let mut legacy_sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
-    let legacy = bqsched::core::run_episode_on(
-        &mut FifoScheduler::new(),
-        &w,
-        &mut legacy_sim,
-        None,
-        bqsched::dbms::DbmsKind::X,
-        5,
+/// Satellite regression: cancelling mid-round must leave every occupancy
+/// view consistent — the cancelled slot frees, no other slot moves, and the
+/// running view stays in ascending connection order (the old engine's
+/// internal `swap_remove` reordered its running set).
+fn assert_cancel_keeps_views_consistent(backend: &mut dyn ExecutorBackend, submit: usize) {
+    use bqsched::dbms::RunParams;
+    for q in 0..submit {
+        let free = backend.first_free().expect("connection available");
+        assert_eq!(free, q, "fill proceeds in connection order");
+        backend.submit(bqsched::plan::QueryId(q), RunParams::default_config(), free);
+    }
+    while backend.events_pending() {
+        backend.poll_event();
+    }
+    let victim = submit / 2;
+    let c = backend.cancel(victim).expect("victim was running");
+    assert_eq!(c.query, bqsched::plan::QueryId(victim));
+    assert_eq!(c.connection, victim);
+    assert!(
+        backend.cancel(victim).is_none(),
+        "slot must free exactly once"
     );
 
-    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
-    let session = ScheduleSession::builder(&w)
-        .dbms(bqsched::dbms::DbmsKind::X)
-        .round(5)
-        .build(&mut sim)
-        .run(&mut FifoScheduler::new());
+    assert!(backend.connections()[victim].is_free());
+    assert_eq!(backend.first_free(), Some(victim));
+    let view: Vec<(usize, usize)> = backend
+        .running_view()
+        .map(|(q, _, _, conn)| (conn, q.0))
+        .collect();
+    let expected: Vec<(usize, usize)> = (0..submit)
+        .filter(|&q| q != victim)
+        .map(|q| (q, q))
+        .collect();
+    assert_eq!(view, expected, "running view must stay connection-ordered");
+}
 
-    assert_eq!(legacy.to_json(), session.to_json());
+#[test]
+fn cancel_mid_round_keeps_views_consistent_on_both_backends() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 7);
+    assert_cancel_keeps_views_consistent(&mut engine, 5);
+
+    let (model, embs, avg) = simulator_parts(&w);
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
+    assert_cancel_keeps_views_consistent(&mut sim, 5);
+}
+
+/// Satellite regression: a query cancelled exactly at its per-query deadline
+/// frees its slot exactly once — every query completes once (no double-free)
+/// and no slot stays busy after the round (no leak) — on both backends.
+fn assert_timeout_frees_each_slot_exactly_once<E: ExecutorBackend>(
+    backend: &mut E,
+    w: &Workload,
+    timeout: f64,
+) {
+    let mut counts = vec![0usize; w.len()];
+    let log = ScheduleSession::builder(w)
+        .query_timeout(timeout)
+        .on_completion(|c| counts[c.query.0] += 1)
+        .build(backend)
+        .run(&mut FifoScheduler::new());
+    assert_eq!(log.len(), w.len());
+    assert!(
+        counts.iter().all(|&n| n == 1),
+        "every slot must free exactly once: {counts:?}"
+    );
+    assert!(
+        log.records
+            .iter()
+            .any(|r| (r.duration() - timeout).abs() < 1e-6),
+        "at least one cancellation must land exactly on the deadline"
+    );
+    assert!(
+        backend.connections().iter().all(|s| s.is_free()),
+        "no slot may stay busy after the round"
+    );
+}
+
+#[test]
+fn timeout_cancellation_frees_each_slot_exactly_once_on_both_backends() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+
+    // Engine: pick a deadline half the longest natural duration so the race
+    // (cancel exactly at deadline vs natural completion) actually occurs.
+    let mut baseline = ExecutionEngine::new(profile.clone(), &w, 0);
+    let natural = session_round(&mut FifoScheduler::new(), &w, &mut baseline, 0);
+    let timeout = natural
+        .records
+        .iter()
+        .map(|r| r.duration())
+        .fold(0.0, f64::max)
+        / 2.0;
+    let mut engine = ExecutionEngine::new(profile, &w, 0);
+    assert_timeout_frees_each_slot_exactly_once(&mut engine, &w, timeout);
+
+    let (model, embs, avg) = simulator_parts(&w);
+    let mut baseline = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+    let natural = session_round(&mut FifoScheduler::new(), &w, &mut baseline, 0);
+    let timeout = natural
+        .records
+        .iter()
+        .map(|r| r.duration())
+        .fold(0.0, f64::max)
+        / 2.0;
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
+    assert_timeout_frees_each_slot_exactly_once(&mut sim, &w, timeout);
 }
 
 #[test]
