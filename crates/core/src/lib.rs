@@ -59,6 +59,8 @@ pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
 pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
-pub use scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy};
+pub use scheduler::{
+    AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy,
+};
 pub use session::{CompletionHook, ScheduleSession, ScheduleSessionBuilder};
 pub use state::{Action, QueryRuntime, QueryStatus, SchedulingState};

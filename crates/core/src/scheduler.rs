@@ -12,7 +12,7 @@
 
 use crate::log::EpisodeLog;
 use crate::state::{Action, SchedulingState};
-pub use bq_dbms::ConnectionSlot;
+pub use bq_dbms::{AdvanceStall, ConnectionSlot};
 use bq_dbms::{ExecutionEngine, QueryCompletion, RunParams};
 use bq_plan::{QueryId, Workload};
 
@@ -189,6 +189,17 @@ pub trait ExecutorBackend {
     fn running_view(&self) -> RunningView<'_> {
         RunningView::new(self.connections(), self.now())
     }
+
+    /// Diagnostic left behind by a bounded advance that exhausted its
+    /// iteration budget without making progress — broken executor dynamics
+    /// (debug builds of the simulated DBMS assert at the stall site instead
+    /// of recording it). `None` for healthy backends and for backends whose
+    /// advances are unbounded (the default). The session layer checks this
+    /// every iteration and fails the round loudly rather than logging
+    /// partially-advanced state as if the round were healthy.
+    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
+        None
+    }
 }
 
 impl ExecutorBackend for ExecutionEngine {
@@ -224,6 +235,10 @@ impl ExecutorBackend for ExecutionEngine {
 
     fn advance_to(&mut self, until: f64) {
         ExecutionEngine::advance_to(self, until);
+    }
+
+    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
+        ExecutionEngine::stall_diagnostic(self)
     }
 }
 

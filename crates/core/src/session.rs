@@ -8,7 +8,7 @@
 //! executor events until the next completion(s), repeat. The hot loop is
 //! allocation-free — [`SchedulingState`] borrows the arena instead of being
 //! cloned per decision, and connection occupancy is read from the backend's
-//! borrowed [`ConnectionSlot`] slice.
+//! borrowed [`ConnectionSlot`](crate::scheduler::ConnectionSlot) slice.
 //!
 //! ```
 //! use bq_core::{FifoScheduler, ScheduleSession};
@@ -194,6 +194,8 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         policy.begin_episode(self.workload);
 
         while self.finished < n {
+            self.check_stall(n);
+
             // Apply buffered completions (e.g. produced by a bounded advance
             // on the previous iteration) BEFORE any refill, so the policy
             // never selects on a stale arena and simultaneous completions
@@ -234,15 +236,37 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                     self.drain_buffered_events(policy, &mut log);
                 }
                 ExecEvent::Submitted { .. } => {}
-                ExecEvent::Idle => panic!(
-                    "executor stalled with {}/{} queries finished",
-                    self.finished, n
-                ),
+                ExecEvent::Idle => {
+                    self.check_stall(n);
+                    panic!(
+                        "executor stalled with {}/{} queries finished",
+                        self.finished, n
+                    )
+                }
             }
         }
 
+        // A stall set while the round's last completions were arriving
+        // (e.g. a timeout-bounded advance gave up but a later advance with a
+        // fresh budget finished the stragglers) must still fail the round:
+        // the logged timestamps came from partially-advanced state.
+        self.check_stall(n);
+
         policy.end_episode(&log);
         log
+    }
+
+    /// Fail the round loudly if the backend recorded an advance stall: a
+    /// bounded advance gave up mid-flight (broken executor dynamics), so
+    /// continuing would log partially-advanced state as if it were healthy.
+    fn check_stall(&self, n: usize) {
+        if let Some(stall) = self.backend.stall_diagnostic() {
+            panic!(
+                "executor advance stalled mid-round with {}/{} queries \
+                 finished: {stall:?}",
+                self.finished, n
+            );
+        }
     }
 
     /// Pop every buffered event (no virtual-time advance); returns whether

@@ -147,6 +147,42 @@ fn engine_logs_are_byte_identical_for_fixed_seeds() {
     }
 }
 
+/// Compare `json` against the pinned artifact at `tests/golden/<name>`, or
+/// rewrite the artifact when `BLESS=1` is set (deliberate re-pin after an
+/// intended behavior change).
+fn assert_matches_golden(name: &str, json: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, json).expect("write golden log");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden log artifact missing");
+    assert_eq!(
+        json, golden,
+        "episode log diverged from the pinned golden artifact {name}; if \
+         the behavior change is intended, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn engine_log_matches_golden_artifact_for_seed_zero() {
+    // Unlike the run() == run() identity tests above, this pins the episode
+    // log against a fixed on-disk artifact, so a refactor that changes
+    // behavior (not just determinism) fails here. The artifact was verified
+    // byte-identical to the pre-unification engine's output (PR 1, seeds
+    // 0/3/11/40 and more), so it carries the cross-version contract forward.
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+    let json = ScheduleSession::builder(&w)
+        .dbms(profile.kind)
+        .round(0)
+        .build(&mut engine)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
+}
+
 #[test]
 fn simulator_logs_are_byte_identical_for_fixed_seeds() {
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
@@ -161,6 +197,63 @@ fn simulator_logs_are_byte_identical_for_fixed_seeds() {
             .to_json()
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn simulator_log_matches_golden_artifact() {
+    // Same cross-version pin as the engine golden test: the learned
+    // simulator's episode log for a fixed (untrained, deterministic) model
+    // must match the on-disk artifact, so refactors of its advance/cancel
+    // paths are checked against a fixed log rather than run-vs-run.
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let (model, embs, avg) = simulator_parts(&w);
+    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
+    let json = ScheduleSession::builder(&w)
+        .dbms(bqsched::dbms::DbmsKind::X)
+        .round(5)
+        .build(&mut sim)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    assert_matches_golden("simulator_fifo_tpch.json", &json);
+}
+
+// Release-only: in debug the engine debug_asserts at the stall site before
+// the session-level check can observe the diagnostic. CI runs this via the
+// dedicated `cargo test --release` stall step.
+#[cfg(not(debug_assertions))]
+#[test]
+#[should_panic(expected = "stalled mid-round")]
+fn session_fails_loudly_when_the_backend_stalls() {
+    // An exhausted advance budget records a stall diagnostic on the engine;
+    // the session must surface it (via `ExecutorBackend::stall_diagnostic`)
+    // instead of logging partially-advanced state as a healthy round.
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let mut profile = DbmsProfile::dbms_x();
+    profile.cpu_units_per_sec = 1e-9;
+    let mut engine = ExecutionEngine::new(profile, &w, 0);
+    engine.force_advance_budget(1);
+    ScheduleSession::builder(&w)
+        .build(&mut engine)
+        .run(&mut FifoScheduler::new());
+}
+
+// Release-only for the same reason as above.
+#[cfg(not(debug_assertions))]
+#[test]
+#[should_panic(expected = "stalled mid-round")]
+fn session_fails_loudly_when_a_stall_precedes_the_final_completion() {
+    // The escape path: a timeout-bounded advance stalls on a phase boundary,
+    // then poll_event's fresh-budget advance completes the last query, so
+    // the round reaches finished == n with the stall recorded. The session
+    // must still refuse to return the partially-advanced log.
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let w = w.subset(&[0]);
+    let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0);
+    engine.force_advance_budget(1);
+    ScheduleSession::builder(&w)
+        .query_timeout(1e6)
+        .build(&mut engine)
+        .run(&mut FifoScheduler::new());
 }
 
 /// Satellite regression: cancelling mid-round must leave every occupancy
