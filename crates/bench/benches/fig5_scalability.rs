@@ -25,6 +25,25 @@ fn bench(c: &mut Criterion) {
             .makespan()
         })
     });
+    group.bench_function("fifo_episode_sharded4_tpcds_x2", |b| {
+        // The sharded tentpole dimension: one FIFO round over four DBMS-X
+        // shards with least-loaded placement, so regressions in the
+        // cross-shard event merge show up as episode-latency regressions.
+        let workload = bq_plan::generate(&bq_plan::WorkloadSpec::new(
+            bq_plan::Benchmark::TpcDs,
+            1.0,
+            2,
+        ));
+        let profile = bq_dbms::DbmsProfile::dbms_x();
+        b.iter(|| {
+            let mut engine = bq_dbms::ShardedEngine::new(profile.clone(), &workload, 1, 4);
+            bq_core::ScheduleSession::builder(&workload)
+                .router(bq_core::LeastLoadedRouter)
+                .build(&mut engine)
+                .run(&mut bq_core::FifoScheduler::new())
+                .makespan()
+        })
+    });
     group.finish();
 }
 

@@ -16,10 +16,11 @@
 #![warn(missing_docs)]
 
 use bq_core::{
-    collect_history, evaluate_strategy, ExecutionHistory, FifoScheduler, GanttChart, McfScheduler,
-    RandomScheduler, SchedulerPolicy, StrategyEvaluation,
+    collect_history, evaluate_strategy, mean, ExecutionHistory, FifoScheduler, FirstFreeRouter,
+    GanttChart, HashRouter, LeastLoadedRouter, McfScheduler, RandomScheduler, SchedulerPolicy,
+    ShardRouter, StrategyEvaluation,
 };
-use bq_dbms::{DbmsKind, DbmsProfile, ExecutionEngine};
+use bq_dbms::{DbmsKind, DbmsProfile, ExecutionEngine, ShardedEngine};
 use bq_encoder::{PlanEncoderConfig, StateEncoderConfig};
 use bq_plan::{generate, perturb_query_set, Benchmark, QueryId, Workload, WorkloadSpec};
 use bq_sched::{
@@ -522,6 +523,58 @@ pub fn fig5(scale: RunScale) -> String {
         let evals = evaluate_all(&setup, scale);
         out.push_str(&format_eval_row(&format!("(c) tpch Z data x{ds}"), &evals));
         out.push('\n');
+    }
+    // (d) the sharded multi-engine backend: shard-count scalability.
+    out.push_str(&fig5_shard_sweep(scale));
+    out
+}
+
+/// Figure 5(d) — scalability of the sharded multi-engine backend: mean FIFO
+/// makespan as the shard count grows (1/2/4/8), per placement policy
+/// (first-free packing, hash spreading, least-loaded balancing). Each shard
+/// is a full DBMS-X resource envelope, so doubling shards doubles hardware;
+/// the makespan should fall until the workload stops saturating the global
+/// connection pool.
+pub fn fig5_shard_sweep(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5(d): sharded backend — shard-count sweep (mean FIFO makespan, s)\n");
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}\n",
+        "cell", "first-free", "hash", "least-loaded"
+    ));
+    let query_scale = match scale {
+        RunScale::Quick => 2,
+        RunScale::Full => 5,
+    };
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, query_scale));
+    let profile = DbmsProfile::dbms_x();
+    let rounds = scale.eval_rounds();
+    for shards in [1usize, 2, 4, 8] {
+        let sweep = |router_for: &dyn Fn() -> Box<dyn ShardRouter>| -> f64 {
+            let makespans: Vec<f64> = (0..rounds)
+                .map(|seed| {
+                    let mut engine = ShardedEngine::new(profile.clone(), &workload, seed, shards);
+                    bq_core::ScheduleSession::builder(&workload)
+                        .dbms(profile.kind)
+                        .round(seed)
+                        .router(router_for())
+                        .build(&mut engine)
+                        .run(&mut FifoScheduler::new())
+                        .makespan()
+                })
+                .collect();
+            mean(&makespans)
+        };
+        let first_free = sweep(&|| Box::new(FirstFreeRouter));
+        let hash = sweep(&|| Box::new(HashRouter::new(17)));
+        let least = sweep(&|| Box::new(LeastLoadedRouter));
+        out.push_str(&format!(
+            "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
+            format!("tpcds X shards={shards}"),
+            first_free,
+            hash,
+            least,
+        ));
     }
     out
 }

@@ -38,6 +38,9 @@
 //!   and the [`ExecutorBackend`] abstraction over execution substrates;
 //! * [`state`] — what a scheduler observes ([`SchedulingState`]) and decides
 //!   ([`Action`]): the next pending query plus its running parameters;
+//! * [`routing`] — shard-aware placement over a partitioned slot space:
+//!   the [`ShardRouter`] policies and the [`ShardTopology`] every backend
+//!   reports (monolithic backends are the single-shard degenerate case);
 //! * [`log`] — per-round execution logs and the accumulated
 //!   [`ExecutionHistory`] that feeds MCF, adaptive masking, gain clustering
 //!   and the incremental simulator;
@@ -51,6 +54,7 @@ pub mod gantt;
 pub mod heuristics;
 pub mod log;
 pub mod metrics;
+pub mod routing;
 pub mod scheduler;
 pub mod session;
 pub mod state;
@@ -59,6 +63,7 @@ pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
 pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
+pub use routing::{FirstFreeRouter, HashRouter, LeastLoadedRouter, ShardRouter, ShardTopology};
 pub use scheduler::{
     AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy,
 };

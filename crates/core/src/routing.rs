@@ -1,0 +1,309 @@
+//! Shard-aware routing over a partitioned connection-slot space.
+//!
+//! A sharded backend (e.g. [`bq_dbms::ShardedEngine`]) presents one global
+//! slot space partitioned into shards; *which* free slot a submission lands
+//! on then decides which shard's resources the query contends for.
+//! [`ShardRouter`] makes that placement policy explicit and pluggable: the
+//! session asks the router for the next free connection instead of always
+//! taking the lowest-numbered one. Routing stays non-intrusive — a router
+//! sees only the [`ConnectionSlot`] occupancy view and the static
+//! [`ShardTopology`], never the executor's internals — and on a monolithic
+//! backend (a single-shard topology) every router degrades gracefully.
+//!
+//! Provided implementations:
+//!
+//! * [`FirstFreeRouter`] — the historical default: lowest-numbered free
+//!   global connection;
+//! * [`HashRouter`] — deterministic hash of a submission counter picks the
+//!   starting shard, probing onward until a shard has a free slot (spreads
+//!   load without occupancy feedback);
+//! * [`LeastLoadedRouter`] — the shard with the fewest busy slots wins,
+//!   ties toward the lower shard id (greedy load balancing).
+
+use bq_dbms::ConnectionSlot;
+
+/// Static description of how a backend's global connection-slot space is
+/// partitioned into shards: `shard_count` contiguous blocks of
+/// `connections_per_shard` slots each. A monolithic backend is the
+/// degenerate single-shard topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTopology {
+    shard_count: usize,
+    connections_per_shard: usize,
+}
+
+impl ShardTopology {
+    /// A uniform partition: `shard_count` shards of `connections_per_shard`
+    /// slots each.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn uniform(shard_count: usize, connections_per_shard: usize) -> Self {
+        assert!(shard_count > 0, "topology needs at least one shard");
+        assert!(
+            connections_per_shard > 0,
+            "topology needs at least one connection per shard"
+        );
+        Self {
+            shard_count,
+            connections_per_shard,
+        }
+    }
+
+    /// The trivial topology of a monolithic backend: one shard spanning all
+    /// `connections` slots.
+    pub fn single(connections: usize) -> Self {
+        Self::uniform(1, connections)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Connection slots per shard.
+    pub fn connections_per_shard(&self) -> usize {
+        self.connections_per_shard
+    }
+
+    /// Total size of the global connection-slot space.
+    pub fn connection_count(&self) -> usize {
+        self.shard_count * self.connections_per_shard
+    }
+
+    /// Shard owning a global connection id.
+    pub fn shard_of(&self, connection: usize) -> usize {
+        debug_assert!(connection < self.connection_count());
+        connection / self.connections_per_shard
+    }
+
+    /// Global connection range of one shard's block.
+    pub fn range_of(&self, shard: usize) -> core::ops::Range<usize> {
+        debug_assert!(shard < self.shard_count);
+        shard * self.connections_per_shard..(shard + 1) * self.connections_per_shard
+    }
+
+    /// Busy slots inside `shard`'s block of `slots`.
+    pub fn shard_load(&self, shard: usize, slots: &[ConnectionSlot]) -> usize {
+        slots[self.range_of(shard)]
+            .iter()
+            .filter(|s| !s.is_free())
+            .count()
+    }
+
+    /// Lowest free global connection inside `shard`'s block of `slots`.
+    pub fn first_free_in(&self, shard: usize, slots: &[ConnectionSlot]) -> Option<usize> {
+        let range = self.range_of(shard);
+        slots[range.clone()]
+            .iter()
+            .position(ConnectionSlot::is_free)
+            .map(|local| range.start + local)
+    }
+}
+
+/// Placement policy for submissions over a partitioned slot space: given the
+/// topology and the current occupancy, choose the free global connection the
+/// next query should be submitted to (`None` when every slot is busy).
+///
+/// Implementations must return a connection that is free in `slots`; the
+/// session layer asserts this before submitting.
+pub trait ShardRouter {
+    /// Router name used in logs and reports.
+    fn name(&self) -> &str;
+
+    /// Choose the next free global connection, or `None` if all are busy.
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize>;
+}
+
+/// Mutable references route through the referent, so a caller can hand a
+/// session `&mut router` and keep inspecting the router afterwards.
+impl<R: ShardRouter + ?Sized> ShardRouter for &mut R {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        (**self).route(topology, slots)
+    }
+}
+
+/// Boxed routers route through the referent (runtime-chosen policies).
+impl<R: ShardRouter + ?Sized> ShardRouter for Box<R> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        (**self).route(topology, slots)
+    }
+}
+
+/// The historical placement: lowest-numbered free global connection. On a
+/// sharded topology this packs load onto the lowest shards first.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FirstFreeRouter;
+
+impl ShardRouter for FirstFreeRouter {
+    fn name(&self) -> &str {
+        "first-free"
+    }
+
+    fn route(&mut self, _topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        slots.iter().position(ConnectionSlot::is_free)
+    }
+}
+
+/// SplitMix64 finalizer — a deterministic 64-bit mix for shard selection.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash placement: a deterministic hash of the routing counter picks the
+/// starting shard; shards are probed in order from there until one has a
+/// free slot (then its lowest free connection is used). Spreads submissions
+/// across shards without reading load, so identical runs route identically.
+#[derive(Debug, Clone, Copy)]
+pub struct HashRouter {
+    salt: u64,
+    next: u64,
+}
+
+impl HashRouter {
+    /// Create a hash router; `salt` varies the placement stream (two routers
+    /// with the same salt route identically).
+    pub fn new(salt: u64) -> Self {
+        Self { salt, next: 0 }
+    }
+}
+
+impl ShardRouter for HashRouter {
+    fn name(&self) -> &str {
+        "hash"
+    }
+
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        let start = (splitmix64(self.salt ^ self.next) % topology.shard_count() as u64) as usize;
+        for probe in 0..topology.shard_count() {
+            let shard = (start + probe) % topology.shard_count();
+            if let Some(conn) = topology.first_free_in(shard, slots) {
+                self.next += 1;
+                return Some(conn);
+            }
+        }
+        None
+    }
+}
+
+/// Greedy load balancing: the shard with the fewest busy slots (ties toward
+/// the lower shard id), then its lowest free connection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LeastLoadedRouter;
+
+impl ShardRouter for LeastLoadedRouter {
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        (0..topology.shard_count())
+            .filter(|&s| topology.first_free_in(s, slots).is_some())
+            .min_by_key(|&s| topology.shard_load(s, slots))
+            .and_then(|s| topology.first_free_in(s, slots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occupancy(busy: &[usize], total: usize) -> Vec<ConnectionSlot> {
+        let mut slots = vec![ConnectionSlot::Free; total];
+        for &c in busy {
+            slots[c] = ConnectionSlot::Busy {
+                query: bq_plan::QueryId(c),
+                params: bq_dbms::RunParams::default_config(),
+                started_at: 0.0,
+            };
+        }
+        slots
+    }
+
+    #[test]
+    fn topology_partitions_the_slot_space() {
+        let t = ShardTopology::uniform(3, 4);
+        assert_eq!(t.connection_count(), 12);
+        assert_eq!(t.shard_of(0), 0);
+        assert_eq!(t.shard_of(4), 1);
+        assert_eq!(t.shard_of(11), 2);
+        assert_eq!(t.range_of(1), 4..8);
+        assert_eq!(ShardTopology::single(18).shard_count(), 1);
+        assert_eq!(ShardTopology::single(18).connection_count(), 18);
+    }
+
+    #[test]
+    fn first_free_router_matches_lowest_slot() {
+        let t = ShardTopology::uniform(2, 3);
+        let slots = occupancy(&[0, 1], 6);
+        assert_eq!(FirstFreeRouter.route(&t, &slots), Some(2));
+        let full = occupancy(&(0..6).collect::<Vec<_>>(), 6);
+        assert_eq!(FirstFreeRouter.route(&t, &full), None);
+    }
+
+    #[test]
+    fn least_loaded_router_prefers_the_emptiest_shard() {
+        let t = ShardTopology::uniform(3, 4);
+        // shard 0: 3 busy, shard 1: 1 busy, shard 2: 2 busy.
+        let slots = occupancy(&[0, 1, 2, 4, 8, 9], 12);
+        assert_eq!(LeastLoadedRouter.route(&t, &slots), Some(5));
+        // Ties break toward the lower shard id.
+        let tied = occupancy(&[0, 4], 12);
+        assert_eq!(LeastLoadedRouter.route(&t, &tied), Some(8));
+        // A fully busy shard is skipped even if others are heavily loaded.
+        let shard0_full = occupancy(&[0, 1, 2, 3, 4, 5, 6, 8, 9, 10], 12);
+        assert_eq!(LeastLoadedRouter.route(&t, &shard0_full), Some(7));
+    }
+
+    #[test]
+    fn hash_router_is_deterministic_and_spreads_load() {
+        let t = ShardTopology::uniform(4, 2);
+        let free = occupancy(&[], 8);
+        let picks = |salt: u64| -> Vec<usize> {
+            let mut r = HashRouter::new(salt);
+            (0..6).map(|_| r.route(&t, &free).unwrap()).collect()
+        };
+        assert_eq!(picks(7), picks(7), "same salt must route identically");
+        let shards: std::collections::HashSet<usize> =
+            picks(7).iter().map(|&c| t.shard_of(c)).collect();
+        assert!(shards.len() > 1, "hash routing should hit several shards");
+    }
+
+    #[test]
+    fn hash_router_probes_past_full_shards() {
+        let t = ShardTopology::uniform(2, 2);
+        // Whatever shard the hash picks, only connection 3 is free.
+        let slots = occupancy(&[0, 1, 2], 4);
+        let mut r = HashRouter::new(0);
+        assert_eq!(r.route(&t, &slots), Some(3));
+        let full = occupancy(&[0, 1, 2, 3], 4);
+        assert_eq!(r.route(&t, &full), None);
+    }
+
+    #[test]
+    fn routers_always_return_free_slots() {
+        let t = ShardTopology::uniform(3, 3);
+        let slots = occupancy(&[0, 2, 3, 5, 7], 9);
+        let mut routers: Vec<Box<dyn ShardRouter>> = vec![
+            Box::new(FirstFreeRouter),
+            Box::new(HashRouter::new(11)),
+            Box::new(LeastLoadedRouter),
+        ];
+        for r in &mut routers {
+            let conn = r.route(&t, &slots).expect("free slots exist");
+            assert!(slots[conn].is_free(), "{} returned a busy slot", r.name());
+        }
+    }
+}

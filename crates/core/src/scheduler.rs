@@ -11,9 +11,10 @@
 //! paradigm, kept non-intrusive).
 
 use crate::log::EpisodeLog;
+use crate::routing::ShardTopology;
 use crate::state::{Action, SchedulingState};
 pub use bq_dbms::{AdvanceStall, ConnectionSlot};
-use bq_dbms::{ExecutionEngine, QueryCompletion, RunParams};
+use bq_dbms::{ExecutionEngine, QueryCompletion, RunParams, ShardedEngine};
 use bq_plan::{QueryId, Workload};
 
 /// A batch query scheduling strategy.
@@ -73,19 +74,63 @@ pub enum ExecEvent {
 ///
 /// Because it reads straight off the [`ConnectionSlot`] slice — the single
 /// source of occupancy identity — the iteration order is deterministic
-/// regardless of the history of completions and cancellations.
+/// regardless of the history of completions and cancellations. Policies rely
+/// on that ordering (their observation layout is positional), so a view whose
+/// connections are out of order would silently scramble policy input; the
+/// partitioned constructor therefore checks its ordering up front.
 #[derive(Debug, Clone)]
 pub struct RunningView<'a> {
     slots: &'a [ConnectionSlot],
+    /// Explicit global connection ids for `slots` (partitioned views);
+    /// `None` means `slots` is the whole space and index == connection id.
+    ids: Option<&'a [usize]>,
     now: f64,
     next: usize,
 }
 
 impl<'a> RunningView<'a> {
-    /// Build a view over `slots` at virtual time `now`.
+    /// Build a view over the full slot space at virtual time `now`
+    /// (connection id == slice index, ascending by construction).
     pub fn new(slots: &'a [ConnectionSlot], now: f64) -> Self {
         Self {
             slots,
+            ids: None,
+            now,
+            next: 0,
+        }
+    }
+
+    /// Build a view over a *partition* of the slot space — `slots[i]` is the
+    /// occupancy of global connection `connections[i]` — e.g. one shard's
+    /// block of a sharded backend.
+    ///
+    /// The connection ids must be strictly ascending: the view's ordering
+    /// guarantee is what keeps policy input deterministic, so a mis-merged
+    /// sharded view (ids assembled in shard polling order rather than global
+    /// connection order) fails loudly here instead of silently reordering
+    /// observations.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ; debug builds also assert the ids are
+    /// strictly ascending.
+    pub fn with_connections(
+        slots: &'a [ConnectionSlot],
+        connections: &'a [usize],
+        now: f64,
+    ) -> Self {
+        assert_eq!(
+            slots.len(),
+            connections.len(),
+            "every slot needs exactly one global connection id"
+        );
+        debug_assert!(
+            connections.windows(2).all(|w| w[0] < w[1]),
+            "RunningView connections must be strictly ascending \
+             (mis-merged partitioned view): {connections:?}"
+        );
+        Self {
+            slots,
+            ids: Some(connections),
             now,
             next: 0,
         }
@@ -97,14 +142,15 @@ impl Iterator for RunningView<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         while self.next < self.slots.len() {
-            let connection = self.next;
+            let index = self.next;
             self.next += 1;
             if let ConnectionSlot::Busy {
                 query,
                 params,
                 started_at,
-            } = self.slots[connection]
+            } = self.slots[index]
             {
+                let connection = self.ids.map_or(index, |ids| ids[index]);
                 return Some((query, params, self.now - started_at, connection));
             }
         }
@@ -133,6 +179,33 @@ impl Iterator for RunningView<'_> {
 /// [`ExecutorBackend::running_view`], timeout deadlines, cancellation targets
 /// — reads this one slice, and [`RunningView`] iterates it in ascending
 /// connection order, so all views are consistent by construction.
+///
+/// # Sharded occupancy model
+///
+/// A scaled-out backend ([`bq_dbms::ShardedEngine`]) partitions the slot
+/// space into shards — global connection `c` lives on shard
+/// `c / connections_per_shard` at local slot `c % connections_per_shard` —
+/// and still exposes **one** [`ConnectionSlot`] slice: the global *mirror*,
+/// i.e. the occupancy at the session-observable clock. Two guarantees keep
+/// the surface indistinguishable from a monolithic backend:
+///
+/// 1. **Mirror consistency.** A shard's internal completion frees the
+///    shard-local slot immediately, but the mirror slot stays `Busy` until
+///    the completion is delivered through [`ExecutorBackend::poll_event`].
+///    Free-slot lookup, running views and timeout deadlines therefore never
+///    observe a future the event stream has not reported yet.
+/// 2. **Deterministic event merge.** Cross-shard completions are delivered
+///    ordered by `(finished_at, global connection id)` — never by shard
+///    polling order — so episode logs are a pure function of (workload,
+///    profile, seed, shard count), and a single-shard deployment replays
+///    the monolithic engine byte for byte.
+///
+/// [`ExecutorBackend::shard_topology`] describes the partition so placement
+/// policies ([`crate::ShardRouter`]) can route submissions shard-aware;
+/// monolithic backends report the single-shard topology and need no other
+/// change. Partitioned running views are built per shard block with
+/// [`RunningView::with_connections`], which checks the global-connection
+/// ordering instead of trusting the merge.
 pub trait ExecutorBackend {
     /// Per-connection occupancy, indexed by connection id. The single source
     /// of identity for the running set (see the trait-level docs).
@@ -194,11 +267,19 @@ pub trait ExecutorBackend {
     /// iteration budget without making progress — broken executor dynamics
     /// (debug builds of the simulated DBMS assert at the stall site instead
     /// of recording it). `None` for healthy backends and for backends whose
-    /// advances are unbounded (the default). The session layer checks this
+    /// advances are unbounded (the default). Sharded backends aggregate
+    /// their per-shard diagnostics into one. The session layer checks this
     /// every iteration and fails the round loudly rather than logging
     /// partially-advanced state as if the round were healthy.
     fn stall_diagnostic(&self) -> Option<AdvanceStall> {
         None
+    }
+
+    /// How the global connection-slot space is partitioned into shards, for
+    /// shard-aware placement (see the trait-level sharded occupancy model).
+    /// Monolithic backends report the single-shard topology (the default).
+    fn shard_topology(&self) -> ShardTopology {
+        ShardTopology::single(self.connection_count())
     }
 }
 
@@ -239,6 +320,50 @@ impl ExecutorBackend for ExecutionEngine {
 
     fn stall_diagnostic(&self) -> Option<AdvanceStall> {
         ExecutionEngine::stall_diagnostic(self)
+    }
+}
+
+impl ExecutorBackend for ShardedEngine {
+    fn connections(&self) -> &[ConnectionSlot] {
+        self.connection_slots()
+    }
+
+    fn now(&self) -> f64 {
+        ShardedEngine::now(self)
+    }
+
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+        self.submit_to(query, params, connection);
+    }
+
+    fn poll_event(&mut self) -> ExecEvent {
+        if let Some((query, connection)) = self.pop_submitted_event() {
+            return ExecEvent::Submitted { query, connection };
+        }
+        match self.pop_completion_event() {
+            Some(completion) => ExecEvent::Completed(completion),
+            None => ExecEvent::Idle,
+        }
+    }
+
+    fn events_pending(&self) -> bool {
+        self.has_buffered_events()
+    }
+
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        self.cancel_connection(connection)
+    }
+
+    fn advance_to(&mut self, until: f64) {
+        ShardedEngine::advance_to(self, until);
+    }
+
+    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
+        ShardedEngine::stall_diagnostic(self)
+    }
+
+    fn shard_topology(&self) -> ShardTopology {
+        ShardTopology::uniform(self.shard_count(), self.connections_per_shard())
     }
 }
 
@@ -291,6 +416,92 @@ mod tests {
         assert_eq!(q, QueryId(0));
         assert_eq!(conn, 3);
         assert_eq!(elapsed, 0.0);
+    }
+
+    #[test]
+    fn sharded_engine_implements_backend_with_a_partitioned_topology() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 1, 2);
+        let exec: &mut dyn ExecutorBackend = &mut e;
+        assert_eq!(exec.connection_count(), 36);
+        let topo = exec.shard_topology();
+        assert_eq!(topo.shard_count(), 2);
+        assert_eq!(topo.connections_per_shard(), 18);
+        assert_eq!(topo.connection_count(), 36);
+
+        // Submit onto both shards; the running view stays globally ordered.
+        exec.submit(QueryId(0), RunParams::default_config(), 20);
+        exec.submit(QueryId(1), RunParams::default_config(), 3);
+        let conns: Vec<usize> = exec.running_view().map(|(_, _, _, c)| c).collect();
+        assert_eq!(conns, vec![3, 20]);
+        assert_eq!(
+            exec.poll_event(),
+            ExecEvent::Submitted {
+                query: QueryId(0),
+                connection: 20
+            }
+        );
+        assert_eq!(
+            exec.poll_event(),
+            ExecEvent::Submitted {
+                query: QueryId(1),
+                connection: 3
+            }
+        );
+        match exec.poll_event() {
+            ExecEvent::Completed(c) => assert!(c.connection == 3 || c.connection == 20),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        while !matches!(exec.poll_event(), ExecEvent::Idle) {}
+        assert!(exec.connections().iter().all(ConnectionSlot::is_free));
+    }
+
+    #[test]
+    fn monolithic_backend_reports_the_single_shard_topology() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        let topo = ExecutorBackend::shard_topology(&e);
+        assert_eq!(topo.shard_count(), 1);
+        assert_eq!(topo.connection_count(), 18);
+    }
+
+    #[test]
+    fn partitioned_running_view_reports_global_connection_ids() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 1, 2);
+        let conn = e.global_of(1, 2);
+        e.submit_to(QueryId(4), RunParams::default_config(), conn);
+        let (slots, ids) = e.shard_slots(1);
+        let view: Vec<_> = RunningView::with_connections(slots, ids, e.now()).collect();
+        assert_eq!(view.len(), 1);
+        let (q, _, elapsed, c) = view[0];
+        assert_eq!(q, QueryId(4));
+        assert_eq!(c, conn, "the view maps local slots to global ids");
+        assert_eq!(elapsed, 0.0);
+        // The sibling shard's block is empty.
+        let (slots, ids) = e.shard_slots(0);
+        assert_eq!(
+            RunningView::with_connections(slots, ids, e.now()).count(),
+            0
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn mis_merged_partitioned_view_fails_loudly() {
+        // Connection ids assembled in shard polling order instead of global
+        // connection order must not silently reorder policy input.
+        let slots = [ConnectionSlot::Free, ConnectionSlot::Free];
+        let shuffled = [18usize, 3];
+        let _ = RunningView::with_connections(&slots, &shuffled, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one global connection id")]
+    fn partitioned_view_rejects_mismatched_lengths() {
+        let slots = [ConnectionSlot::Free, ConnectionSlot::Free];
+        let _ = RunningView::with_connections(&slots, &[0usize], 0.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! ```
 
 use crate::log::{EpisodeLog, ExecutionHistory};
+use crate::routing::{ShardRouter, ShardTopology};
 use crate::scheduler::{ExecEvent, ExecutorBackend, SchedulerPolicy};
 use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
 use bq_dbms::{DbmsKind, QueryCompletion};
@@ -51,6 +52,7 @@ pub struct ScheduleSessionBuilder<'a> {
     query_timeout: Option<f64>,
     decision_budget: Option<usize>,
     on_completion: Option<CompletionHook<'a>>,
+    router: Option<Box<dyn ShardRouter + 'a>>,
 }
 
 impl<'a> ScheduleSessionBuilder<'a> {
@@ -63,6 +65,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
             query_timeout: None,
             decision_budget: None,
             on_completion: None,
+            router: None,
         }
     }
 
@@ -117,6 +120,18 @@ impl<'a> ScheduleSessionBuilder<'a> {
         self
     }
 
+    /// Route submissions through `router` instead of always filling the
+    /// lowest-numbered free connection. The router sees the backend's
+    /// [`ShardTopology`] (queried once at build time)
+    /// and the live occupancy view, so placement can be shard-aware on a
+    /// sharded backend — on a monolithic backend every router degrades to a
+    /// within-shard choice. Accepts a router by value or by `&mut` borrow
+    /// (to read its state back after the round). Default: first-free.
+    pub fn router(mut self, router: impl ShardRouter + 'a) -> Self {
+        self.router = Some(Box::new(router));
+        self
+    }
+
     /// The common "one round on a fresh simulated DBMS" shape: build an
     /// [`ExecutionEngine`](bq_dbms::ExecutionEngine) from `profile` seeded
     /// with `seed` and run `policy` to completion. Unless the caller set
@@ -146,6 +161,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
                 QueryRuntime::pending(avg)
             })
             .collect();
+        let topology = backend.shard_topology();
         ScheduleSession {
             workload: self.workload,
             dbms: self.dbms.unwrap_or(DbmsKind::X),
@@ -153,6 +169,8 @@ impl<'a> ScheduleSessionBuilder<'a> {
             query_timeout: self.query_timeout,
             decision_budget: self.decision_budget,
             on_completion: self.on_completion,
+            router: self.router,
+            topology,
             backend,
             runtimes,
             finished: 0,
@@ -169,6 +187,10 @@ pub struct ScheduleSession<'a, E> {
     query_timeout: Option<f64>,
     decision_budget: Option<usize>,
     on_completion: Option<CompletionHook<'a>>,
+    /// Placement policy for submissions; `None` = first free connection.
+    router: Option<Box<dyn ShardRouter + 'a>>,
+    /// The backend's slot-space partition, queried once at build time.
+    topology: ShardTopology,
     backend: &'a mut E,
     /// Session-owned runtime arena; [`SchedulingState`] borrows it.
     runtimes: Vec<QueryRuntime>,
@@ -301,7 +323,9 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
 
     /// Submit to every free connection while pending queries remain,
     /// refreshing the runtime arena before each decision. Zero heap
-    /// allocations per iteration.
+    /// allocations per iteration. With a router configured, the router picks
+    /// which free connection (and thereby which shard) each submission
+    /// lands on; the choice is validated before it reaches the backend.
     fn fill_free_connections(&mut self, policy: &mut dyn SchedulerPolicy) {
         loop {
             let pending_left = self
@@ -311,9 +335,20 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             if !pending_left {
                 break;
             }
-            let Some(free) = self.backend.first_free() else {
+            let routed = match &mut self.router {
+                Some(router) => router.route(&self.topology, self.backend.connections()),
+                None => self.backend.first_free(),
+            };
+            let Some(free) = routed else {
                 break;
             };
+            assert!(
+                self.backend
+                    .connections()
+                    .get(free)
+                    .is_some_and(crate::scheduler::ConnectionSlot::is_free),
+                "router returned non-free connection {free}"
+            );
 
             // Refresh elapsed times for running queries.
             let now = self.backend.now();
@@ -593,6 +628,78 @@ mod tests {
                 params: RunParams::default_config(),
             }
         }
+    }
+
+    #[test]
+    fn first_free_router_reproduces_the_default_placement() {
+        // Routing through an explicit FirstFreeRouter must be byte-identical
+        // to the implicit default, on both a monolithic and a sharded
+        // backend.
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let mut a = ExecutionEngine::new(profile.clone(), &w, 2);
+        let default = ScheduleSession::builder(&w)
+            .build(&mut a)
+            .run(&mut FifoScheduler::new());
+        let mut b = ExecutionEngine::new(profile.clone(), &w, 2);
+        let mut router = crate::routing::FirstFreeRouter;
+        let routed = ScheduleSession::builder(&w)
+            .router(&mut router)
+            .build(&mut b)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(default.to_json(), routed.to_json());
+
+        let mut a = bq_dbms::ShardedEngine::new(profile.clone(), &w, 2, 2);
+        let default = ScheduleSession::builder(&w)
+            .build(&mut a)
+            .run(&mut FifoScheduler::new());
+        let mut b = bq_dbms::ShardedEngine::new(profile, &w, 2, 2);
+        let mut router = crate::routing::FirstFreeRouter;
+        let routed = ScheduleSession::builder(&w)
+            .router(&mut router)
+            .build(&mut b)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(default.to_json(), routed.to_json());
+    }
+
+    #[test]
+    fn least_loaded_router_spreads_a_sharded_round_across_shards() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let shards = 2usize;
+        let per_shard = profile.connections;
+        let mut engine = bq_dbms::ShardedEngine::new(profile, &w, 0, shards);
+        let mut router = crate::routing::LeastLoadedRouter;
+        let log = ScheduleSession::builder(&w)
+            .router(&mut router)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(log.len(), w.len());
+        // 22 queries over 2×18 slots: balanced placement puts exactly half
+        // the queries on each shard (first-free would pack all 22 onto
+        // shard 0's 18 slots first).
+        let on_shard1 = log
+            .records
+            .iter()
+            .filter(|r| r.connection >= per_shard)
+            .count();
+        assert_eq!(on_shard1, w.len() / 2, "load should split across shards");
+    }
+
+    #[test]
+    fn hash_router_sessions_are_reproducible_and_complete() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let run = || {
+            let mut engine = bq_dbms::ShardedEngine::new(profile.clone(), &w, 3, 4);
+            let mut router = crate::routing::HashRouter::new(42);
+            ScheduleSession::builder(&w)
+                .router(&mut router)
+                .build(&mut engine)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        assert_eq!(run(), run(), "hash routing must be deterministic");
     }
 
     #[test]

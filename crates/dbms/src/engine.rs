@@ -413,6 +413,14 @@ impl ExecutionEngine {
         self.completion_events.pop_front()
     }
 
+    /// Pop one already-buffered completion **without** advancing virtual
+    /// time; `None` when no completion is buffered. The sharded backend uses
+    /// this to harvest a shard's same-instant batch after a bounded advance,
+    /// keeping the decision to advance time with the cross-shard merge.
+    pub fn pop_buffered_completion(&mut self) -> Option<QueryCompletion> {
+        self.completion_events.pop_front()
+    }
+
     /// Whether buffered events exist that can be popped without advancing
     /// virtual time.
     pub fn has_buffered_events(&self) -> bool {
@@ -533,13 +541,27 @@ impl ExecutionEngine {
     /// completion). Completions occurring on the way are buffered as usual.
     /// This is what lets the session layer enforce per-query timeouts even
     /// when the next natural completion lies far beyond the deadline.
+    ///
+    /// An **idle** engine has no dynamics to integrate, but time still
+    /// passes: a finite `until` moves the clock forward so a later
+    /// submission is stamped at the caller's instant. The sharded backend
+    /// relies on this to sync a lagging idle shard to the global clock
+    /// before routing a query onto it; unbounded advances
+    /// (`until = ∞`) leave an idle clock untouched.
     pub fn advance_to(&mut self, until: f64) {
         // Never move the clock while completions are still buffered: the
         // caller must drain them first (they precede `until`). Keeps the
         // ExecutorBackend contract identical across backends.
-        if self.completion_events.is_empty() {
-            self.advance_bounded(until);
+        if !self.completion_events.is_empty() {
+            return;
         }
+        if self.is_idle() {
+            if until.is_finite() && until > self.now {
+                self.now = until;
+            }
+            return;
+        }
+        self.advance_bounded(until);
     }
 
     /// Iteration budget for one bounded advance over `busy` running queries.
@@ -1010,6 +1032,43 @@ mod tests {
         assert_eq!(e.first_free_connection(), Some(2));
         assert_eq!(e.busy_count(), 4);
         assert_eq!(e.remaining_work_on(2), None);
+    }
+
+    #[test]
+    fn idle_advance_to_moves_the_clock_only_for_finite_bounds() {
+        let w = tpch_workload();
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        assert_eq!(e.now(), 0.0);
+        // Finite bound on an idle engine: time passes, nothing else changes.
+        e.advance_to(3.5);
+        assert_eq!(e.now(), 3.5);
+        assert!(e.is_idle());
+        // The clock never moves backwards...
+        e.advance_to(1.0);
+        assert_eq!(e.now(), 3.5);
+        // ...and an unbounded advance leaves an idle clock untouched (there
+        // is no "next completion" to reach).
+        e.advance_to(f64::INFINITY);
+        assert_eq!(e.now(), 3.5);
+        // A submission after the idle advance is stamped at the new instant.
+        e.submit(QueryId(0), default_params());
+        assert_eq!(e.connection_slots()[0].started_at(), Some(3.5));
+    }
+
+    #[test]
+    fn pop_buffered_completion_never_advances_time() {
+        let w = tpch_workload();
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        assert!(e.pop_buffered_completion().is_none());
+        e.submit(QueryId(0), default_params());
+        // Nothing buffered yet: popping must not advance the clock.
+        assert!(e.pop_buffered_completion().is_none());
+        assert_eq!(e.now(), 0.0);
+        e.advance_to(f64::INFINITY);
+        let c = e.pop_buffered_completion().expect("advance buffered it");
+        assert_eq!(c.query, QueryId(0));
+        assert_eq!(c.finished_at, e.now());
+        assert!(e.pop_buffered_completion().is_none());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`buffer`] — a table-granular LRU buffer pool providing the
 //!   resource-*sharing* dynamics;
 //! * [`engine`] — the event-driven concurrent execution engine providing the
-//!   resource-*contention* and long-tail dynamics.
+//!   resource-*contention* and long-tail dynamics;
+//! * [`shard`] — the sharded multi-engine backend: N independent engines
+//!   behind one connection-slot space with a deterministic cross-shard
+//!   event merge (interference stays intra-shard).
 //!
 //! ```
 //! use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
@@ -36,8 +39,10 @@ pub mod buffer;
 pub mod engine;
 pub mod params;
 pub mod profiles;
+pub mod shard;
 
 pub use buffer::BufferPool;
 pub use engine::{AdvanceStall, ConnectionSlot, ExecutionEngine, QueryCompletion};
 pub use params::{MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
 pub use profiles::{DbmsKind, DbmsProfile};
+pub use shard::ShardedEngine;

@@ -1,0 +1,282 @@
+//! The reusable `ExecutorBackend` conformance suite.
+//!
+//! Every execution substrate — the simulated DBMS (`ExecutionEngine`), the
+//! learned incremental simulator (`LearnedSimulator`), the sharded
+//! multi-engine backend (`ShardedEngine`), and any future adapter (async
+//! real-DBMS, batched submission) — must satisfy the same observable
+//! contract, because schedulers are non-intrusive and cannot tell backends
+//! apart. The contract, asserted here over every backend through one
+//! parametrized harness:
+//!
+//! 1. **Determinism** — fixed seeds reproduce episode logs byte for byte;
+//! 2. **Cancel consistency** — cancelling mid-round frees exactly that slot,
+//!    leaves every occupancy view consistent and connection-ordered;
+//! 3. **Timeout discipline** — per-query timeouts free each slot exactly
+//!    once, land a cancellation exactly on the deadline, and leave no slot
+//!    busy after the round;
+//! 4. **Ordered running view** — `RunningView` iterates in ascending global
+//!    connection order regardless of submission order;
+//! 5. **Stall surfacing** — healthy rounds never leave a stall diagnostic
+//!    behind.
+//!
+//! To hold a new backend to the contract, add one `*_passes_conformance`
+//! test constructing it fresh per seed — nothing else.
+
+mod common;
+
+use bqsched::core::{ExecutorBackend, FifoScheduler, ScheduleSession};
+use bqsched::dbms::{DbmsProfile, ExecutionEngine, RunParams, ShardedEngine};
+use bqsched::plan::{generate, Benchmark, QueryId, Workload, WorkloadSpec};
+use bqsched::sched::LearnedSimulator;
+
+fn tpch() -> Workload {
+    generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
+}
+
+/// Invariant 1: an episode is a pure function of (backend seed, policy) —
+/// two rounds on freshly built backends with the same seed produce
+/// byte-identical logs (including within-instant completion batches).
+fn check_byte_identical_logs<E, F>(name: &str, w: &Workload, fresh: &mut F)
+where
+    E: ExecutorBackend,
+    F: FnMut(u64) -> E,
+{
+    for seed in [0u64, 3] {
+        let run = |backend: &mut E| {
+            ScheduleSession::builder(w)
+                .round(seed)
+                .build(backend)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        let a = run(&mut fresh(seed));
+        let b = run(&mut fresh(seed));
+        assert_eq!(a, b, "{name}: seed {seed} did not reproduce its log");
+    }
+}
+
+/// Invariant 2: cancelling mid-round must leave every occupancy view
+/// consistent — the cancelled slot frees (exactly once), no other slot
+/// moves, and the running view stays in ascending connection order (the
+/// pre-unification engine's internal `swap_remove` reordered its running
+/// set; a mis-merged sharded mirror would too).
+fn check_cancel_keeps_views_consistent<E: ExecutorBackend>(name: &str, backend: &mut E) {
+    let submit = 5usize;
+    for q in 0..submit {
+        let free = backend.first_free().expect("connection available");
+        assert_eq!(free, q, "{name}: fill proceeds in connection order");
+        backend.submit(QueryId(q), RunParams::default_config(), free);
+    }
+    while backend.events_pending() {
+        backend.poll_event();
+    }
+    let victim = submit / 2;
+    let c = backend.cancel(victim).expect("victim was running");
+    assert_eq!(c.query, QueryId(victim));
+    assert_eq!(c.connection, victim);
+    assert!(
+        backend.cancel(victim).is_none(),
+        "{name}: slot must free exactly once"
+    );
+
+    assert!(backend.connections()[victim].is_free());
+    assert_eq!(backend.first_free(), Some(victim));
+    let view: Vec<(usize, usize)> = backend
+        .running_view()
+        .map(|(q, _, _, conn)| (conn, q.0))
+        .collect();
+    let expected: Vec<(usize, usize)> = (0..submit)
+        .filter(|&q| q != victim)
+        .map(|q| (q, q))
+        .collect();
+    assert_eq!(
+        view, expected,
+        "{name}: running view must stay connection-ordered"
+    );
+}
+
+/// Invariant 3: a query cancelled exactly at its per-query deadline frees
+/// its slot exactly once — every query completes once (no double-free), at
+/// least one cancellation lands exactly on the deadline, no logged duration
+/// overshoots it, and no slot stays busy after the round.
+fn check_timeout_frees_each_slot_exactly_once<E, F>(name: &str, w: &Workload, fresh: &mut F)
+where
+    E: ExecutorBackend,
+    F: FnMut(u64) -> E,
+{
+    // Derive a deadline that actually races natural completions: half the
+    // longest duration of this backend's own untimed round.
+    let natural = common::session_round(&mut FifoScheduler::new(), w, &mut fresh(0), 0);
+    let timeout = natural
+        .records
+        .iter()
+        .map(|r| r.duration())
+        .fold(0.0, f64::max)
+        / 2.0;
+
+    let mut backend = fresh(0);
+    let mut counts = vec![0usize; w.len()];
+    let log = ScheduleSession::builder(w)
+        .query_timeout(timeout)
+        .on_completion(|c| counts[c.query.0] += 1)
+        .build(&mut backend)
+        .run(&mut FifoScheduler::new());
+    assert_eq!(log.len(), w.len(), "{name}: every query must complete");
+    assert!(
+        counts.iter().all(|&n| n == 1),
+        "{name}: every slot must free exactly once: {counts:?}"
+    );
+    assert!(
+        log.records
+            .iter()
+            .any(|r| (r.duration() - timeout).abs() < 1e-6),
+        "{name}: at least one cancellation must land exactly on the deadline"
+    );
+    let overshoot = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
+    assert!(
+        overshoot <= timeout + 1e-6,
+        "{name}: duration {overshoot} overshot the {timeout}s deadline"
+    );
+    assert!(
+        backend.connections().iter().all(|s| s.is_free()),
+        "{name}: no slot may stay busy after the round"
+    );
+}
+
+/// Invariant 4: the running view iterates in ascending global connection
+/// order no matter in which order the slots were filled.
+fn check_running_view_is_connection_ordered<E: ExecutorBackend>(name: &str, backend: &mut E) {
+    let conns = backend.connection_count().min(6);
+    // Fill high-to-low so an insertion-ordered view would come out reversed.
+    for (q, conn) in (0..conns).rev().enumerate() {
+        backend.submit(QueryId(q), RunParams::default_config(), conn);
+    }
+    while backend.events_pending() {
+        backend.poll_event();
+    }
+    let seen: Vec<usize> = backend.running_view().map(|(_, _, _, c)| c).collect();
+    let expected: Vec<usize> = (0..conns).collect();
+    assert_eq!(
+        seen, expected,
+        "{name}: running view must iterate global connections in order"
+    );
+}
+
+/// Invariant 5: a healthy round leaves no stall diagnostic behind (the loud
+/// failure on an actual stall is covered by the release-only stall tests).
+fn check_healthy_rounds_surface_no_stall<E, F>(name: &str, w: &Workload, fresh: &mut F)
+where
+    E: ExecutorBackend,
+    F: FnMut(u64) -> E,
+{
+    let mut backend = fresh(11);
+    let log = common::session_round(&mut FifoScheduler::new(), w, &mut backend, 11);
+    assert_eq!(log.len(), w.len());
+    assert!(
+        backend.stall_diagnostic().is_none(),
+        "{name}: healthy round must not record an advance stall"
+    );
+}
+
+/// The full conformance suite over one backend family; `fresh(seed)` must
+/// build a cold backend for `w` with at least 6 connections.
+fn conformance_suite<E, F>(name: &str, w: &Workload, mut fresh: F)
+where
+    E: ExecutorBackend,
+    F: FnMut(u64) -> E,
+{
+    check_byte_identical_logs(name, w, &mut fresh);
+    check_cancel_keeps_views_consistent(name, &mut fresh(7));
+    check_timeout_frees_each_slot_exactly_once(name, w, &mut fresh);
+    check_running_view_is_connection_ordered(name, &mut fresh(5));
+    check_healthy_rounds_surface_no_stall(name, w, &mut fresh);
+}
+
+#[test]
+fn execution_engine_passes_conformance() {
+    let w = tpch();
+    conformance_suite("engine", &w, |seed| {
+        ExecutionEngine::new(DbmsProfile::dbms_x(), &w, seed)
+    });
+}
+
+#[test]
+fn learned_simulator_passes_conformance() {
+    let w = tpch();
+    let (model, embs, avg) = common::simulator_parts(&w);
+    conformance_suite("simulator", &w, |_seed| {
+        LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6)
+    });
+}
+
+#[test]
+fn sharded_engine_passes_conformance() {
+    let w = tpch();
+    for shards in [1usize, 2, 4] {
+        conformance_suite(&format!("sharded{shards}"), &w, |seed| {
+            ShardedEngine::new(DbmsProfile::dbms_x(), &w, seed, shards)
+        });
+    }
+}
+
+/// The single-shard deployment is not merely self-consistent: it replays the
+/// monolithic engine byte for byte through the whole session stack, so the
+/// sharded backend inherits every behavioral pin the engine has.
+#[test]
+fn sharded_one_is_byte_identical_to_the_engine_on_golden_seeds() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    for seed in [0u64, 5] {
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
+        let mono = ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(seed)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        let mut sharded = ShardedEngine::new(profile.clone(), &w, seed, 1);
+        let one = ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(seed)
+            .build(&mut sharded)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(mono.to_json(), one.to_json(), "seed {seed}");
+    }
+}
+
+/// And therefore it also matches the engine's pinned on-disk artifact.
+#[test]
+fn sharded_one_matches_the_engine_golden_artifact() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let mut sharded = ShardedEngine::new(profile.clone(), &w, 0, 1);
+    let json = ScheduleSession::builder(&w)
+        .dbms(profile.kind)
+        .round(0)
+        .build(&mut sharded)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    common::assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
+}
+
+/// Cross-version pins for the sharded backend itself: fixed (workload,
+/// profile, seed, shard count) must keep reproducing the same on-disk log,
+/// so refactors of the event merge are checked against fixed artifacts
+/// rather than run-vs-run. Re-bless deliberately with `BLESS=1`.
+#[test]
+fn sharded_logs_match_golden_artifacts() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    for (shards, artifact) in [
+        (2usize, "engine_sharded2_tpch_seed0.json"),
+        (4usize, "engine_sharded4_tpch_seed0.json"),
+    ] {
+        let mut sharded = ShardedEngine::new(profile.clone(), &w, 0, shards);
+        let json = ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(0)
+            .build(&mut sharded)
+            .run(&mut FifoScheduler::new())
+            .to_json();
+        common::assert_matches_golden(artifact, &json);
+    }
+}

@@ -4,7 +4,7 @@
 //! partition — for arbitrary workload subsets, seeds and parameters.
 
 use bqsched::core::{collect_history, FifoScheduler, RandomScheduler, ScheduleSession};
-use bqsched::dbms::{DbmsProfile, ParamSpace};
+use bqsched::dbms::{DbmsProfile, ExecutionEngine, ParamSpace, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
 use proptest::prelude::*;
@@ -48,6 +48,63 @@ proptest! {
         // No connection index outside the profile's range is ever used.
         for r in &log.records {
             prop_assert!(r.connection < profile.connections);
+        }
+    }
+
+    #[test]
+    fn single_shard_episodes_are_byte_identical_to_the_engine(seed in 0u64..300, n in 4usize..22) {
+        // For ANY workload subset and seed, `ShardedEngine` with shards=1 is
+        // not just equivalent to the monolithic engine — its episode log is
+        // byte for byte the same, through the whole session stack. This pins
+        // the global↔shard slot mapping, the clock anchoring and the event
+        // merge to "exactly the engine" in the degenerate case.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut engine = ExecutionEngine::new(profile.clone(), &workload, seed);
+        let mono = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+        let mut sharded = ShardedEngine::new(profile, &workload, seed, 1);
+        let one = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut sharded)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(mono.to_json(), one.to_json());
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_completed_set(seed in 0u64..200, n in 4usize..22) {
+        // Scaling the shard count redistributes queries over shards (so
+        // timings shift with the new intra-shard mixes), but never the *set*
+        // of completed queries: every query completes exactly once at every
+        // shard count, with a positive duration — and per shard count the
+        // per-query durations are a deterministic function of the seed.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        for shards in [1usize, 2, 4] {
+            let run = || {
+                let mut e = ShardedEngine::new(profile.clone(), &workload, seed, shards);
+                ScheduleSession::builder(&workload)
+                    .round(seed)
+                    .build(&mut e)
+                    .run(&mut FifoScheduler::new())
+            };
+            let log = run();
+            prop_assert_eq!(log.len(), workload.len(), "{} shards lost queries", shards);
+            let mut seen = vec![false; workload.len()];
+            for r in &log.records {
+                prop_assert!(!seen[r.query.0], "{} shards: duplicate completion", shards);
+                seen[r.query.0] = true;
+                prop_assert!(r.finished_at > r.started_at);
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            // Determinism of the per-query durations at this shard count.
+            let replay = run();
+            for (a, b) in log.records.iter().zip(&replay.records) {
+                prop_assert_eq!(a.query, b.query);
+                prop_assert_eq!(a.duration(), b.duration());
+            }
         }
     }
 

@@ -1,32 +1,21 @@
-//! Backend-generic contract tests for the `ScheduleSession` API: the same
-//! invariants must hold whether the session drives the simulated DBMS
-//! (`ExecutionEngine`) or the learned incremental simulator
-//! (`LearnedSimulator`). Fixed seeds must reproduce episode logs byte for
-//! byte, and the unified occupancy views (the `ConnectionSlot` slice plus
-//! everything derived from it) must stay consistent across mid-round
-//! cancellations and timeouts on both backends.
+//! Backend-generic contract tests for the `ScheduleSession` API: saturation
+//! and completeness invariants for arbitrary seeds, golden-artifact pins for
+//! the monolithic backends, and the loud-failure paths for advance stalls.
+//!
+//! The per-backend conformance contract (byte-identical logs, cancel-mid-
+//! round view consistency, timeout slot accounting, ordered running views,
+//! stall surfacing) lives in `tests/backend_conformance.rs`, which runs the
+//! same parametrized harness over every `ExecutorBackend`.
 
-use bqsched::core::{
-    EpisodeLog, ExecutorBackend, FifoScheduler, RandomScheduler, ScheduleSession, SchedulerPolicy,
-};
-use bqsched::dbms::{DbmsProfile, ExecutionEngine};
-use bqsched::nn::{ParamStore, Tensor};
+mod common;
+
+use bqsched::core::{EpisodeLog, FifoScheduler, RandomScheduler, ScheduleSession};
+use bqsched::dbms::{DbmsProfile, ExecutionEngine, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, Workload, WorkloadSpec};
-use bqsched::sched::{LearnedSimulator, SimulatorConfig, SimulatorModel};
+use bqsched::sched::LearnedSimulator;
 use proptest::prelude::*;
 
-/// Run one round through the session facade against any backend.
-fn session_round<E: ExecutorBackend>(
-    policy: &mut dyn SchedulerPolicy,
-    workload: &Workload,
-    backend: &mut E,
-    round: u64,
-) -> EpisodeLog {
-    ScheduleSession::builder(workload)
-        .round(round)
-        .build(backend)
-        .run(policy)
-}
+use common::{session_round, simulator_parts};
 
 /// Check the two session invariants on a finished log:
 /// 1. every query completes exactly once;
@@ -71,36 +60,6 @@ fn assert_session_invariants(log: &EpisodeLog, workload: &Workload, connections:
     }
 }
 
-/// Build a learned-simulator backend over an (untrained, deterministic)
-/// prediction model. Returns the pieces the simulator borrows.
-fn simulator_parts(workload: &Workload) -> (SimulatorModel, Tensor, Vec<f64>) {
-    let mut store = ParamStore::new();
-    let mut rng = bqsched::encoder::seeded_rng(0);
-    let enc = bqsched::encoder::PlanEncoder::new(
-        &mut store,
-        bqsched::encoder::PlanEncoderConfig {
-            dim: 16,
-            heads: 2,
-            blocks: 1,
-            tree_bias_per_hop: 0.5,
-        },
-        &mut rng,
-    );
-    let embs = enc.embed_workload(&store, workload);
-    let config = SimulatorConfig {
-        encoder: bqsched::encoder::StateEncoderConfig {
-            plan_dim: 16,
-            dim: 16,
-            heads: 2,
-            blocks: 1,
-        },
-        ..SimulatorConfig::default()
-    };
-    let model = SimulatorModel::new(16, config, 1);
-    let avg = vec![1.0; workload.len()];
-    (model, embs, avg)
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -112,6 +71,19 @@ proptest! {
         let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
         let log = session_round(&mut RandomScheduler::new(seed), &w, &mut engine, seed);
         assert_session_invariants(&log, &w, profile.connections);
+    }
+
+    #[test]
+    fn sharded_sessions_saturate_and_complete(seed in 0u64..100, shards in 1usize..4) {
+        // The sharded backend obeys the same work-conserving saturation law
+        // over its *global* slot space: while queries pend, every one of the
+        // shards × per-shard connections is busy.
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let total = profile.connections * shards;
+        let mut engine = ShardedEngine::new(profile, &w, seed, shards);
+        let log = session_round(&mut RandomScheduler::new(seed), &w, &mut engine, seed);
+        assert_session_invariants(&log, &w, total);
     }
 }
 
@@ -127,50 +99,12 @@ fn simulator_sessions_saturate_and_complete() {
 }
 
 #[test]
-fn engine_logs_are_byte_identical_for_fixed_seeds() {
-    // The byte-identity oracle: an episode is a pure function of (workload,
-    // profile, seed, policy). Pins that the unified occupancy refactor keeps
-    // the engine deterministic, including within-instant completion batches.
-    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-    let profile = DbmsProfile::dbms_x();
-    for seed in [0u64, 3, 11, 40] {
-        let run = || {
-            let mut engine = ExecutionEngine::new(profile.clone(), &w, seed);
-            ScheduleSession::builder(&w)
-                .dbms(profile.kind)
-                .round(seed)
-                .build(&mut engine)
-                .run(&mut FifoScheduler::new())
-                .to_json()
-        };
-        assert_eq!(run(), run(), "engine seed {seed}");
-    }
-}
-
-/// Compare `json` against the pinned artifact at `tests/golden/<name>`, or
-/// rewrite the artifact when `BLESS=1` is set (deliberate re-pin after an
-/// intended behavior change).
-fn assert_matches_golden(name: &str, json: &str) {
-    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
-    if std::env::var_os("BLESS").is_some() {
-        std::fs::write(&path, json).expect("write golden log");
-        return;
-    }
-    let golden = std::fs::read_to_string(&path).expect("golden log artifact missing");
-    assert_eq!(
-        json, golden,
-        "episode log diverged from the pinned golden artifact {name}; if \
-         the behavior change is intended, re-bless with BLESS=1"
-    );
-}
-
-#[test]
 fn engine_log_matches_golden_artifact_for_seed_zero() {
-    // Unlike the run() == run() identity tests above, this pins the episode
-    // log against a fixed on-disk artifact, so a refactor that changes
-    // behavior (not just determinism) fails here. The artifact was verified
-    // byte-identical to the pre-unification engine's output (PR 1, seeds
-    // 0/3/11/40 and more), so it carries the cross-version contract forward.
+    // Pins the episode log against a fixed on-disk artifact, so a refactor
+    // that changes behavior (not just determinism) fails here. The artifact
+    // was verified byte-identical to the pre-unification engine's output
+    // (PR 1, seeds 0/3/11/40 and more), so it carries the cross-version
+    // contract forward.
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
@@ -180,31 +114,15 @@ fn engine_log_matches_golden_artifact_for_seed_zero() {
         .build(&mut engine)
         .run(&mut FifoScheduler::new())
         .to_json();
-    assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
-}
-
-#[test]
-fn simulator_logs_are_byte_identical_for_fixed_seeds() {
-    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-    let (model, embs, avg) = simulator_parts(&w);
-    let run = || {
-        let mut sim = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
-        ScheduleSession::builder(&w)
-            .dbms(bqsched::dbms::DbmsKind::X)
-            .round(5)
-            .build(&mut sim)
-            .run(&mut FifoScheduler::new())
-            .to_json()
-    };
-    assert_eq!(run(), run());
+    common::assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
 }
 
 #[test]
 fn simulator_log_matches_golden_artifact() {
-    // Same cross-version pin as the engine golden test: the learned
-    // simulator's episode log for a fixed (untrained, deterministic) model
-    // must match the on-disk artifact, so refactors of its advance/cancel
-    // paths are checked against a fixed log rather than run-vs-run.
+    // Same cross-version pin for the learned simulator: its episode log for
+    // a fixed (untrained, deterministic) model must match the on-disk
+    // artifact, so refactors of its advance/cancel paths are checked against
+    // a fixed log rather than run-vs-run.
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let (model, embs, avg) = simulator_parts(&w);
     let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
@@ -214,7 +132,7 @@ fn simulator_log_matches_golden_artifact() {
         .build(&mut sim)
         .run(&mut FifoScheduler::new())
         .to_json();
-    assert_matches_golden("simulator_fifo_tpch.json", &json);
+    common::assert_matches_golden("simulator_fifo_tpch.json", &json);
 }
 
 // Release-only: in debug the engine debug_asserts at the stall site before
@@ -256,113 +174,20 @@ fn session_fails_loudly_when_a_stall_precedes_the_final_completion() {
         .run(&mut FifoScheduler::new());
 }
 
-/// Satellite regression: cancelling mid-round must leave every occupancy
-/// view consistent — the cancelled slot frees, no other slot moves, and the
-/// running view stays in ascending connection order (the old engine's
-/// internal `swap_remove` reordered its running set).
-fn assert_cancel_keeps_views_consistent(backend: &mut dyn ExecutorBackend, submit: usize) {
-    use bqsched::dbms::RunParams;
-    for q in 0..submit {
-        let free = backend.first_free().expect("connection available");
-        assert_eq!(free, q, "fill proceeds in connection order");
-        backend.submit(bqsched::plan::QueryId(q), RunParams::default_config(), free);
-    }
-    while backend.events_pending() {
-        backend.poll_event();
-    }
-    let victim = submit / 2;
-    let c = backend.cancel(victim).expect("victim was running");
-    assert_eq!(c.query, bqsched::plan::QueryId(victim));
-    assert_eq!(c.connection, victim);
-    assert!(
-        backend.cancel(victim).is_none(),
-        "slot must free exactly once"
-    );
-
-    assert!(backend.connections()[victim].is_free());
-    assert_eq!(backend.first_free(), Some(victim));
-    let view: Vec<(usize, usize)> = backend
-        .running_view()
-        .map(|(q, _, _, conn)| (conn, q.0))
-        .collect();
-    let expected: Vec<(usize, usize)> = (0..submit)
-        .filter(|&q| q != victim)
-        .map(|q| (q, q))
-        .collect();
-    assert_eq!(view, expected, "running view must stay connection-ordered");
-}
-
+// Release-only for the same reason as above: the sharded backend aggregates
+// per-shard stalls and the session must fail the round just as loudly.
+#[cfg(not(debug_assertions))]
 #[test]
-fn cancel_mid_round_keeps_views_consistent_on_both_backends() {
+#[should_panic(expected = "stalled mid-round")]
+fn session_fails_loudly_when_a_shard_stalls() {
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-    let mut engine = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 7);
-    assert_cancel_keeps_views_consistent(&mut engine, 5);
-
-    let (model, embs, avg) = simulator_parts(&w);
-    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
-    assert_cancel_keeps_views_consistent(&mut sim, 5);
-}
-
-/// Satellite regression: a query cancelled exactly at its per-query deadline
-/// frees its slot exactly once — every query completes once (no double-free)
-/// and no slot stays busy after the round (no leak) — on both backends.
-fn assert_timeout_frees_each_slot_exactly_once<E: ExecutorBackend>(
-    backend: &mut E,
-    w: &Workload,
-    timeout: f64,
-) {
-    let mut counts = vec![0usize; w.len()];
-    let log = ScheduleSession::builder(w)
-        .query_timeout(timeout)
-        .on_completion(|c| counts[c.query.0] += 1)
-        .build(backend)
+    let mut profile = DbmsProfile::dbms_x();
+    profile.cpu_units_per_sec = 1e-9;
+    let mut engine = ShardedEngine::new(profile, &w, 0, 2);
+    engine.force_advance_budget(1);
+    ScheduleSession::builder(&w)
+        .build(&mut engine)
         .run(&mut FifoScheduler::new());
-    assert_eq!(log.len(), w.len());
-    assert!(
-        counts.iter().all(|&n| n == 1),
-        "every slot must free exactly once: {counts:?}"
-    );
-    assert!(
-        log.records
-            .iter()
-            .any(|r| (r.duration() - timeout).abs() < 1e-6),
-        "at least one cancellation must land exactly on the deadline"
-    );
-    assert!(
-        backend.connections().iter().all(|s| s.is_free()),
-        "no slot may stay busy after the round"
-    );
-}
-
-#[test]
-fn timeout_cancellation_frees_each_slot_exactly_once_on_both_backends() {
-    let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
-    let profile = DbmsProfile::dbms_x();
-
-    // Engine: pick a deadline half the longest natural duration so the race
-    // (cancel exactly at deadline vs natural completion) actually occurs.
-    let mut baseline = ExecutionEngine::new(profile.clone(), &w, 0);
-    let natural = session_round(&mut FifoScheduler::new(), &w, &mut baseline, 0);
-    let timeout = natural
-        .records
-        .iter()
-        .map(|r| r.duration())
-        .fold(0.0, f64::max)
-        / 2.0;
-    let mut engine = ExecutionEngine::new(profile, &w, 0);
-    assert_timeout_frees_each_slot_exactly_once(&mut engine, &w, timeout);
-
-    let (model, embs, avg) = simulator_parts(&w);
-    let mut baseline = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
-    let natural = session_round(&mut FifoScheduler::new(), &w, &mut baseline, 0);
-    let timeout = natural
-        .records
-        .iter()
-        .map(|r| r.duration())
-        .fold(0.0, f64::max)
-        / 2.0;
-    let mut sim = LearnedSimulator::new(&model, &w, &embs, avg, 6);
-    assert_timeout_frees_each_slot_exactly_once(&mut sim, &w, timeout);
 }
 
 #[test]
@@ -422,7 +247,7 @@ fn random_policy_is_reproducible_across_backends_per_seed() {
 }
 
 #[test]
-fn query_ids_stay_in_range_for_both_backends() {
+fn query_ids_stay_in_range_for_all_backends() {
     let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     let mut engine = ExecutionEngine::new(profile.clone(), &w, 2);
@@ -438,5 +263,15 @@ fn query_ids_stay_in_range_for_both_backends() {
     for r in &log.records {
         assert!(r.query.0 < w.len());
         assert!(r.connection < 5, "simulator connection out of range");
+    }
+
+    let mut sharded = ShardedEngine::new(profile.clone(), &w, 2, 3);
+    let log = session_round(&mut FifoScheduler::new(), &w, &mut sharded, 2);
+    for r in &log.records {
+        assert!(r.query.0 < w.len());
+        assert!(
+            r.connection < profile.connections * 3,
+            "sharded connection out of global range"
+        );
     }
 }
