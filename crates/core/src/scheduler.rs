@@ -108,11 +108,14 @@ impl<'a> RunningView<'a> {
     /// guarantee is what keeps policy input deterministic, so a mis-merged
     /// sharded view (ids assembled in shard polling order rather than global
     /// connection order) fails loudly here instead of silently reordering
-    /// observations.
+    /// observations. The ordering check is a hard assertion — release builds
+    /// included — because the slices are shard-sized and the silent failure
+    /// mode (scrambled policy observations) is far costlier than the O(n)
+    /// scan.
     ///
     /// # Panics
-    /// Panics if the lengths differ; debug builds also assert the ids are
-    /// strictly ascending.
+    /// Panics if the lengths differ or the connection ids are not strictly
+    /// ascending.
     pub fn with_connections(
         slots: &'a [ConnectionSlot],
         connections: &'a [usize],
@@ -123,7 +126,7 @@ impl<'a> RunningView<'a> {
             connections.len(),
             "every slot needs exactly one global connection id"
         );
-        debug_assert!(
+        assert!(
             connections.windows(2).all(|w| w[0] < w[1]),
             "RunningView connections must be strictly ascending \
              (mis-merged partitioned view): {connections:?}"
@@ -486,12 +489,12 @@ mod tests {
         );
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "strictly ascending")]
     fn mis_merged_partitioned_view_fails_loudly() {
         // Connection ids assembled in shard polling order instead of global
-        // connection order must not silently reorder policy input.
+        // connection order must not silently reorder policy input — in
+        // release builds too (the check is a hard assert, not a debug one).
         let slots = [ConnectionSlot::Free, ConnectionSlot::Free];
         let shuffled = [18usize, 3];
         let _ = RunningView::with_connections(&slots, &shuffled, 0.0);

@@ -34,6 +34,20 @@
 //! up to the candidate's instant, so an event from a fast shard can never
 //! overtake an earlier completion still latent in a slow shard.
 //!
+//! # Observable-clock discipline
+//!
+//! A shard integrated up to its own next completion during a merge holds a
+//! harvested-but-undelivered completion, and its local timeline then runs
+//! *ahead* of the observable clock until that completion is delivered.
+//! Shards cannot rewind, so every observable stamp is taken from the
+//! session-observable state instead of a shard timeline that ran ahead:
+//! submissions onto an ahead shard are mirrored (and their completions
+//! reconciled at harvest) with `started_at` at the observable clock,
+//! cancellations stamp `finished_at` at the observable clock, and a bounded
+//! [`ShardedEngine::advance_to`] may move the clock up to — but never across
+//! — the earliest undelivered completion, so session-layer timeout deadlines
+//! keep firing on time mid-merge.
+//!
 //! # Stall aggregation
 //!
 //! Every shard keeps its own bounded advance budget. If any shard exhausts
@@ -197,16 +211,21 @@ impl ShardedEngine {
     /// timeline lags (an idle shard's clock stops between queries), so the
     /// submission is stamped at the session-observable instant.
     ///
+    /// A shard whose timeline ran *ahead* of the observable clock (it holds
+    /// an undelivered completion from a cross-shard merge in progress — e.g.
+    /// a timeout cancellation just freed one of its other slots and the
+    /// session refills it) accepts submissions too: the shard stamps the
+    /// query at its own local instant, but the mirror — and the eventual
+    /// completion, reconciled at harvest — records the *observable*
+    /// submission instant, so the session never sees a `started_at` in its
+    /// future. The sliver of virtual time between the two stamps is
+    /// execution the shard does not simulate; it is bounded by the
+    /// undelivered completion's instant (shards cannot rewind, so this is
+    /// the price of keeping the observable surface consistent).
+    ///
     /// # Panics
     /// Panics if the connection is busy or out of range, like
-    /// [`ExecutionEngine::submit_to`] — and if the owning shard's timeline
-    /// ran *ahead* of the observable clock (it holds an undelivered
-    /// completion from a cross-shard merge in progress): a submission there
-    /// would be stamped in the observable future and is refused loudly
-    /// rather than corrupting elapsed times. This cannot happen under a
-    /// work-conserving driver like `ScheduleSession` (refills only target
-    /// slots freed by just-delivered completions, whose shard sits exactly
-    /// at the clock); drain pending completions before submitting.
+    /// [`ExecutionEngine::submit_to`].
     pub fn submit_to(&mut self, query: QueryId, params: RunParams, connection: usize) {
         assert!(
             connection < self.mirror.len(),
@@ -222,22 +241,23 @@ impl ShardedEngine {
             self.shards[s].advance_to(self.clock);
             self.harvest(s);
         }
-        assert!(
-            self.shards[s].now() <= self.clock + TIME_EPS,
-            "shard {s} timeline ({}) ran ahead of the observable clock ({}): \
-             an undelivered completion is pending from a merge in progress; \
-             drain completions before submitting to this shard",
-            self.shards[s].now(),
-            self.clock
-        );
         debug_assert!(
             self.shards[s].now() + TIME_EPS >= self.clock,
             "shard {s} timeline lags the global clock after sync"
         );
         self.shards[s].submit_to(query, params, local);
         // Copy the shard's slot verbatim so `started_at` is bit-identical to
-        // the shard timeline (the mirror is a view, not a second stamping).
-        self.mirror[connection] = self.shards[s].connection_slots()[local];
+        // the shard timeline (the mirror is a view, not a second stamping) —
+        // unless the shard ran ahead mid-merge, in which case its own stamp
+        // lies in the observable future and the mirror records the
+        // observable instant instead.
+        let mut slot = self.shards[s].connection_slots()[local];
+        if self.shards[s].now() > self.clock + TIME_EPS {
+            if let ConnectionSlot::Busy { started_at, .. } = &mut slot {
+                *started_at = self.clock;
+            }
+        }
+        self.mirror[connection] = slot;
         let (echo_query, echo_local) = self.shards[s]
             .pop_submitted_event()
             .expect("submit_to buffers exactly one echo");
@@ -246,25 +266,52 @@ impl ShardedEngine {
     }
 
     /// Cancel whatever observably runs on global `connection`, freeing it at
-    /// the current clock. Returns `None` if the slot is free — or if the
-    /// query's natural completion has already been harvested and merely
-    /// awaits delivery (a completion in flight wins over a cancellation, as
-    /// on the monolithic engine where a buffered completion has already
-    /// freed the slot).
+    /// the observable clock. Returns `None` if the slot is free — or if the
+    /// query's natural completion has already been harvested at an instant
+    /// the clock has reached and merely awaits delivery (an *observable*
+    /// completion in flight wins over a cancellation, as on the monolithic
+    /// engine where a buffered completion has already freed the slot). A
+    /// harvested completion in the observable *future* — its shard was
+    /// integrated ahead during a cross-shard merge — does not protect the
+    /// query: observably it is still running, so the cancellation wins and
+    /// the future completion is discarded.
+    ///
+    /// Both stamps come from the session-observable state, never from a
+    /// shard timeline that ran ahead: `started_at` is the mirror's stamp and
+    /// `finished_at` is the observable clock, so a timeout cancellation can
+    /// never log a duration exceeding its deadline.
     pub fn cancel_connection(&mut self, connection: usize) -> Option<QueryCompletion> {
-        if self.mirror.get(connection)?.is_free() {
+        let ConnectionSlot::Busy {
+            query,
+            params,
+            started_at,
+        } = *self.mirror.get(connection)?
+        else {
             return None;
+        };
+        if let Some(idx) = self.pending.iter().position(|c| c.connection == connection) {
+            if self.pending[idx].finished_at <= self.clock + TIME_EPS {
+                return None;
+            }
+            // The shard-local slot already freed itself at the discarded
+            // completion's (future) instant; only the observable state is
+            // cancelled here.
+            self.pending.swap_remove(idx);
+        } else {
+            let s = self.shard_of(connection);
+            let local = self.local_of(connection);
+            let cancelled = self.shards[s].cancel_connection(local);
+            debug_assert!(cancelled.is_some(), "busy mirror implies a busy shard slot");
         }
-        if self.pending.iter().any(|c| c.connection == connection) {
-            return None;
-        }
-        let s = self.shard_of(connection);
-        let local = self.local_of(connection);
-        let mut completion = self.shards[s].cancel_connection(local)?;
-        completion.connection = connection;
         self.mirror[connection] = ConnectionSlot::Free;
         self.delivered += 1;
-        Some(completion)
+        Some(QueryCompletion {
+            query,
+            connection,
+            params,
+            started_at,
+            finished_at: self.clock,
+        })
     }
 
     /// Pop one buffered "query accepted" notice `(query, global connection)`.
@@ -340,42 +387,50 @@ impl ShardedEngine {
     }
 
     /// Advance the observable clock to at most `until`: every busy shard
-    /// integrates its own dynamics up to `until` (stopping early at its next
-    /// completion, which is harvested into the merge). The clock moves to
-    /// `until` when no shard completed on the way, and to the *earliest*
-    /// harvested completion otherwise — exactly where the monolithic
-    /// engine's clock would stop — so the completion batch is immediately
-    /// visible via [`ShardedEngine::has_buffered_events`]. No-op while
-    /// undelivered completions exist, like [`ExecutionEngine::advance_to`].
+    /// integrates its own dynamics up to the bound (stopping early at its
+    /// next completion, which is harvested into the merge). Undelivered
+    /// cross-shard completions cap the bound rather than blocking the
+    /// advance — the clock may move up to, but never across, the earliest
+    /// pending instant — so a session's deadline-bounded advance keeps
+    /// working mid-merge and timeouts between the clock and a pending
+    /// completion still fire on time. The clock moves to the bound when no
+    /// completion precedes it, and to the *earliest* harvested completion
+    /// otherwise — exactly where the monolithic engine's clock would stop —
+    /// so the completion batch is immediately visible via
+    /// [`ShardedEngine::has_buffered_events`].
     pub fn advance_to(&mut self, until: f64) {
-        if !self.pending.is_empty() {
+        let bound = match self.min_pending() {
+            Some(idx) => until.min(self.pending[idx].finished_at),
+            None => until,
+        };
+        if bound <= self.clock {
             return;
         }
         for s in 0..self.shards.len() {
-            self.shards[s].advance_to(until);
+            self.shards[s].advance_to(bound);
             self.harvest(s);
         }
         if let Some(idx) = self.min_pending() {
-            // Completions occurred on the way: anchor the clock at the
+            // Completions at or before the bound anchor the clock at the
             // earliest one (exactly where the monolithic engine's clock
             // stops), so the batch is immediately visible via
-            // `has_buffered_events` and nothing observable — cancellation
-            // stamps, resubmission stamps — can land beyond an undelivered
-            // completion by more than the caller's own bound.
-            self.clock = self.clock.max(self.pending[idx].finished_at);
-        } else if until.is_finite() && until > self.clock {
-            // Every busy shard reached `until` (up to its own fp rounding);
-            // anchor the clock on the shard timelines rather than on `until`
-            // so a single-shard deployment reports the exact instant the
-            // monolithic engine would.
+            // `has_buffered_events`; a pre-existing pending completion
+            // beyond the bound caps the clock at the bound instead.
+            self.clock = self.clock.max(self.pending[idx].finished_at.min(bound));
+        } else if bound.is_finite() {
+            // Every busy shard reached the bound (up to its own fp
+            // rounding); anchor the clock on the shard timelines rather
+            // than on the bound so a single-shard deployment reports the
+            // exact instant the monolithic engine would. Shards that ran
+            // ahead mid-merge must not drag the clock past the bound.
             let frontier = self
                 .shards
                 .iter()
                 .filter(|e| e.busy_count() > 0)
                 .map(ExecutionEngine::now)
                 .min_by(|a, b| a.partial_cmp(b).expect("clocks are finite"))
-                .unwrap_or(until);
-            self.clock = self.clock.max(frontier);
+                .unwrap_or(bound);
+            self.clock = self.clock.max(frontier.min(bound));
         }
     }
 
@@ -417,6 +472,15 @@ impl ShardedEngine {
         let offset = s * self.per_shard;
         while let Some(mut completion) = self.shards[s].pop_buffered_completion() {
             completion.connection += offset;
+            // The mirror's stamp is the observable submission instant; it
+            // differs from the shard's own stamp only when the submission
+            // landed on a shard that had run ahead mid-merge. Delivered
+            // completions carry the observable stamp (a verbatim no-op in
+            // every other case, so byte-identity with the monolithic engine
+            // is untouched).
+            if let Some(started_at) = self.mirror[completion.connection].started_at() {
+                completion.started_at = started_at;
+            }
             self.pending.push(completion);
         }
     }
@@ -678,10 +742,17 @@ mod tests {
         e.advance_to(t_short + 1.0);
         assert_eq!(e.now(), t_short, "clock anchors at the earliest completion");
         assert!(e.has_buffered_events(), "the harvested batch is visible");
-        // A cancel on the sibling shard stamps within the caller's bound,
+        // An *observable* completion in flight (harvested at an instant the
+        // clock has reached) wins over a cancellation, as on the monolithic
+        // engine where the buffered completion already freed the slot.
+        assert!(
+            e.cancel_connection(0).is_none(),
+            "observable completion in flight must win over a cancel"
+        );
+        // A cancel on the sibling shard stamps exactly the observable clock,
         // and the pending completion still delivers first in merge order.
         let cancelled = e.cancel_connection(shard1_conn).expect("still running");
-        assert!(cancelled.finished_at <= t_short + 1.0 + 1e-9);
+        assert_eq!(cancelled.finished_at, t_short, "cancel stamps the clock");
         let delivered = e.pop_completion_event().expect("batch pending");
         assert_eq!(delivered.connection, 0);
         assert_eq!(delivered.finished_at, t_short);
@@ -707,13 +778,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ran ahead of the observable clock")]
-    fn submitting_to_a_shard_that_ran_ahead_fails_loudly() {
+    fn submitting_to_a_shard_that_ran_ahead_stamps_the_observable_clock() {
         // Review regression: during a cross-shard merge the non-delivering
-        // shard's timeline runs ahead to its own next completion. Submitting
-        // onto one of its free slots mid-merge would stamp `started_at` in
-        // the observable future (negative elapsed for policies), so the
-        // backend refuses loudly instead.
+        // shard's timeline runs ahead to its own next completion. A refill
+        // onto one of its free slots mid-merge (e.g. after a timeout
+        // cancellation) must be stamped at the observable clock — not the
+        // shard's future, which would show policies a negative elapsed time
+        // — and the eventual completion must carry that observable stamp.
         let w = tpch_workload();
         let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 0, 2);
         let shard1_conn = e.global_of(1, 0);
@@ -725,8 +796,115 @@ mod tests {
         // its own later completion (still pending, mirror still busy).
         let first = e.pop_completion_event().expect("both running");
         assert_eq!(first.connection, shard1_conn, "short query finishes first");
-        // Shard 0 still has 17 free slots, but its timeline is ahead.
+        let t_obs = e.now();
+        // Shard 0's timeline is ahead, but its free slots accept refills,
+        // stamped at the instant the session has observed.
         e.submit_to(QueryId(2), default_params(), 1);
+        assert_eq!(e.connection_slots()[1].started_at(), Some(t_obs));
+        // Merge order is unchanged: the pending long query delivers first,
+        // then the refill — whose completion carries the observable stamp.
+        let second = e.pop_completion_event().expect("pending long query");
+        assert_eq!(second.connection, 0);
+        let third = e.pop_completion_event().expect("refilled query running");
+        assert_eq!(third.connection, 1);
+        assert_eq!(
+            third.started_at, t_obs,
+            "completion carries the mirror stamp"
+        );
+        assert!(third.finished_at > third.started_at);
+    }
+
+    #[test]
+    fn cancel_on_an_ahead_shard_stamps_the_clock_and_frees_slots_for_refill() {
+        // Review regression (high severity): a session timeout can cancel
+        // queries on a shard whose timeline ran ahead mid-merge. The
+        // cancellations must stamp `finished_at` at the observable clock
+        // (stamping the shard's future would log durations exceeding the
+        // deadline), a harvested completion in the observable future must
+        // not shield its query from the cancel, and the freed slots must
+        // accept refills instead of tripping a ran-ahead panic.
+        let w = tpch_workload();
+        // Rank queries by solo duration so the pairing is robust: the two
+        // longest run on shard 0, the shortest alone on shard 1.
+        let solo = |q: usize| {
+            let mut probe = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0);
+            probe.submit(QueryId(q), default_params());
+            probe.step_until_completion()[0].duration()
+        };
+        let mut ranked: Vec<usize> = (0..w.len()).collect();
+        ranked.sort_by(|&a, &b| solo(a).partial_cmp(&solo(b)).unwrap());
+        let (shortest, longest, second_longest) =
+            (ranked[0], ranked[w.len() - 1], ranked[w.len() - 2]);
+        let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 0, 2);
+        let shard1_conn = e.global_of(1, 0);
+        // Two long queries on shard 0, the short query alone on shard 1.
+        e.submit_to(QueryId(longest), default_params(), 0);
+        e.submit_to(QueryId(second_longest), default_params(), 1);
+        e.submit_to(QueryId(shortest), default_params(), shard1_conn);
+        while e.pop_submitted_event().is_some() {}
+        let first = e.pop_completion_event().expect("all running");
+        assert_eq!(first.connection, shard1_conn, "short query finishes first");
+        let t_obs = e.now();
+        // Shard 0 ran ahead to its own next completion (harvested, in the
+        // observable future). Cancel both of its connections: one discards
+        // that future completion, the other cancels shard-locally — both
+        // must stamp the observable clock.
+        let a = e.cancel_connection(0).expect("observably running");
+        let b = e.cancel_connection(1).expect("observably running");
+        for c in [&a, &b] {
+            assert_eq!(c.finished_at, t_obs, "cancel stamps the observable clock");
+            assert_eq!(c.started_at, 0.0);
+        }
+        // The discarded future completion never resurfaces...
+        assert!(e.is_idle());
+        assert!(e.pop_completion_event().is_none());
+        assert_eq!(e.completed_count(), 3);
+        // ...and the freed slot on the still-ahead shard accepts a refill
+        // stamped at the observable clock.
+        e.submit_to(QueryId(3), default_params(), 0);
+        assert_eq!(e.connection_slots()[0].started_at(), Some(t_obs));
+        let refilled = e.pop_completion_event().expect("refill running");
+        assert_eq!(refilled.query, QueryId(3));
+        assert_eq!(refilled.started_at, t_obs);
+        assert!(refilled.finished_at > t_obs);
+    }
+
+    #[test]
+    fn bounded_advance_is_honored_while_a_cross_shard_completion_is_pending() {
+        // Review regression (medium severity): a deadline-bounded advance
+        // must not be silently skipped while an undelivered cross-shard
+        // completion exists — the clock advances up to, but never across,
+        // the pending instant, so session timeouts falling between the two
+        // still fire at their deadline instead of after the delivery jumps
+        // the clock past them.
+        let w = tpch_workload();
+        let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 0, 2);
+        let shard1_conn = e.global_of(1, 0);
+        e.submit_to(QueryId(0), default_params(), 0);
+        e.submit_to(QueryId(1), default_params(), shard1_conn);
+        while e.pop_submitted_event().is_some() {}
+        let first = e.pop_completion_event().expect("both running");
+        assert_eq!(first.connection, shard1_conn, "short query finishes first");
+        let t_obs = e.now();
+        // Shard 0's completion is harvested but undelivered; a bound below
+        // its instant is reached exactly.
+        let deadline = t_obs + 1e-3;
+        e.advance_to(deadline);
+        assert!(
+            (e.now() - deadline).abs() < 1e-9,
+            "a deadline before the pending completion must be reached: {} vs {deadline}",
+            e.now()
+        );
+        assert!(!e.has_buffered_events(), "the pending instant lies beyond");
+        // A bound beyond the pending instant stops AT the pending instant —
+        // never past an undelivered completion — and makes it visible.
+        e.advance_to(1e18);
+        let pending_instant = e.now();
+        assert!(pending_instant > deadline);
+        assert!(e.has_buffered_events(), "the pending completion is visible");
+        let second = e.pop_completion_event().expect("pending completion");
+        assert_eq!(second.connection, 0);
+        assert_eq!(second.finished_at, pending_instant);
     }
 
     #[test]

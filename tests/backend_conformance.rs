@@ -219,6 +219,28 @@ fn sharded_engine_passes_conformance() {
     }
 }
 
+/// The cells above run 22 queries on 36/72 slots, so every query starts at
+/// t=0 and no slot is ever refilled — which is exactly the blind spot that
+/// let the ahead-shard cancel/refill bugs slip past invariant 3. This cell
+/// shrinks the per-shard connection pool until the workload overflows the
+/// sharded slot space, so refills land mid-merge and timeout deadlines are
+/// staggered across the cross-shard event merge.
+#[test]
+fn sharded_engine_passes_conformance_when_refills_race_the_merge() {
+    let w = tpch();
+    let mut profile = DbmsProfile::dbms_x();
+    profile.connections = 4;
+    for shards in [2usize, 4] {
+        assert!(
+            w.len() > shards * profile.connections,
+            "cell must overflow the slot space to exercise refills"
+        );
+        conformance_suite(&format!("sharded{shards}x4"), &w, |seed| {
+            ShardedEngine::new(profile.clone(), &w, seed, shards)
+        });
+    }
+}
+
 /// The single-shard deployment is not merely self-consistent: it replays the
 /// monolithic engine byte for byte through the whole session stack, so the
 /// sharded backend inherits every behavioral pin the engine has.
