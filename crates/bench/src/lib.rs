@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+use bq_adapter::{AsyncAdapter, DispatchProfile};
 use bq_core::{
     collect_history, evaluate_strategy, mean, ExecutionHistory, FifoScheduler, FirstFreeRouter,
     GanttChart, HashRouter, LeastLoadedRouter, McfScheduler, RandomScheduler, SchedulerPolicy,
@@ -526,6 +527,8 @@ pub fn fig5(scale: RunScale) -> String {
     }
     // (d) the sharded multi-engine backend: shard-count scalability.
     out.push_str(&fig5_shard_sweep(scale));
+    // (e) the async submission adapter: dispatch-latency × batch-size cost.
+    out.push_str(&fig5_dispatch_sweep(scale));
     out
 }
 
@@ -574,6 +577,66 @@ pub fn fig5_shard_sweep(scale: RunScale) -> String {
             first_free,
             hash,
             least,
+        ));
+    }
+    out
+}
+
+/// Figure 5(e) — cost of the asynchronous dispatch boundary: mean FIFO
+/// makespan through an [`AsyncAdapter`] as the admission latency and the
+/// batch-coalescing size sweep, with a bounded in-flight dispatch window
+/// (two round-trips outstanding, the shape of a pipelined client). Latency
+/// 0 × batch 1 is the byte-identical passthrough baseline (the in-process
+/// cost); growing latency pushes the makespan up as connections idle
+/// between decision and admission, and batching claws the loss back by
+/// amortizing one admission latency over several decisions — exactly the
+/// trade a real client/server deployment tunes.
+pub fn fig5_dispatch_sweep(scale: RunScale) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5(e): async dispatch boundary — latency x batch sweep (mean FIFO makespan, s)\n",
+    );
+    let batches: &[usize] = &[1, 4, 16];
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}\n",
+        "cell", "batch=1", "batch=4", "batch=16"
+    ));
+    let latencies: &[f64] = match scale {
+        RunScale::Quick => &[0.0, 0.5],
+        RunScale::Full => &[0.0, 0.1, 0.5, 2.0],
+    };
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let rounds = scale.eval_rounds();
+    for &latency in latencies {
+        let sweep = |batch: usize| -> f64 {
+            let makespans: Vec<f64> = (0..rounds)
+                .map(|seed| {
+                    let dispatch = DispatchProfile::fixed(latency)
+                        .with_max_in_flight(2)
+                        .with_max_batch(batch)
+                        .with_seed(seed);
+                    let mut adapter = AsyncAdapter::new(
+                        ExecutionEngine::new(profile.clone(), &workload, seed),
+                        dispatch,
+                    );
+                    bq_core::ScheduleSession::builder(&workload)
+                        .dbms(profile.kind)
+                        .round(seed)
+                        .build(&mut adapter)
+                        .run(&mut FifoScheduler::new())
+                        .makespan()
+                })
+                .collect();
+            mean(&makespans)
+        };
+        let cells: Vec<f64> = batches.iter().map(|&b| sweep(b)).collect();
+        out.push_str(&format!(
+            "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
+            format!("tpcds X latency={latency}s"),
+            cells[0],
+            cells[1],
+            cells[2],
         ));
     }
     out

@@ -9,10 +9,7 @@
 //! model and is trained with multitask learning (classification +
 //! regression), exactly the design ablated in Table III.
 
-use bq_core::{
-    ConnectionSlot, ExecEvent, ExecutionHistory, ExecutorBackend, QueryRuntime, QueryStatus,
-    SchedulingState,
-};
+use bq_core::{ConnectionSlot, ExecutionHistory, QueryRuntime, QueryStatus, SchedulingState};
 use bq_dbms::{QueryCompletion, RunParams};
 use bq_encoder::{EncodedObservation, FeatureScale, StateEncoder, StateEncoderConfig};
 use bq_nn::{Activation, Adam, Graph, Mlp, NodeId, ParamStore, Tensor};
@@ -359,7 +356,7 @@ pub fn samples_from_history(
     samples
 }
 
-/// The incremental simulator: an [`ExecutorBackend`] backed by the learned
+/// The incremental simulator: an [`bq_core::ExecutorBackend`] backed by the learned
 /// prediction model, so the RL scheduler can be pre-trained without touching
 /// the DBMS. The same event-driven surface the simulated DBMS exposes, so a
 /// [`bq_core::ScheduleSession`] drives both interchangeably.
@@ -450,8 +447,17 @@ impl<'a> LearnedSimulator<'a> {
     /// `until` and leave the query running (the next prediction sees the
     /// larger elapsed times). This is what makes per-query timeouts land at
     /// their deadline on the learned backend too.
+    ///
+    /// An **idle** simulator has nothing to predict, but time still passes:
+    /// a finite `until` moves the clock forward so a later submission is
+    /// stamped at the caller's instant — exactly the engine's idle-advance
+    /// semantics. An async adapter relies on this to admit queued
+    /// submissions at their admission instant when nothing is running yet.
     fn advance_bounded(&mut self, until: f64) {
         if self.slots.iter().all(ConnectionSlot::is_free) {
+            if until.is_finite() && until > self.now {
+                self.now = until;
+            }
             return;
         }
         self.refresh_runtimes();
@@ -502,16 +508,25 @@ impl<'a> LearnedSimulator<'a> {
     }
 }
 
-impl ExecutorBackend for LearnedSimulator<'_> {
-    fn connections(&self) -> &[ConnectionSlot] {
+/// The inherent event surface [`bq_core::impl_executor_backend!`] adapts to
+/// [`bq_core::ExecutorBackend`] — the same method names `ExecutionEngine` exposes, so
+/// all in-process backends share one trait-impl definition.
+impl LearnedSimulator<'_> {
+    /// Per-connection occupancy, indexed by connection id.
+    pub fn connection_slots(&self) -> &[ConnectionSlot] {
         &self.slots
     }
 
-    fn now(&self) -> f64 {
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
         self.now
     }
 
-    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+    /// Submit `query` with `params` to a specific free connection.
+    ///
+    /// # Panics
+    /// Panics if the connection is busy or the query already finished.
+    pub fn submit_to(&mut self, query: QueryId, params: RunParams, connection: usize) {
         assert!(
             self.slots[connection].is_free(),
             "simulator connection {connection} is busy"
@@ -525,30 +540,40 @@ impl ExecutorBackend for LearnedSimulator<'_> {
         self.submitted_events.push_back((query, connection));
     }
 
-    fn poll_event(&mut self) -> ExecEvent {
-        if let Some((query, connection)) = self.submitted_events.pop_front() {
-            return ExecEvent::Submitted { query, connection };
-        }
+    /// Pop one buffered "query accepted" notice `(query, connection)`.
+    pub fn pop_submitted_event(&mut self) -> Option<(QueryId, usize)> {
+        self.submitted_events.pop_front()
+    }
+
+    /// Pop one completion, predicting and advancing to the next one first
+    /// if none is buffered. `None` when nothing is running.
+    pub fn pop_completion_event(&mut self) -> Option<QueryCompletion> {
         if self.completion_events.is_empty() {
             self.advance_until_completion();
         }
-        match self.completion_events.pop_front() {
-            Some(completion) => ExecEvent::Completed(completion),
-            None => ExecEvent::Idle,
-        }
+        self.completion_events.pop_front()
     }
 
-    fn events_pending(&self) -> bool {
+    /// Whether buffered events exist that can be consumed without advancing
+    /// virtual time.
+    pub fn has_buffered_events(&self) -> bool {
         !self.completion_events.is_empty() || !self.submitted_events.is_empty()
     }
 
-    fn advance_to(&mut self, until: f64) {
+    /// Advance virtual time to at most `until`; buffered completions must
+    /// be drained first, exactly like the engine. On an **idle** simulator
+    /// a finite `until` moves the clock forward (so a later submission is
+    /// stamped at the caller's instant — what a deferred admission needs),
+    /// while an unbounded advance leaves an idle clock untouched.
+    pub fn advance_to(&mut self, until: f64) {
         if self.completion_events.is_empty() && until > self.now {
             self.advance_bounded(until);
         }
     }
 
-    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+    /// Cancel whatever runs on `connection`, freeing it immediately and
+    /// stamping the partial completion at the current virtual time.
+    pub fn cancel_connection(&mut self, connection: usize) -> Option<QueryCompletion> {
         let ConnectionSlot::Busy {
             query,
             params,
@@ -567,7 +592,15 @@ impl ExecutorBackend for LearnedSimulator<'_> {
             finished_at: self.now,
         })
     }
+
+    /// The learned simulator's advances are unbounded (one prediction step
+    /// per completion), so it can never stall.
+    pub fn stall_diagnostic(&self) -> Option<bq_dbms::AdvanceStall> {
+        None
+    }
 }
+
+bq_core::impl_executor_backend!(LearnedSimulator<'_>);
 
 #[cfg(test)]
 mod tests {

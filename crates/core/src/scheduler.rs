@@ -51,9 +51,11 @@ pub enum ExecEvent {
     /// A submission was accepted onto a connection.
     ///
     /// For the in-process backends this is a synchronous echo the session
-    /// simply consumes; it exists so that real-DBMS / async adapters — where
-    /// acceptance is *not* synchronous with `submit` — fit the same event
-    /// model without an API change.
+    /// simply consumes. An async adapter (`AsyncAdapter` in the `bq-adapter`
+    /// crate) delivers it only after the submission's admission latency has
+    /// elapsed in virtual time — never from inside `submit` — modelling the
+    /// client/server boundary of a real DBMS; the event model is the same
+    /// either way, so schedulers cannot tell.
     Submitted {
         /// The accepted query.
         query: QueryId,
@@ -209,6 +211,28 @@ impl Iterator for RunningView<'_> {
 /// change. Partitioned running views are built per shard block with
 /// [`RunningView::with_connections`], which checks the global-connection
 /// ordering instead of trusting the merge.
+///
+/// # Submission lifecycle
+///
+/// A query moves through five phases: **decided** (the policy picked it for
+/// a free connection), **queued** (the submission was dispatched but the
+/// executor has not admitted it — the slot reads
+/// [`ConnectionSlot::Pending`]), **admitted** (the executor accepted it;
+/// [`ExecEvent::Submitted`] is delivered and the slot turns
+/// [`ConnectionSlot::Busy`] with `started_at` at the admission instant),
+/// **running**, and **completed** ([`ExecEvent::Completed`]). The in-process
+/// backends collapse queued→admitted to a single instant: `submit` admits
+/// synchronously and only the `Submitted` echo is deferred to
+/// [`ExecutorBackend::poll_event`]. An async adapter (the `bq-adapter`
+/// crate) keeps the phases apart — submissions wait in an admission queue
+/// for a seeded latency (plus a backpressure queue when the in-flight window
+/// is full), and `Submitted` arrives only once that latency has elapsed in
+/// virtual time. Two rules keep both shapes indistinguishable to timeout and
+/// occupancy logic: a pending slot is *occupied* (never handed out again)
+/// but has no `started_at`, so queued time never counts against a per-query
+/// execution deadline; and [`ExecutorBackend::submit_batch`] dispatches one
+/// scheduling instant's decisions together, so an adapter can coalesce them
+/// into a single round-trip.
 pub trait ExecutorBackend {
     /// Per-connection occupancy, indexed by connection id. The single source
     /// of identity for the running set (see the trait-level docs).
@@ -222,6 +246,23 @@ pub trait ExecutorBackend {
     /// # Panics
     /// Implementations panic if the connection is busy or out of range.
     fn submit(&mut self, query: QueryId, params: RunParams, connection: usize);
+
+    /// Dispatch one scheduling instant's decisions together: each entry is
+    /// `(query, params, connection)` with every connection free, in decision
+    /// order. The session layer collects all decisions made at one
+    /// observable instant and hands them over through this method, so an
+    /// async adapter can coalesce the round's decisions into a single
+    /// dispatch sharing one admission latency. The default simply loops over
+    /// [`ExecutorBackend::submit`] (synchronous admission, one echo per
+    /// entry), which is exactly what every in-process backend wants.
+    ///
+    /// # Panics
+    /// Implementations panic if any connection is busy or out of range.
+    fn submit_batch(&mut self, batch: &[(QueryId, RunParams, usize)]) {
+        for &(query, params, connection) in batch {
+            self.submit(query, params, connection);
+        }
+    }
 
     /// Return the next event: buffered events first (without advancing
     /// virtual time), then — if queries are running — advance until at least
@@ -286,89 +327,109 @@ pub trait ExecutorBackend {
     }
 }
 
-impl ExecutorBackend for ExecutionEngine {
-    fn connections(&self) -> &[ConnectionSlot] {
-        self.connection_slots()
-    }
-
-    fn now(&self) -> f64 {
-        ExecutionEngine::now(self)
-    }
-
-    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
-        self.submit_to(query, params, connection);
-    }
-
-    fn poll_event(&mut self) -> ExecEvent {
-        if let Some((query, connection)) = self.pop_submitted_event() {
-            return ExecEvent::Submitted { query, connection };
-        }
-        match self.pop_completion_event() {
-            Some(completion) => ExecEvent::Completed(completion),
-            None => ExecEvent::Idle,
-        }
-    }
-
-    fn events_pending(&self) -> bool {
-        self.has_buffered_events()
-    }
-
-    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
-        self.cancel_connection(connection)
-    }
-
-    fn advance_to(&mut self, until: f64) {
-        ExecutionEngine::advance_to(self, until);
-    }
-
-    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
-        ExecutionEngine::stall_diagnostic(self)
-    }
+/// Types the [`impl_executor_backend!`](crate::impl_executor_backend) macro
+/// expansion needs to name through `$crate` from the caller's crate.
+#[doc(hidden)]
+pub mod macro_types {
+    pub use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
+    pub use bq_plan::QueryId;
 }
 
-impl ExecutorBackend for ShardedEngine {
-    fn connections(&self) -> &[ConnectionSlot] {
-        self.connection_slots()
-    }
+/// Implements [`ExecutorBackend`] for a backend type by forwarding to its
+/// inherent event surface, so the three in-process backends (and any future
+/// one) share a single definition of the submitted-then-completion
+/// `poll_event` shape instead of copy-pasting it.
+///
+/// The backend must provide these inherent methods (the names mirror
+/// [`bq_dbms::ExecutionEngine`]'s public surface):
+///
+/// * `connection_slots(&self) -> &[ConnectionSlot]`
+/// * `now(&self) -> f64`
+/// * `submit_to(&mut self, QueryId, RunParams, usize)`
+/// * `pop_submitted_event(&mut self) -> Option<(QueryId, usize)>`
+/// * `pop_completion_event(&mut self) -> Option<QueryCompletion>` (advances
+///   virtual time to the next completion when none is buffered)
+/// * `has_buffered_events(&self) -> bool`
+/// * `advance_to(&mut self, f64)`
+/// * `cancel_connection(&mut self, usize) -> Option<QueryCompletion>`
+/// * `stall_diagnostic(&self) -> Option<AdvanceStall>`
+///
+/// Trait methods whose defaults don't fit (e.g.
+/// [`ExecutorBackend::shard_topology`] on a sharded backend) go in the
+/// optional trailing block:
+///
+/// ```ignore
+/// impl_executor_backend!(ShardedEngine {
+///     fn shard_topology(&self) -> ShardTopology { /* ... */ }
+/// });
+/// ```
+#[macro_export]
+macro_rules! impl_executor_backend {
+    ($backend:ty) => {
+        $crate::impl_executor_backend!($backend {});
+    };
+    ($backend:ty { $($extra:item)* }) => {
+        impl $crate::scheduler::ExecutorBackend for $backend {
+            fn connections(&self) -> &[$crate::scheduler::macro_types::ConnectionSlot] {
+                Self::connection_slots(self)
+            }
 
-    fn now(&self) -> f64 {
-        ShardedEngine::now(self)
-    }
+            fn now(&self) -> f64 {
+                Self::now(self)
+            }
 
-    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
-        self.submit_to(query, params, connection);
-    }
+            fn submit(
+                &mut self,
+                query: $crate::scheduler::macro_types::QueryId,
+                params: $crate::scheduler::macro_types::RunParams,
+                connection: usize,
+            ) {
+                Self::submit_to(self, query, params, connection);
+            }
 
-    fn poll_event(&mut self) -> ExecEvent {
-        if let Some((query, connection)) = self.pop_submitted_event() {
-            return ExecEvent::Submitted { query, connection };
+            fn poll_event(&mut self) -> $crate::scheduler::ExecEvent {
+                if let Some((query, connection)) = Self::pop_submitted_event(self) {
+                    return $crate::scheduler::ExecEvent::Submitted { query, connection };
+                }
+                match Self::pop_completion_event(self) {
+                    Some(completion) => $crate::scheduler::ExecEvent::Completed(completion),
+                    None => $crate::scheduler::ExecEvent::Idle,
+                }
+            }
+
+            fn events_pending(&self) -> bool {
+                Self::has_buffered_events(self)
+            }
+
+            fn cancel(
+                &mut self,
+                connection: usize,
+            ) -> Option<$crate::scheduler::macro_types::QueryCompletion> {
+                Self::cancel_connection(self, connection)
+            }
+
+            fn advance_to(&mut self, until: f64) {
+                Self::advance_to(self, until);
+            }
+
+            fn stall_diagnostic(
+                &self,
+            ) -> Option<$crate::scheduler::macro_types::AdvanceStall> {
+                Self::stall_diagnostic(self)
+            }
+
+            $($extra)*
         }
-        match self.pop_completion_event() {
-            Some(completion) => ExecEvent::Completed(completion),
-            None => ExecEvent::Idle,
-        }
-    }
+    };
+}
 
-    fn events_pending(&self) -> bool {
-        self.has_buffered_events()
-    }
+impl_executor_backend!(ExecutionEngine);
 
-    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
-        self.cancel_connection(connection)
-    }
-
-    fn advance_to(&mut self, until: f64) {
-        ShardedEngine::advance_to(self, until);
-    }
-
-    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
-        ShardedEngine::stall_diagnostic(self)
-    }
-
+impl_executor_backend!(ShardedEngine {
     fn shard_topology(&self) -> ShardTopology {
         ShardTopology::uniform(self.shard_count(), self.connections_per_shard())
     }
-}
+});
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,7 @@
 //! executor events until the next completion(s), repeat. The hot loop is
 //! allocation-free — [`SchedulingState`] borrows the arena instead of being
 //! cloned per decision, and connection occupancy is read from the backend's
-//! borrowed [`ConnectionSlot`](crate::scheduler::ConnectionSlot) slice.
+//! borrowed [`ConnectionSlot`] slice.
 //!
 //! ```
 //! use bq_core::{FifoScheduler, ScheduleSession};
@@ -28,10 +28,10 @@
 
 use crate::log::{EpisodeLog, ExecutionHistory};
 use crate::routing::{ShardRouter, ShardTopology};
-use crate::scheduler::{ExecEvent, ExecutorBackend, SchedulerPolicy};
+use crate::scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, SchedulerPolicy};
 use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
-use bq_dbms::{DbmsKind, QueryCompletion};
-use bq_plan::Workload;
+use bq_dbms::{DbmsKind, QueryCompletion, RunParams};
+use bq_plan::{QueryId, Workload};
 
 /// Callback invoked on every completion (including timeout cancellations).
 pub type CompletionHook<'a> = Box<dyn FnMut(&QueryCompletion) + 'a>;
@@ -173,6 +173,8 @@ impl<'a> ScheduleSessionBuilder<'a> {
             topology,
             backend,
             runtimes,
+            batch: Vec::new(),
+            slot_scratch: Vec::new(),
             finished: 0,
             decisions: 0,
         }
@@ -194,6 +196,14 @@ pub struct ScheduleSession<'a, E> {
     backend: &'a mut E,
     /// Session-owned runtime arena; [`SchedulingState`] borrows it.
     runtimes: Vec<QueryRuntime>,
+    /// Reusable buffer collecting every decision made at one observable
+    /// instant, dispatched together through
+    /// [`ExecutorBackend::submit_batch`].
+    batch: Vec<(QueryId, RunParams, usize)>,
+    /// Reusable occupancy copy in which the current instant's earlier
+    /// decisions are marked [`ConnectionSlot::Pending`], so routing sees
+    /// reserved slots before the batch reaches the backend.
+    slot_scratch: Vec<ConnectionSlot>,
     finished: usize,
     decisions: usize,
 }
@@ -321,12 +331,23 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
     }
 
-    /// Submit to every free connection while pending queries remain,
-    /// refreshing the runtime arena before each decision. Zero heap
-    /// allocations per iteration. With a router configured, the router picks
-    /// which free connection (and thereby which shard) each submission
-    /// lands on; the choice is validated before it reaches the backend.
+    /// Decide a query for every free connection while pending queries
+    /// remain, refreshing the runtime arena before each decision, then
+    /// dispatch the whole instant's decisions as **one batch** through
+    /// [`ExecutorBackend::submit_batch`] — so an async adapter can coalesce
+    /// the round trip, and every backend sees the decisions of one
+    /// observable instant together. Zero heap allocations per iteration
+    /// (the batch and occupancy scratch buffers are session-owned and
+    /// reused). With a router configured, the router picks which free
+    /// connection (and thereby which shard) each decision lands on; it
+    /// routes over the scratch occupancy in which earlier decisions of this
+    /// instant are already marked [`ConnectionSlot::Pending`], so no slot is
+    /// handed out twice before the batch reaches the backend.
     fn fill_free_connections(&mut self, policy: &mut dyn SchedulerPolicy) {
+        self.batch.clear();
+        self.slot_scratch.clear();
+        self.slot_scratch
+            .extend_from_slice(self.backend.connections());
         loop {
             let pending_left = self
                 .runtimes
@@ -336,17 +357,16 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                 break;
             }
             let routed = match &mut self.router {
-                Some(router) => router.route(&self.topology, self.backend.connections()),
-                None => self.backend.first_free(),
+                Some(router) => router.route(&self.topology, &self.slot_scratch),
+                None => self.slot_scratch.iter().position(ConnectionSlot::is_free),
             };
             let Some(free) = routed else {
                 break;
             };
             assert!(
-                self.backend
-                    .connections()
+                self.slot_scratch
                     .get(free)
-                    .is_some_and(crate::scheduler::ConnectionSlot::is_free),
+                    .is_some_and(ConnectionSlot::is_free),
                 "router returned non-free connection {free}"
             );
 
@@ -372,8 +392,9 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                 policy.name(),
                 action.query
             );
-            // Enforce the budget BEFORE submitting, so an over-budget action
-            // is never launched on the backend (which may be a real DBMS).
+            // Enforce the budget BEFORE collecting, so no batch containing
+            // an over-budget action is ever launched on the backend (which
+            // may be a real DBMS).
             self.decisions += 1;
             if let Some(budget) = self.decision_budget {
                 assert!(
@@ -383,9 +404,17 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                     self.workload.len()
                 );
             }
-            self.backend.submit(action.query, action.params, free);
+            self.slot_scratch[free] = ConnectionSlot::Pending {
+                query: action.query,
+                params: action.params,
+                queued_at: now,
+            };
+            self.batch.push((action.query, action.params, free));
             self.runtimes[action.query.0].status = QueryStatus::Running;
             self.runtimes[action.query.0].params = Some(action.params);
+        }
+        if !self.batch.is_empty() {
+            self.backend.submit_batch(&self.batch);
         }
     }
 

@@ -63,10 +63,34 @@ pub struct AdvanceStall {
 
 /// Occupancy of one client connection, exposed as a borrow-based view so
 /// schedulers can inspect the executor without per-decision allocations.
+///
+/// The three phases mirror the submission lifecycle of an asynchronous
+/// dispatch boundary (decided → queued → admitted → running → completed):
+/// a slot is [`ConnectionSlot::Free`] until a decision claims it,
+/// [`ConnectionSlot::Pending`] while the submission sits in an admission
+/// queue (dispatched but not yet accepted by the executor — only async
+/// adapters surface this phase; the in-process backends admit synchronously
+/// and never do), and [`ConnectionSlot::Busy`] once the executor has
+/// admitted it and execution has begun. Occupancy-wise a pending slot is
+/// taken (it is not free for another submission), but timeout logic ignores
+/// it: [`ConnectionSlot::started_at`] is `None` until admission, so queued
+/// time never counts against a per-query execution deadline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConnectionSlot {
     /// No query assigned; ready for a submission.
     Free,
+    /// A submission was dispatched to this connection but the executor has
+    /// not admitted it yet (it waits in an admission or backpressure queue).
+    /// The slot is occupied — no other query may be submitted to it — but
+    /// execution has not started.
+    Pending {
+        /// The dispatched query.
+        query: QueryId,
+        /// Parameters it was dispatched with.
+        params: RunParams,
+        /// Virtual time at which the dispatch was issued.
+        queued_at: f64,
+    },
     /// A query is executing on this connection.
     Busy {
         /// The running query.
@@ -84,10 +108,18 @@ impl ConnectionSlot {
         matches!(self, ConnectionSlot::Free)
     }
 
-    /// The occupying query, or `None` when free.
+    /// Whether a submission is queued for admission on this slot
+    /// (dispatched, not yet executing).
+    pub fn is_pending(&self) -> bool {
+        matches!(self, ConnectionSlot::Pending { .. })
+    }
+
+    /// The occupying query (pending or running), or `None` when free.
     pub fn query(&self) -> Option<QueryId> {
         match self {
-            ConnectionSlot::Busy { query, .. } => Some(*query),
+            ConnectionSlot::Busy { query, .. } | ConnectionSlot::Pending { query, .. } => {
+                Some(*query)
+            }
             ConnectionSlot::Free => None,
         }
     }
@@ -95,16 +127,28 @@ impl ConnectionSlot {
     /// Parameters the occupying query was submitted with, or `None` when free.
     pub fn params(&self) -> Option<RunParams> {
         match self {
-            ConnectionSlot::Busy { params, .. } => Some(*params),
+            ConnectionSlot::Busy { params, .. } | ConnectionSlot::Pending { params, .. } => {
+                Some(*params)
+            }
             ConnectionSlot::Free => None,
         }
     }
 
-    /// Submission time of the occupying query, or `None` when free.
+    /// Execution start time of the occupying query. `None` when free — and
+    /// `None` while the submission is still pending admission, which is what
+    /// keeps queued-but-not-started work out of timeout-deadline arithmetic.
     pub fn started_at(&self) -> Option<f64> {
         match self {
             ConnectionSlot::Busy { started_at, .. } => Some(*started_at),
-            ConnectionSlot::Free => None,
+            ConnectionSlot::Free | ConnectionSlot::Pending { .. } => None,
+        }
+    }
+
+    /// Dispatch time of a pending submission, or `None` otherwise.
+    pub fn queued_at(&self) -> Option<f64> {
+        match self {
+            ConnectionSlot::Pending { queued_at, .. } => Some(*queued_at),
+            ConnectionSlot::Free | ConnectionSlot::Busy { .. } => None,
         }
     }
 }
@@ -1017,7 +1061,7 @@ mod tests {
             .enumerate()
             .filter_map(|(c, s)| match *s {
                 ConnectionSlot::Busy { query, .. } => Some((c, query)),
-                ConnectionSlot::Free => None,
+                _ => None,
             })
             .collect();
         assert_eq!(

@@ -9,6 +9,8 @@
 //! * [`plan`] — plan model and synthetic TPC-DS / TPC-H / JOB workloads,
 //! * [`dbms`] — the simulated DBMS substrate (engine, profiles, parameters),
 //! * [`core`] — scheduling framework, logs, metrics and heuristics,
+//! * [`adapter`] — the async submission adapter (deferred admission,
+//!   batched dispatch, backpressure) over any executor backend,
 //! * [`encoder`] — plan encoder and attention-based state representation,
 //! * [`rl`] — PPO / PPG / IQ-PPO,
 //! * [`sched`] — the BQSched agent, masking, clustering and the learned
@@ -20,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub use bq_adapter as adapter;
 pub use bq_core as core;
 pub use bq_dbms as dbms;
 pub use bq_encoder as encoder;

@@ -2,11 +2,11 @@
 //!
 //! Every execution substrate — the simulated DBMS (`ExecutionEngine`), the
 //! learned incremental simulator (`LearnedSimulator`), the sharded
-//! multi-engine backend (`ShardedEngine`), and any future adapter (async
-//! real-DBMS, batched submission) — must satisfy the same observable
-//! contract, because schedulers are non-intrusive and cannot tell backends
-//! apart. The contract, asserted here over every backend through one
-//! parametrized harness:
+//! multi-engine backend (`ShardedEngine`), and the async submission adapter
+//! (`AsyncAdapter`, wrapped over each of the three) — must satisfy the same
+//! observable contract, because schedulers are non-intrusive and cannot
+//! tell backends apart. The contract, asserted here over every backend
+//! through one parametrized harness:
 //!
 //! 1. **Determinism** — fixed seeds reproduce episode logs byte for byte;
 //! 2. **Cancel consistency** — cancelling mid-round frees exactly that slot,
@@ -24,6 +24,7 @@
 
 mod common;
 
+use bqsched::adapter::{AsyncAdapter, DispatchProfile};
 use bqsched::core::{ExecutorBackend, FifoScheduler, ScheduleSession};
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, RunParams, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, Workload, WorkloadSpec};
@@ -301,4 +302,184 @@ fn sharded_logs_match_golden_artifacts() {
             .to_json();
         common::assert_matches_golden(artifact, &json);
     }
+}
+
+// --- The async submission adapter (`bq-adapter`) -------------------------
+//
+// With the synchronous dispatch profile (zero admission latency, batch
+// size 1, unbounded window) the adapter must be a drop-in for the wrapped
+// backend — so it runs the full conformance suite over all three backend
+// families. Deferred-admission behavior gets its own cells below.
+
+#[test]
+fn async_adapter_over_the_engine_passes_conformance() {
+    let w = tpch();
+    conformance_suite("adapter(engine)", &w, |seed| {
+        AsyncAdapter::new(
+            ExecutionEngine::new(DbmsProfile::dbms_x(), &w, seed),
+            DispatchProfile::synchronous(),
+        )
+    });
+}
+
+#[test]
+fn async_adapter_over_the_simulator_passes_conformance() {
+    let w = tpch();
+    let (model, embs, avg) = common::simulator_parts(&w);
+    conformance_suite("adapter(simulator)", &w, |_seed| {
+        AsyncAdapter::new(
+            LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6),
+            DispatchProfile::synchronous(),
+        )
+    });
+}
+
+#[test]
+fn async_adapter_over_the_sharded_engine_passes_conformance() {
+    let w = tpch();
+    for shards in [1usize, 2, 4] {
+        conformance_suite(&format!("adapter(sharded{shards})"), &w, |seed| {
+            AsyncAdapter::new(
+                ShardedEngine::new(DbmsProfile::dbms_x(), &w, seed, shards),
+                DispatchProfile::synchronous(),
+            )
+        });
+    }
+}
+
+/// The load-bearing invariant of the adapter: with zero admission latency
+/// and batch size 1 it is **byte-identical** through the whole session
+/// stack to the wrapped backend — for the engine, the learned simulator and
+/// the sharded backend at 1/2/4 shards. (The engine and sharded cases are
+/// additionally pinned over arbitrary workload subsets in
+/// `tests/properties.rs`.)
+#[test]
+fn zero_latency_adapter_replays_every_backend_byte_for_byte() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    for seed in [0u64, 5] {
+        let mut bare = ExecutionEngine::new(profile.clone(), &w, seed);
+        let base = common::session_round(&mut FifoScheduler::new(), &w, &mut bare, seed);
+        let mut wrapped = AsyncAdapter::new(
+            ExecutionEngine::new(profile.clone(), &w, seed),
+            DispatchProfile::synchronous(),
+        );
+        let adapted = common::session_round(&mut FifoScheduler::new(), &w, &mut wrapped, seed);
+        assert_eq!(base.to_json(), adapted.to_json(), "engine seed {seed}");
+
+        for shards in [1usize, 2, 4] {
+            let mut bare = ShardedEngine::new(profile.clone(), &w, seed, shards);
+            let base = common::session_round(&mut FifoScheduler::new(), &w, &mut bare, seed);
+            let mut wrapped = AsyncAdapter::new(
+                ShardedEngine::new(profile.clone(), &w, seed, shards),
+                DispatchProfile::synchronous(),
+            );
+            let adapted = common::session_round(&mut FifoScheduler::new(), &w, &mut wrapped, seed);
+            assert_eq!(
+                base.to_json(),
+                adapted.to_json(),
+                "sharded({shards}) seed {seed}"
+            );
+        }
+    }
+    let (model, embs, avg) = common::simulator_parts(&w);
+    let mut bare = LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6);
+    let base = common::session_round(&mut FifoScheduler::new(), &w, &mut bare, 0);
+    let mut wrapped = AsyncAdapter::new(
+        LearnedSimulator::new(&model, &w, &embs, avg, 6),
+        DispatchProfile::synchronous(),
+    );
+    let adapted = common::session_round(&mut FifoScheduler::new(), &w, &mut wrapped, 0);
+    assert_eq!(base.to_json(), adapted.to_json(), "learned simulator");
+}
+
+/// Deferred admission under pressure: a tight in-flight window on a small
+/// slot pool, so the workload overflows the slot space, submissions wait in
+/// the backpressure queue, and per-query timeouts race admissions that are
+/// still in flight. Every query must still complete exactly once, no
+/// execution may overrun its deadline (queued time is not execution time),
+/// and the whole race must replay byte-identically.
+#[test]
+fn async_adapter_backpressure_races_timeouts_against_the_admission_queue() {
+    let w = tpch();
+    let mut profile = DbmsProfile::dbms_x();
+    profile.connections = 4;
+    assert!(w.len() > profile.connections, "cell must overflow the pool");
+    let dispatch = DispatchProfile::fixed(1.5)
+        .with_jitter(1.0)
+        .with_max_in_flight(2)
+        .with_max_batch(2)
+        .with_seed(9);
+    let fresh =
+        |seed: u64| AsyncAdapter::new(ExecutionEngine::new(profile.clone(), &w, seed), dispatch);
+
+    // A deadline that races natural completions: half the longest duration
+    // of the adapter's own untimed round.
+    let natural = common::session_round(&mut FifoScheduler::new(), &w, &mut fresh(0), 0);
+    let timeout = natural
+        .records
+        .iter()
+        .map(|r| r.duration())
+        .fold(0.0, f64::max)
+        / 2.0;
+
+    let run = |hook: Option<&mut Vec<usize>>| {
+        let mut backend = fresh(0);
+        let builder = ScheduleSession::builder(&w).query_timeout(timeout);
+        let builder = match hook {
+            Some(counts) => builder.on_completion(|c| counts[c.query.0] += 1),
+            None => builder,
+        };
+        let log = builder.build(&mut backend).run(&mut FifoScheduler::new());
+        assert!(
+            backend.connections().iter().all(|s| s.is_free()),
+            "no slot may stay occupied after the round"
+        );
+        assert_eq!(backend.backpressured(), 0);
+        assert_eq!(backend.in_flight(), 0);
+        log
+    };
+    let mut counts = vec![0usize; w.len()];
+    let log = run(Some(&mut counts));
+    assert_eq!(log.len(), w.len(), "every query must complete");
+    assert!(
+        counts.iter().all(|&n| n == 1),
+        "every slot must free exactly once: {counts:?}"
+    );
+    let overshoot = log.records.iter().map(|r| r.duration()).fold(0.0, f64::max);
+    assert!(
+        overshoot <= timeout + 1e-6,
+        "duration {overshoot} overshot the {timeout}s deadline"
+    );
+    assert!(
+        log.records
+            .iter()
+            .any(|r| (r.duration() - timeout).abs() < 1e-6),
+        "at least one cancellation must land exactly on the deadline"
+    );
+    // The race is deterministic: an identical replay is byte-identical.
+    let replay = run(None);
+    assert_eq!(log.to_json(), replay.to_json());
+}
+
+/// Cross-version pin for a nonzero-latency adapter configuration: fixed
+/// (workload, profile, seed, dispatch profile) must keep reproducing the
+/// same on-disk log. Re-bless deliberately with `BLESS=1`.
+#[test]
+fn async_adapter_log_matches_golden_artifact() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let dispatch = DispatchProfile::fixed(0.5)
+        .with_jitter(0.25)
+        .with_max_in_flight(8)
+        .with_max_batch(4)
+        .with_seed(1);
+    let mut adapter = AsyncAdapter::new(ExecutionEngine::new(profile.clone(), &w, 0), dispatch);
+    let json = ScheduleSession::builder(&w)
+        .dbms(profile.kind)
+        .round(0)
+        .build(&mut adapter)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    common::assert_matches_golden("engine_async_tpch_seed0.json", &json);
 }

@@ -1,8 +1,11 @@
 //! Property-based tests on cross-crate invariants: the execution engine never
-//! loses queries and respects physical bounds, the gain matrix is symmetric,
-//! masking never removes every configuration, and clustering always yields a
-//! partition — for arbitrary workload subsets, seeds and parameters.
+//! loses queries and respects physical bounds, the async submission adapter
+//! is a byte-identical passthrough at zero latency and a pure function of its
+//! dispatch profile otherwise, the gain matrix is symmetric, masking never
+//! removes every configuration, and clustering always yields a partition —
+//! for arbitrary workload subsets, seeds and parameters.
 
+use bqsched::adapter::{AsyncAdapter, DispatchProfile};
 use bqsched::core::{collect_history, FifoScheduler, RandomScheduler, ScheduleSession};
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, ParamSpace, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
@@ -106,6 +109,102 @@ proptest! {
                 prop_assert_eq!(a.duration(), b.duration());
             }
         }
+    }
+
+    #[test]
+    fn zero_latency_adapter_is_byte_identical_for_any_subset(seed in 0u64..300, n in 4usize..22) {
+        // For ANY workload subset and seed, wrapping the engine in an
+        // `AsyncAdapter` with the synchronous dispatch profile (zero
+        // admission latency, batch size 1) changes NOTHING: the episode log
+        // is byte for byte the wrapped backend's, through the whole session
+        // stack. This is the adapter's load-bearing invariant.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut bare = ExecutionEngine::new(profile.clone(), &workload, seed);
+        let base = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut bare)
+            .run(&mut FifoScheduler::new());
+        let mut wrapped = AsyncAdapter::new(
+            ExecutionEngine::new(profile, &workload, seed),
+            DispatchProfile::synchronous(),
+        );
+        let adapted = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut wrapped)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(base.to_json(), adapted.to_json());
+    }
+
+    #[test]
+    fn zero_latency_adapter_is_byte_identical_on_the_sharded_backend(
+        seed in 0u64..100,
+        n in 4usize..22,
+        shard_idx in 0usize..3,
+    ) {
+        let shards = [1usize, 2, 4][shard_idx];
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut bare = ShardedEngine::new(profile.clone(), &workload, seed, shards);
+        let base = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut bare)
+            .run(&mut FifoScheduler::new());
+        let mut wrapped = AsyncAdapter::new(
+            ShardedEngine::new(profile, &workload, seed, shards),
+            DispatchProfile::synchronous(),
+        );
+        let adapted = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut wrapped)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(base.to_json(), adapted.to_json());
+    }
+
+    #[test]
+    fn adapter_episodes_are_a_pure_function_of_the_dispatch_profile(
+        seed in 0u64..200,
+        n in 4usize..22,
+        latency_deci in 1u32..30,
+        window in 1usize..6,
+        batch in 1usize..6,
+    ) {
+        // For ANY deferred-admission configuration, the episode log is a
+        // pure function of (workload, profile, seed, dispatch profile):
+        // replays are byte-identical, every query completes exactly once,
+        // and nothing starts before one base admission latency has elapsed.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let base_latency = latency_deci as f64 / 10.0;
+        let dispatch = DispatchProfile::fixed(base_latency)
+            .with_jitter(0.5)
+            .with_max_in_flight(window)
+            .with_max_batch(batch)
+            .with_seed(seed);
+        let run = || {
+            let mut adapter = AsyncAdapter::new(
+                ExecutionEngine::new(profile.clone(), &workload, seed),
+                dispatch,
+            );
+            ScheduleSession::builder(&workload)
+                .round(seed)
+                .build(&mut adapter)
+                .run(&mut FifoScheduler::new())
+        };
+        let log = run();
+        prop_assert_eq!(log.len(), workload.len());
+        let mut seen = vec![false; workload.len()];
+        for r in &log.records {
+            prop_assert!(!seen[r.query.0], "duplicate completion");
+            seen[r.query.0] = true;
+            prop_assert!(r.finished_at > r.started_at);
+            prop_assert!(
+                r.started_at >= base_latency - 1e-9,
+                "no query can start before one admission latency"
+            );
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(log.to_json(), run().to_json(), "replay must be byte-identical");
     }
 
     #[test]
