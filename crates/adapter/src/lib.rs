@@ -71,22 +71,13 @@
 
 #![warn(missing_docs)]
 
-use bq_core::{ExecEvent, ExecutorBackend, ShardTopology};
+use bq_core::{seeded_unit, ExecEvent, ExecutorBackend, ShardTopology};
 use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
 use bq_plan::QueryId;
 use std::collections::VecDeque;
 
 /// One dispatched-but-not-admitted submission: `(query, params, connection)`.
 type Entry = (QueryId, RunParams, usize);
-
-/// SplitMix64 finalizer — the deterministic mix behind admission jitter.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Configuration of the asynchronous dispatch boundary: admission-latency
 /// distribution, in-flight admission window (backpressure) and batch
@@ -187,13 +178,11 @@ impl DispatchProfile {
         if self.jitter <= 0.0 {
             return self.base_latency.max(0.0);
         }
-        let mixed = splitmix64(
+        let unit = seeded_unit(
             self.seed
                 ^ (connection as u64).wrapping_mul(0xA076_1D64_78BD_642F)
                 ^ dispatch_index.wrapping_mul(0xE703_7ED1_A0B4_28DB),
         );
-        // 53 uniform mantissa bits in [0, 1).
-        let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64;
         (self.base_latency + self.jitter * unit).max(0.0)
     }
 }
@@ -535,6 +524,10 @@ impl<B: ExecutorBackend> ExecutorBackend for AsyncAdapter<B> {
 
     fn shard_topology(&self) -> ShardTopology {
         self.inner.shard_topology()
+    }
+
+    fn known_query_count(&self) -> Option<usize> {
+        self.inner.known_query_count()
     }
 }
 

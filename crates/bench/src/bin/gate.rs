@@ -1,0 +1,136 @@
+//! The CI performance gate. Compares bench summaries against committed
+//! baselines (default tolerance 10%) or blesses new baselines.
+//!
+//! ```text
+//! gate [--baseline-dir bench/baselines] [--tolerance 0.10] BENCH_table3.json ...
+//! gate --bless-baseline [--baseline-dir bench/baselines] BENCH_table3.json ...
+//! ```
+//!
+//! Each input file holds one single-line JSON summary as emitted by a bench
+//! binary (`... | tail -n 1 | tee BENCH_<bench>.json`). The baseline for a
+//! summary lives at `<baseline-dir>/<bench>_<scale>.json`. Exit status: 0
+//! when every metric is within tolerance (or after a bless), 1 on any
+//! regression, missing baseline, or missing metric.
+
+use bq_bench::gate::{compare, parse_summary};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    baseline_dir: PathBuf,
+    tolerance: f64,
+    bless: bool,
+    summaries: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline_dir: PathBuf::from("bench/baselines"),
+        tolerance: 0.10,
+        bless: false,
+        summaries: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                args.baseline_dir = PathBuf::from(iter.next().ok_or("--baseline-dir needs a path")?)
+            }
+            "--tolerance" => {
+                args.tolerance = iter
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err("tolerance must be in [0, 1)".into());
+                }
+            }
+            "--bless-baseline" => args.bless = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            file => args.summaries.push(PathBuf::from(file)),
+        }
+    }
+    if args.summaries.is_empty() {
+        return Err("no summary files given".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut all_ok = true;
+    for path in &args.summaries {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let current = parse_summary(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+        let baseline_path = args
+            .baseline_dir
+            .join(format!("{}.json", current.baseline_stem()));
+        if current.metrics.is_empty() {
+            return Err(format!(
+                "{}: summary carries no metrics — nothing to gate",
+                path.display()
+            ));
+        }
+
+        if args.bless {
+            std::fs::create_dir_all(&args.baseline_dir)
+                .map_err(|e| format!("cannot create baseline dir: {e}"))?;
+            std::fs::write(&baseline_path, json.trim().to_string() + "\n")
+                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+            println!(
+                "blessed {} ({} metrics) -> {}",
+                current.baseline_stem(),
+                current.metrics.len(),
+                baseline_path.display()
+            );
+            continue;
+        }
+
+        let baseline_json = std::fs::read_to_string(&baseline_path).map_err(|_| {
+            format!(
+                "no committed baseline at {} — run `gate --bless-baseline {}` and commit the result",
+                baseline_path.display(),
+                path.display()
+            )
+        })?;
+        let baseline = parse_summary(&baseline_json)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let outcome = compare(&current, &baseline, args.tolerance)?;
+        println!(
+            "{}: {} metrics within {:.0}% tolerance, {} regressed, {} missing, {} not yet baselined",
+            current.baseline_stem(),
+            outcome.passed,
+            args.tolerance * 100.0,
+            outcome.regressions.len(),
+            outcome.missing.len(),
+            outcome.unbaselined.len(),
+        );
+        for r in &outcome.regressions {
+            println!("  {}", r.describe());
+        }
+        for key in &outcome.missing {
+            println!("  MISSING {key}: present in the baseline, absent from this run");
+        }
+        for key in &outcome.unbaselined {
+            println!("  new metric {key} (joins the baseline at the next bless)");
+        }
+        all_ok &= outcome.ok();
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench gate FAILED: a metric regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench gate error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The performance gate: compare a bench run's JSON summary against a
+//! committed baseline and fail on regression.
+//!
+//! CI's `bench-gate` job runs the gated experiments at quick scale, captures
+//! each binary's single-line JSON summary (`BENCH_<bench>.json`), and hands
+//! them to the `gate` binary, which compares every entry of the summary's
+//! `metrics` object against `bench/baselines/<bench>_<scale>.json`. The
+//! compared quantities are **virtual-time** scalars (makespans, accuracies,
+//! MSEs) — deterministic per seed, so any drift is a behavioral change, not
+//! runner noise — but the gate still tolerates a configurable margin
+//! (default 10%) so intentional small reshapings don't demand a re-bless.
+//! Intended changes are blessed with `--bless-baseline`, which rewrites the
+//! committed baseline from the current run.
+//!
+//! Direction is keyed by name: metrics whose key starts with `acc` are
+//! higher-is-better; everything else (makespans, MSEs) is lower-is-better.
+
+use serde::Value;
+
+/// A parsed bench summary: identity plus the gate-comparable metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Experiment name (`table3`, `fig5`, …).
+    pub bench: String,
+    /// Run scale (`quick` / `full`).
+    pub scale: String,
+    /// The `metrics` object, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Summary {
+    /// File stem the committed baseline for this summary lives under
+    /// (`<bench>_<scale>.json`).
+    pub fn baseline_stem(&self) -> String {
+        format!("{}_{}", self.bench, self.scale)
+    }
+}
+
+/// Parse one single-line JSON summary as emitted by
+/// [`crate::emit_summary_with_metrics`].
+pub fn parse_summary(json: &str) -> Result<Summary, String> {
+    let value: Value =
+        serde_json::from_str(json.trim()).map_err(|e| format!("summary is not JSON: {e:?}"))?;
+    let entries = value.as_map().ok_or("summary must be a JSON object")?;
+    let field = |key: &str| -> Result<String, String> {
+        Value::map_get(entries, key)
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("summary is missing the string field `{key}`"))
+    };
+    let mut metrics = Vec::new();
+    if let Some(map) = Value::map_get(entries, "metrics").as_map() {
+        for (key, v) in map {
+            let num = v
+                .as_num()
+                .ok_or_else(|| format!("metric `{key}` is not a number"))?;
+            metrics.push((key.clone(), num));
+        }
+    }
+    Ok(Summary {
+        bench: field("bench")?,
+        scale: field("scale")?,
+        metrics,
+    })
+}
+
+/// Whether a higher value of `key` is an improvement (accuracies) or a
+/// regression (makespans, MSEs, and everything else).
+pub fn higher_is_better(key: &str) -> bool {
+    key.starts_with("acc")
+}
+
+/// One metric that moved past the tolerance in the regressing direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric key.
+    pub key: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The current run's value.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Relative change of the current value against the baseline, signed so
+    /// that positive means "worse" regardless of the metric's direction —
+    /// or `None` for a near-zero baseline, where no finite ratio exists
+    /// (report the absolute delta instead).
+    pub fn severity(&self) -> Option<f64> {
+        if self.baseline.abs() < 1e-9 {
+            return None;
+        }
+        let relative = (self.current - self.baseline) / self.baseline.abs();
+        Some(if higher_is_better(&self.key) {
+            -relative
+        } else {
+            relative
+        })
+    }
+
+    /// One human-readable line for the gate report.
+    pub fn describe(&self) -> String {
+        match self.severity() {
+            Some(severity) => format!(
+                "REGRESSION {}: baseline {:.4} -> current {:.4} ({:+.1}%)",
+                self.key,
+                self.baseline,
+                self.current,
+                severity * 100.0
+            ),
+            None => format!(
+                "REGRESSION {}: baseline {:.4} -> current {:.4} ({:+.4} absolute)",
+                self.key,
+                self.baseline,
+                self.current,
+                self.current - self.baseline
+            ),
+        }
+    }
+}
+
+/// Outcome of one gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Metrics that regressed past the tolerance (empty = gate passes).
+    pub regressions: Vec<Regression>,
+    /// Metrics present in the baseline but absent from the current run —
+    /// a coverage loss the gate also refuses (a deleted metric would
+    /// otherwise make its regressions invisible forever).
+    pub missing: Vec<String>,
+    /// Metrics present in the current run but not yet in the baseline
+    /// (informational: they join the baseline at the next bless).
+    pub unbaselined: Vec<String>,
+    /// Metrics compared and found within tolerance.
+    pub passed: usize,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline` with a relative `tolerance`
+/// (`0.10` = a metric may be up to 10% worse before the gate fails).
+///
+/// Near-zero baselines (|v| < 1e-9) are compared absolutely against the
+/// tolerance instead of relatively, so a 0.0-baseline metric cannot divide
+/// by zero or fail on femtosecond noise.
+pub fn compare(
+    current: &Summary,
+    baseline: &Summary,
+    tolerance: f64,
+) -> Result<GateOutcome, String> {
+    if current.bench != baseline.bench || current.scale != baseline.scale {
+        return Err(format!(
+            "summary mismatch: current is {}/{}, baseline is {}/{}",
+            current.bench, current.scale, baseline.bench, baseline.scale
+        ));
+    }
+    let mut outcome = GateOutcome {
+        regressions: Vec::new(),
+        missing: Vec::new(),
+        unbaselined: Vec::new(),
+        passed: 0,
+    };
+    for (key, base) in &baseline.metrics {
+        let (key, base) = (key.clone(), *base);
+        let Some(&(_, now)) = current.metrics.iter().find(|(k, _)| *k == key) else {
+            outcome.missing.push(key);
+            continue;
+        };
+        let regressed = if base.abs() < 1e-9 {
+            // Absolute comparison around a zero baseline.
+            if higher_is_better(&key) {
+                now < base - tolerance
+            } else {
+                now > base + tolerance
+            }
+        } else if higher_is_better(&key) {
+            now < base * (1.0 - tolerance)
+        } else {
+            now > base * (1.0 + tolerance)
+        };
+        if regressed {
+            outcome.regressions.push(Regression {
+                key,
+                baseline: base,
+                current: now,
+            });
+        } else {
+            outcome.passed += 1;
+        }
+    }
+    for (key, _) in &current.metrics {
+        if !baseline.metrics.iter().any(|(k, _)| k == key) {
+            outcome.unbaselined.push(key.clone());
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(metrics: &[(&str, f64)]) -> Summary {
+        Summary {
+            bench: "fig5".into(),
+            scale: "quick".into(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_emitted_summary_shape() {
+        let line = r#"{"bench":"fig5","scale":"quick","elapsed_s":57.2,"metrics":{"makespan_a":123.5,"acc_b":0.8},"status":"ok"}"#;
+        let s = parse_summary(line).expect("parse");
+        assert_eq!(s.bench, "fig5");
+        assert_eq!(s.scale, "quick");
+        assert_eq!(s.baseline_stem(), "fig5_quick");
+        assert_eq!(
+            s.metrics,
+            vec![
+                ("makespan_a".to_string(), 123.5),
+                ("acc_b".to_string(), 0.8)
+            ]
+        );
+        assert!(parse_summary("not json").is_err());
+        assert!(
+            parse_summary(r#"{"scale":"quick"}"#).is_err(),
+            "bench required"
+        );
+    }
+
+    #[test]
+    fn summaries_without_metrics_parse_to_an_empty_set() {
+        let line = r#"{"bench":"table1","scale":"quick","elapsed_s":1.0,"status":"ok"}"#;
+        assert!(parse_summary(line).expect("parse").metrics.is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = summary(&[("makespan_a", 100.0), ("acc_b", 0.80)]);
+        let now = summary(&[("makespan_a", 109.0), ("acc_b", 0.73)]);
+        let outcome = compare(&now, &base, 0.10).expect("comparable");
+        assert!(outcome.ok(), "{outcome:?}");
+        assert_eq!(outcome.passed, 2);
+    }
+
+    #[test]
+    fn a_makespan_regression_beyond_tolerance_fails() {
+        let base = summary(&[("makespan_a", 100.0)]);
+        let now = summary(&[("makespan_a", 111.0)]);
+        let outcome = compare(&now, &base, 0.10).expect("comparable");
+        assert!(!outcome.ok());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].severity().expect("nonzero baseline") > 0.10);
+    }
+
+    #[test]
+    fn an_improvement_never_fails_even_when_large() {
+        let base = summary(&[("makespan_a", 100.0), ("acc_b", 0.5)]);
+        let now = summary(&[("makespan_a", 10.0), ("acc_b", 0.99)]);
+        assert!(compare(&now, &base, 0.10).expect("comparable").ok());
+    }
+
+    #[test]
+    fn accuracy_direction_is_inverted() {
+        let base = summary(&[("acc_b", 0.80)]);
+        let now = summary(&[("acc_b", 0.70)]);
+        let outcome = compare(&now, &base, 0.10).expect("comparable");
+        assert!(!outcome.ok(), "a >10% accuracy drop must fail");
+    }
+
+    #[test]
+    fn missing_metrics_fail_and_new_metrics_inform() {
+        let base = summary(&[("makespan_a", 100.0)]);
+        let now = summary(&[("makespan_b", 50.0)]);
+        let outcome = compare(&now, &base, 0.10).expect("comparable");
+        assert!(!outcome.ok());
+        assert_eq!(outcome.missing, vec!["makespan_a".to_string()]);
+        assert_eq!(outcome.unbaselined, vec!["makespan_b".to_string()]);
+    }
+
+    #[test]
+    fn zero_baselines_compare_absolutely() {
+        let base = summary(&[("makespan_a", 0.0)]);
+        let ok = summary(&[("makespan_a", 0.05)]);
+        assert!(compare(&ok, &base, 0.10).expect("comparable").ok());
+        let bad = summary(&[("makespan_a", 0.2)]);
+        let outcome = compare(&bad, &base, 0.10).expect("comparable");
+        assert!(!outcome.ok());
+        // No finite ratio exists against a zero baseline: the report falls
+        // back to the absolute delta instead of printing inf/NaN percent.
+        let r = &outcome.regressions[0];
+        assert_eq!(r.severity(), None);
+        assert!(
+            r.describe().contains("+0.2000 absolute"),
+            "{}",
+            r.describe()
+        );
+    }
+
+    #[test]
+    fn mismatched_identities_refuse_to_compare() {
+        let base = Summary {
+            bench: "table3".into(),
+            ..summary(&[])
+        };
+        let now = summary(&[]);
+        assert!(compare(&now, &base, 0.10).is_err());
+    }
+}

@@ -28,6 +28,9 @@ use bq_sched::{
     pretrain_on_simulator, samples_from_history, train_on_dbms, Algorithm, BqSchedAgent,
     BqSchedConfig, SimulatorConfig, SimulatorModel, TrainingConfig,
 };
+use bq_wire::{TransportProfile, WireBackend};
+
+pub mod gate;
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -271,6 +274,53 @@ pub fn evaluate_all(setup: &Setup, scale: RunScale) -> Vec<StrategyEvaluation> {
     evals
 }
 
+/// One experiment's rendered report plus the scalar metrics its rows distil
+/// to — the quantities the CI bench gate compares against committed
+/// baselines (`bench/baselines/*.json`).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The human-readable rows the binary prints.
+    pub text: String,
+    /// `(key, value)` scalar metrics in emission order. Keys are stable
+    /// slugs; values are virtual-time quantities (makespans, accuracies,
+    /// MSEs) — deterministic per seed, so CI can compare them across
+    /// commits.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Turn a human row label into a stable metric-key slug (lowercase,
+/// non-alphanumerics collapsed to single underscores).
+fn metric_slug(label: &str) -> String {
+    let mut slug = String::with_capacity(label.len());
+    let mut gap = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !slug.is_empty() {
+                slug.push('_');
+            }
+            gap = false;
+            slug.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    slug
+}
+
+/// Record the gate-relevant scalars of one evaluated cell: the FIFO
+/// baseline and (when the RL strategies ran) BQSched.
+fn push_eval_metrics(metrics: &mut Vec<(String, f64)>, label: &str, evals: &[StrategyEvaluation]) {
+    let slug = metric_slug(label);
+    for eval in evals {
+        if eval.strategy == "FIFO" || eval.strategy == "BQSched" {
+            metrics.push((
+                format!("makespan_{slug}_{}", metric_slug(&eval.strategy)),
+                eval.mean_makespan,
+            ));
+        }
+    }
+}
+
 fn format_eval_row(label: &str, evals: &[StrategyEvaluation]) -> String {
     let cells: Vec<String> = evals
         .iter()
@@ -393,7 +443,14 @@ pub fn table2(scale: RunScale) -> String {
 /// Table III — ablation and γ sensitivity of the simulator's prediction model
 /// (classification accuracy and regression MSE).
 pub fn table3(scale: RunScale) -> String {
+    table3_report(scale).text
+}
+
+/// [`table3`] plus the per-variant accuracy/MSE scalars for the CI bench
+/// gate (`acc_*` higher-is-better, `mse_*` lower-is-better).
+pub fn table3_report(scale: RunScale) -> BenchReport {
     let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
     out.push_str("Table III: simulator prediction model — accuracy / MSE\n");
     let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, 1, scale);
     // Plan embeddings from the shared representation of a BQSched agent.
@@ -477,14 +534,26 @@ pub fn table3(scale: RunScale) -> String {
             metrics.accuracy * 100.0,
             metrics.mse
         ));
+        let slug = metric_slug(name);
+        gate_metrics.push((format!("acc_{slug}"), metrics.accuracy));
+        gate_metrics.push((format!("mse_{slug}"), metrics.mse));
     }
-    out
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
 }
 
 /// Figure 5 — scalability: makespan of every strategy as data scale and query
 /// scale grow, on TPC-DS (DBMS-X and DBMS-Z) and TPC-H (DBMS-Z).
 pub fn fig5(scale: RunScale) -> String {
+    fig5_report(scale).text
+}
+
+/// [`fig5`] plus the per-cell makespan scalars for the CI bench gate.
+pub fn fig5_report(scale: RunScale) -> BenchReport {
     let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
     out.push_str("Figure 5: scalability (mean makespan, s)\n");
     out.push_str(&format!(
         "{:<28} {:>15}  {:>15}  {:>15}  {:>15}  {:>15}\n",
@@ -498,16 +567,17 @@ pub fn fig5(scale: RunScale) -> String {
     for &ds in &data_scales {
         let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, ds, 1, scale);
         let evals = evaluate_all(&setup, scale);
-        out.push_str(&format_eval_row(&format!("(a) tpcds X data x{ds}"), &evals));
+        let label = format!("(a) tpcds X data x{ds}");
+        push_eval_metrics(&mut gate_metrics, &label, &evals);
+        out.push_str(&format_eval_row(&label, &evals));
         out.push('\n');
     }
     for &qs in &query_scales {
         let setup = build_setup(Benchmark::TpcDs, DbmsKind::X, 1.0, qs, scale);
         let evals = evaluate_all(&setup, scale);
-        out.push_str(&format_eval_row(
-            &format!("(a) tpcds X queries x{qs}"),
-            &evals,
-        ));
+        let label = format!("(a) tpcds X queries x{qs}");
+        push_eval_metrics(&mut gate_metrics, &label, &evals);
+        out.push_str(&format_eval_row(&label, &evals));
         out.push('\n');
     }
     // (b) TPC-DS and (c) TPC-H on DBMS-Z at large data scales.
@@ -518,18 +588,33 @@ pub fn fig5(scale: RunScale) -> String {
     for &ds in &large {
         let setup = build_setup(Benchmark::TpcDs, DbmsKind::Z, ds, 1, scale);
         let evals = evaluate_all(&setup, scale);
-        out.push_str(&format_eval_row(&format!("(b) tpcds Z data x{ds}"), &evals));
+        let label = format!("(b) tpcds Z data x{ds}");
+        push_eval_metrics(&mut gate_metrics, &label, &evals);
+        out.push_str(&format_eval_row(&label, &evals));
         out.push('\n');
         let setup = build_setup(Benchmark::TpcH, DbmsKind::Z, ds, 1, scale);
         let evals = evaluate_all(&setup, scale);
-        out.push_str(&format_eval_row(&format!("(c) tpch Z data x{ds}"), &evals));
+        let label = format!("(c) tpch Z data x{ds}");
+        push_eval_metrics(&mut gate_metrics, &label, &evals);
+        out.push_str(&format_eval_row(&label, &evals));
         out.push('\n');
     }
     // (d) the sharded multi-engine backend: shard-count scalability.
-    out.push_str(&fig5_shard_sweep(scale));
+    let shard_sweep = fig5_shard_sweep(scale);
+    out.push_str(&shard_sweep.text);
+    gate_metrics.extend(shard_sweep.metrics);
     // (e) the async submission adapter: dispatch-latency × batch-size cost.
-    out.push_str(&fig5_dispatch_sweep(scale));
-    out
+    let dispatch_sweep = fig5_dispatch_sweep(scale);
+    out.push_str(&dispatch_sweep.text);
+    gate_metrics.extend(dispatch_sweep.metrics);
+    // (f) the wire-protocol backend: transit-latency cost.
+    let wire_sweep = fig5_wire_sweep(scale);
+    out.push_str(&wire_sweep.text);
+    gate_metrics.extend(wire_sweep.metrics);
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
 }
 
 /// Figure 5(d) — scalability of the sharded multi-engine backend: mean FIFO
@@ -538,8 +623,9 @@ pub fn fig5(scale: RunScale) -> String {
 /// is a full DBMS-X resource envelope, so doubling shards doubles hardware;
 /// the makespan should fall until the workload stops saturating the global
 /// connection pool.
-pub fn fig5_shard_sweep(scale: RunScale) -> String {
+pub fn fig5_shard_sweep(scale: RunScale) -> BenchReport {
     let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
     out.push_str("Figure 5(d): sharded backend — shard-count sweep (mean FIFO makespan, s)\n");
     out.push_str(&format!(
         "{:<28} {:>15}  {:>15}  {:>15}\n",
@@ -571,6 +657,8 @@ pub fn fig5_shard_sweep(scale: RunScale) -> String {
         let first_free = sweep(&|| Box::new(FirstFreeRouter));
         let hash = sweep(&|| Box::new(HashRouter::new(17)));
         let least = sweep(&|| Box::new(LeastLoadedRouter));
+        gate_metrics.push((format!("makespan_shards{shards}_first_free"), first_free));
+        gate_metrics.push((format!("makespan_shards{shards}_least_loaded"), least));
         out.push_str(&format!(
             "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
             format!("tpcds X shards={shards}"),
@@ -579,7 +667,10 @@ pub fn fig5_shard_sweep(scale: RunScale) -> String {
             least,
         ));
     }
-    out
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
 }
 
 /// Figure 5(e) — cost of the asynchronous dispatch boundary: mean FIFO
@@ -591,8 +682,9 @@ pub fn fig5_shard_sweep(scale: RunScale) -> String {
 /// between decision and admission, and batching claws the loss back by
 /// amortizing one admission latency over several decisions — exactly the
 /// trade a real client/server deployment tunes.
-pub fn fig5_dispatch_sweep(scale: RunScale) -> String {
+pub fn fig5_dispatch_sweep(scale: RunScale) -> BenchReport {
     let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
     out.push_str(
         "Figure 5(e): async dispatch boundary — latency x batch sweep (mean FIFO makespan, s)\n",
     );
@@ -631,6 +723,15 @@ pub fn fig5_dispatch_sweep(scale: RunScale) -> String {
             mean(&makespans)
         };
         let cells: Vec<f64> = batches.iter().map(|&b| sweep(b)).collect();
+        for (&batch, &makespan) in batches.iter().zip(&cells) {
+            gate_metrics.push((
+                format!(
+                    "makespan_dispatch_{}_batch{batch}",
+                    metric_slug(&latency.to_string())
+                ),
+                makespan,
+            ));
+        }
         out.push_str(&format!(
             "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
             format!("tpcds X latency={latency}s"),
@@ -639,7 +740,63 @@ pub fn fig5_dispatch_sweep(scale: RunScale) -> String {
             cells[2],
         ));
     }
-    out
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
+}
+
+/// Figure 5(f) — cost of the wire itself: mean FIFO makespan through a
+/// [`WireBackend`] as the transit latency of the in-memory duplex sweeps
+/// from zero (the byte-identical passthrough baseline) upward. Every
+/// request and response frame pays the transit, so — unlike the admission
+/// latency of 5(e), which is charged once per dispatch — wire latency taxes
+/// the whole event loop: polls, advances and cancellations included. This
+/// is the trade a deployment makes by putting the scheduler on a different
+/// host than the DBMS, and the quantity a TCP/UDS transport will be
+/// measured against.
+pub fn fig5_wire_sweep(scale: RunScale) -> BenchReport {
+    let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
+    out.push_str(
+        "Figure 5(f): wire-protocol backend — transit-latency sweep (mean FIFO makespan, s)\n",
+    );
+    out.push_str(&format!("{:<28} {:>15}\n", "cell", "makespan"));
+    let latencies: &[f64] = match scale {
+        RunScale::Quick => &[0.0, 0.05, 0.5],
+        RunScale::Full => &[0.0, 0.01, 0.05, 0.2, 0.5],
+    };
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let rounds = scale.eval_rounds();
+    for &latency in latencies {
+        let makespans: Vec<f64> = (0..rounds)
+            .map(|seed| {
+                let transport = TransportProfile::fixed(latency).with_seed(seed);
+                let mut wired = WireBackend::over_engine(&profile, &workload, seed, transport);
+                bq_core::ScheduleSession::builder(&workload)
+                    .dbms(profile.kind)
+                    .round(seed)
+                    .build(&mut wired)
+                    .run(&mut FifoScheduler::new())
+                    .makespan()
+            })
+            .collect();
+        let mean_makespan = mean(&makespans);
+        gate_metrics.push((
+            format!("makespan_wire_{}", metric_slug(&latency.to_string())),
+            mean_makespan,
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>15.2}\n",
+            format!("tpcds X wire={latency}s"),
+            mean_makespan,
+        ));
+    }
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
 }
 
 /// Figure 6 — training cost: DBMS time consumed when training BQSched from
@@ -903,9 +1060,24 @@ pub fn fig9(scale: RunScale) -> String {
 /// Print the single-line JSON summary every experiment binary ends with, so
 /// perf-trajectory files can be captured mechanically
 /// (`... | tail -n 1 > BENCH_table1.json`). Keys: `bench`, `scale`,
-/// `elapsed_s`, `status`.
+/// `elapsed_s`, `status` — plus `metrics` when the experiment reports
+/// gate-comparable scalars (see [`emit_summary_with_metrics`]).
 pub fn emit_summary(bench: &str, scale: RunScale, started: std::time::Instant) {
-    let value = serde::Value::Map(vec![
+    emit_summary_with_metrics(bench, scale, started, &[]);
+}
+
+/// [`emit_summary`] with a `metrics` object of gate-comparable scalars
+/// (virtual-time makespans / accuracies / MSEs — deterministic per seed,
+/// unlike `elapsed_s`, which is wall-clock and never compared). The CI
+/// `bench-gate` job parses this line and fails the build when a metric
+/// regresses more than the tolerance against `bench/baselines/`.
+pub fn emit_summary_with_metrics(
+    bench: &str,
+    scale: RunScale,
+    started: std::time::Instant,
+    metrics: &[(String, f64)],
+) {
+    let mut entries = vec![
         ("bench".to_string(), serde::Value::Str(bench.to_string())),
         (
             "scale".to_string(),
@@ -915,11 +1087,30 @@ pub fn emit_summary(bench: &str, scale: RunScale, started: std::time::Instant) {
             "elapsed_s".to_string(),
             serde::Value::Num((started.elapsed().as_secs_f64() * 1e3).round() / 1e3),
         ),
-        ("status".to_string(), serde::Value::Str("ok".to_string())),
-    ]);
+    ];
+    // JSON cannot carry NaN/inf, so a non-finite metric would fail
+    // serialization at the very end of a long run; drop it loudly instead
+    // and let the gate flag it as missing against the baseline.
+    let (finite, broken): (Vec<_>, Vec<_>) = metrics.iter().partition(|(_, v)| v.is_finite());
+    for (key, value) in broken {
+        eprintln!("warning: metric {key} is non-finite ({value}) and was dropped from the summary");
+    }
+    if !finite.is_empty() {
+        entries.push((
+            "metrics".to_string(),
+            serde::Value::Map(
+                finite
+                    .iter()
+                    .map(|(k, v)| (k.clone(), serde::Value::Num(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    entries.push(("status".to_string(), serde::Value::Str("ok".to_string())));
     println!(
         "{}",
-        serde_json::to_string(&value).expect("summary serialization cannot fail")
+        serde_json::to_string(&serde::Value::Map(entries))
+            .expect("summary serialization cannot fail")
     );
 }
 

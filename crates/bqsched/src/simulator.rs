@@ -522,6 +522,11 @@ impl LearnedSimulator<'_> {
         self.now
     }
 
+    /// Number of queries in the workload the simulator was built for.
+    pub fn query_count(&self) -> usize {
+        self.finished.len()
+    }
+
     /// Submit `query` with `params` to a specific free connection.
     ///
     /// # Panics

@@ -6,8 +6,10 @@
 //! The single entry point is [`ScheduleSession`]: configure a round with the
 //! builder (workload, history, round label, per-query timeout, decision
 //! budget, completion hooks), attach any [`ExecutorBackend`] — the simulated
-//! DBMS, the learned incremental simulator, or a future real-DBMS adapter —
-//! and [`run`](ScheduleSession::run) it under a [`SchedulerPolicy`]:
+//! DBMS, the learned incremental simulator, or a wire-protocol client
+//! (the `bq-wire` crate) fronting an executor on the far side of a framed
+//! byte stream — and [`run`](ScheduleSession::run) it under a
+//! [`SchedulerPolicy`]:
 //!
 //! ```
 //! use bq_core::{FifoScheduler, ScheduleSession};
@@ -63,7 +65,10 @@ pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
 pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
-pub use routing::{FirstFreeRouter, HashRouter, LeastLoadedRouter, ShardRouter, ShardTopology};
+pub use routing::{
+    seeded_unit, splitmix64, FirstFreeRouter, HashRouter, LeastLoadedRouter, ShardRouter,
+    ShardTopology,
+};
 pub use scheduler::{
     AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy,
 };

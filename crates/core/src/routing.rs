@@ -153,13 +153,25 @@ impl ShardRouter for FirstFreeRouter {
     }
 }
 
-/// SplitMix64 finalizer — a deterministic 64-bit mix for shard selection.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer — the deterministic 64-bit mix behind every seeded
+/// stream in the scheduling stack (shard selection here; admission jitter
+/// in `bq-adapter`; transport latency in `bq-wire`). One definition, so the
+/// replay-determinism guarantees of all three can never silently diverge.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One deterministic uniform draw in `[0, 1)` from a mixed key: the 53
+/// mantissa bits of [`splitmix64`]'s output. The shared primitive behind
+/// every seeded latency-jitter stream (`bq-adapter` admissions, `bq-wire`
+/// transits), so a precision change can never silently diverge between
+/// them.
+pub fn seeded_unit(key: u64) -> f64 {
+    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Hash placement: a deterministic hash of the routing counter picks the

@@ -325,6 +325,17 @@ pub trait ExecutorBackend {
     fn shard_topology(&self) -> ShardTopology {
         ShardTopology::single(self.connection_count())
     }
+
+    /// Number of workload queries the backend was built for, when it knows
+    /// it. A protocol boundary in front of the backend (the `bq-wire`
+    /// server) uses this to answer a submission with an unknown query id
+    /// with an error frame instead of letting the id panic deep inside the
+    /// executor. `None` (the default) disables that validation — the
+    /// boundary then trusts the caller exactly as an in-process backend
+    /// does.
+    fn known_query_count(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Types the [`impl_executor_backend!`](crate::impl_executor_backend) macro
@@ -353,6 +364,8 @@ pub mod macro_types {
 /// * `advance_to(&mut self, f64)`
 /// * `cancel_connection(&mut self, usize) -> Option<QueryCompletion>`
 /// * `stall_diagnostic(&self) -> Option<AdvanceStall>`
+/// * `query_count(&self) -> usize` (workload size, reported through
+///   [`ExecutorBackend::known_query_count`])
 ///
 /// Trait methods whose defaults don't fit (e.g.
 /// [`ExecutorBackend::shard_topology`] on a sharded backend) go in the
@@ -416,6 +429,10 @@ macro_rules! impl_executor_backend {
                 &self,
             ) -> Option<$crate::scheduler::macro_types::AdvanceStall> {
                 Self::stall_diagnostic(self)
+            }
+
+            fn known_query_count(&self) -> Option<usize> {
+                Some(Self::query_count(self))
             }
 
             $($extra)*

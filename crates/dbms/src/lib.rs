@@ -22,6 +22,11 @@
 //!   behind one connection-slot space with a deterministic cross-shard
 //!   event merge (interference stays intra-shard).
 //!
+//! Any of these backends can also be hosted behind the framed wire
+//! protocol of the `bq-wire` crate, which serializes this crate's types
+//! ([`ConnectionSlot`], [`RunParams`], [`QueryCompletion`],
+//! [`AdvanceStall`]) through a versioned binary codec.
+//!
 //! ```
 //! use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
 //! use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};

@@ -134,6 +134,12 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// Number of queries in the workload the shards were built for (every
+    /// shard sees the same workload).
+    pub fn query_count(&self) -> usize {
+        self.shards[0].query_count()
+    }
+
     /// Connection slots each shard contributes to the global space.
     pub fn connections_per_shard(&self) -> usize {
         self.per_shard

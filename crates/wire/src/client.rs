@@ -1,0 +1,321 @@
+//! The scheduler-facing side of the wire: [`WireBackend`] implements
+//! [`ExecutorBackend`] by encoding every call into a request frame, driving
+//! the transport, and decoding the response — so a [`ScheduleSession`]
+//! (`bq_core`) runs unchanged against a backend it can only reach through
+//! real serialization.
+//!
+//! # Observable-clock discipline
+//!
+//! The client's observable state — its clock, its [`ConnectionSlot`]
+//! mirror, the buffered-event flag, the stall diagnostic — advances **only
+//! when a response frame arrives**, to the response's arrival instant and
+//! the slot updates it carries. Queued or in-flight frames never let the
+//! observable clock run ahead of what the server has acknowledged: the same
+//! discipline the sharded backend's mirror keeps for cross-shard
+//! completions. With a zero-latency transport every response arrives at the
+//! server's own instant, which is what makes the wired stack byte-identical
+//! to the bare backend.
+//!
+//! [`ScheduleSession`]: bq_core::ScheduleSession
+
+use crate::frame::{frame, FrameReader};
+use crate::proto::{
+    Request, Response, ResponseHeader, WireEvent, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
+};
+use crate::server::WireServer;
+use crate::transport::{InMemoryDuplex, TransportProfile, WireTransport};
+use bq_core::{ExecEvent, ExecutorBackend, ShardTopology};
+use bq_dbms::{
+    AdvanceStall, ConnectionSlot, DbmsProfile, ExecutionEngine, QueryCompletion, RunParams,
+};
+use bq_plan::{QueryId, Workload};
+use std::fmt;
+
+/// Failure to establish a wire session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The server rejected the handshake (version or magic mismatch).
+    Rejected {
+        /// The server's error detail.
+        detail: String,
+    },
+    /// The server's handshake response violated the protocol.
+    Protocol {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Rejected { detail } => write!(f, "handshake rejected: {detail}"),
+            WireError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An [`ExecutorBackend`] whose executor lives on the far side of a framed
+/// wire protocol (see the [module docs](self)).
+///
+/// In-process deployments own both halves — the [`WireServer`] and the
+/// transport — and pump them synchronously per request; every message still
+/// round-trips through real encode/decode, so frame layout, versioning and
+/// error surfacing are exercised on every call. A future TCP/UDS transport
+/// replaces only the transport half.
+#[derive(Debug)]
+pub struct WireBackend<B, T = InMemoryDuplex> {
+    server: WireServer<B>,
+    transport: T,
+    reader: FrameReader,
+    /// Session-observable occupancy, updated from response slot diffs.
+    mirror: Vec<ConnectionSlot>,
+    /// Session-observable clock: the arrival instant of the last response.
+    now: f64,
+    events_pending: bool,
+    stall: Option<AdvanceStall>,
+    topology: ShardTopology,
+    known_queries: Option<usize>,
+}
+
+impl<B: ExecutorBackend> WireBackend<B, InMemoryDuplex> {
+    /// Wire `backend` through an in-memory zero-latency link — the
+    /// byte-identical configuration.
+    pub fn lossless(backend: B) -> Self {
+        Self::connect(WireServer::new(backend), InMemoryDuplex::lossless())
+            .expect("zero-latency handshake against a same-version server cannot fail")
+    }
+
+    /// Wire `backend` through an in-memory link with the given latency
+    /// model.
+    pub fn with_profile(backend: B, profile: TransportProfile) -> Self {
+        Self::connect(WireServer::new(backend), InMemoryDuplex::new(profile))
+            .expect("handshake against a same-version server cannot fail")
+    }
+}
+
+impl WireBackend<ExecutionEngine, InMemoryDuplex> {
+    /// The common cell: a fresh [`ExecutionEngine`] behind an in-memory
+    /// link.
+    pub fn over_engine(
+        profile: &DbmsProfile,
+        workload: &Workload,
+        seed: u64,
+        transport: TransportProfile,
+    ) -> Self {
+        Self::with_profile(
+            ExecutionEngine::new(profile.clone(), workload, seed),
+            transport,
+        )
+    }
+}
+
+impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
+    /// Perform the protocol-version handshake against `server` over
+    /// `transport` and return the connected backend.
+    pub fn connect(server: WireServer<B>, transport: T) -> Result<Self, WireError> {
+        let mut client = Self {
+            server,
+            transport,
+            reader: FrameReader::new(),
+            mirror: Vec::new(),
+            now: 0.0,
+            events_pending: false,
+            stall: None,
+            // Placeholder until the handshake reports the real partition
+            // (a topology cannot have zero-sized dimensions).
+            topology: ShardTopology::single(1),
+            known_queries: None,
+        };
+        match client.call(Request::Hello {
+            magic: HANDSHAKE_MAGIC,
+            version: PROTOCOL_VERSION,
+        }) {
+            Response::HelloAck {
+                version,
+                connections,
+                shard_count,
+                connections_per_shard,
+                known_queries,
+                header,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::Protocol {
+                        detail: format!("acked version {version} != {PROTOCOL_VERSION}"),
+                    });
+                }
+                client.mirror = vec![ConnectionSlot::Free; connections];
+                client.topology = ShardTopology::uniform(shard_count, connections_per_shard);
+                client.known_queries = known_queries;
+                client.apply_header(&header);
+                Ok(client)
+            }
+            Response::Error { detail, .. } => Err(WireError::Rejected { detail }),
+            other => Err(WireError::Protocol {
+                detail: format!("handshake answered with {other:?}"),
+            }),
+        }
+    }
+
+    /// The server half (and through it the hosted backend — test probes).
+    pub fn server(&self) -> &WireServer<B> {
+        &self.server
+    }
+
+    /// Tear the session down, returning the hosted backend.
+    pub fn into_backend(self) -> B {
+        self.server.into_backend()
+    }
+
+    /// One request/response round trip: encode, transmit, let the server
+    /// service its inbound stream, receive and decode the response, and
+    /// apply its state header (clock, mirror, flags).
+    fn call(&mut self, request: Request) -> Response {
+        let payload = request.encode();
+        self.transport.send_to_server(&frame(&payload), self.now);
+        self.server.service(&mut self.transport);
+
+        let mut response = None;
+        while let Some((chunk, arrival)) = self.transport.recv_at_client() {
+            self.reader.feed(&chunk);
+            // The observable clock is the delivery instant of what we have
+            // actually received — never the send instant of something still
+            // in flight.
+            if arrival > self.now {
+                self.now = arrival;
+            }
+            while let Some(payload) = self
+                .reader
+                .next_frame()
+                .unwrap_or_else(|e| panic!("response stream lost framing: {e}"))
+            {
+                let decoded = Response::decode(&payload)
+                    .unwrap_or_else(|e| panic!("malformed response frame: {e}"));
+                assert!(
+                    response.is_none(),
+                    "protocol violation: more than one response per request"
+                );
+                response = Some(decoded);
+            }
+        }
+        let response = response.expect("the server must answer every request");
+        // A handshake ack is applied by `connect` once the mirror is sized;
+        // every other header is applied here, so the caches are already
+        // fresh when the caller looks at the decoded response.
+        if !matches!(response, Response::HelloAck { .. }) {
+            if let Some(header) = response.header() {
+                // Clone out of the borrow; headers are small (slot diffs
+                // only).
+                let header = header.clone();
+                self.apply_header(&header);
+            }
+        }
+        response
+    }
+
+    fn apply_header(&mut self, header: &ResponseHeader) {
+        for &(connection, slot) in &header.slots {
+            assert!(
+                connection < self.mirror.len(),
+                "slot update for unknown connection {connection}"
+            );
+            self.mirror[connection] = slot;
+        }
+        self.events_pending = header.events_pending;
+        self.stall = header.stall;
+    }
+
+    /// Panic with the server's rejection — the [`ExecutorBackend`] contract
+    /// for an invalid submission is a panic, and over the wire the rejection
+    /// arrives as an error frame instead of a local assertion.
+    fn reject(response: Response, action: &str) -> ! {
+        match response {
+            Response::Error { code, detail } => {
+                panic!("wire {action} rejected ({code:?}): {detail}")
+            }
+            other => panic!("protocol violation: {action} answered with {other:?}"),
+        }
+    }
+}
+
+impl<B: ExecutorBackend, T: WireTransport> ExecutorBackend for WireBackend<B, T> {
+    fn connections(&self) -> &[ConnectionSlot] {
+        &self.mirror
+    }
+
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+        match self.call(Request::Submit {
+            query,
+            params,
+            connection,
+        }) {
+            Response::Ack { .. } => {}
+            other => Self::reject(other, "submit"),
+        }
+    }
+
+    fn submit_batch(&mut self, batch: &[(QueryId, RunParams, usize)]) {
+        if batch.is_empty() {
+            return;
+        }
+        match self.call(Request::SubmitBatch {
+            entries: batch.to_vec(),
+        }) {
+            Response::Ack { .. } => {}
+            other => Self::reject(other, "submit_batch"),
+        }
+    }
+
+    fn poll_event(&mut self) -> ExecEvent {
+        match self.call(Request::PollEvent) {
+            Response::Event { event, .. } => match event {
+                WireEvent::Submitted { query, connection } => {
+                    ExecEvent::Submitted { query, connection }
+                }
+                WireEvent::Completed(completion) => {
+                    // The completion has been observed: its slot is free in
+                    // the mirror via the header diff by now.
+                    ExecEvent::Completed(completion)
+                }
+                WireEvent::Idle => ExecEvent::Idle,
+            },
+            other => Self::reject(other, "poll_event"),
+        }
+    }
+
+    fn events_pending(&self) -> bool {
+        self.events_pending
+    }
+
+    fn advance_to(&mut self, until: f64) {
+        match self.call(Request::AdvanceTo { until }) {
+            Response::Ack { .. } => {}
+            other => Self::reject(other, "advance_to"),
+        }
+    }
+
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        match self.call(Request::Cancel { connection }) {
+            Response::CancelResult { completion, .. } => completion,
+            other => Self::reject(other, "cancel"),
+        }
+    }
+
+    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
+        self.stall
+    }
+
+    fn shard_topology(&self) -> ShardTopology {
+        self.topology
+    }
+
+    fn known_query_count(&self) -> Option<usize> {
+        self.known_queries
+    }
+}

@@ -1,0 +1,768 @@
+//! Message layer: the request/response vocabulary and its binary codec.
+//!
+//! Every message round-trips through real encode/decode — there is no
+//! in-process shortcut anywhere in the wire stack — so the frame layout
+//! below is load-bearing, pinned by round-trip tests and exercised by every
+//! wired episode.
+//!
+//! # Message catalogue
+//!
+//! | dir | tag | message | payload |
+//! |-----|-----|---------------|------------------------------------------|
+//! | →   | 0x01| `Hello`       | magic u32, version u16                   |
+//! | →   | 0x02| `Submit`      | query u32, params, connection u32        |
+//! | →   | 0x03| `SubmitBatch` | count u32, then (query, params, conn)*   |
+//! | →   | 0x04| `PollEvent`   | —                                        |
+//! | →   | 0x05| `AdvanceTo`   | until f64                                |
+//! | →   | 0x06| `Cancel`      | connection u32                           |
+//! | →   | 0x07| `Topology`    | —                                        |
+//! | ←   | 0x81| `HelloAck`    | version u16, connections u32, shards u32, per_shard u32, option\<queries u32\>, header |
+//! | ←   | 0x82| `Ack`         | header                                   |
+//! | ←   | 0x83| `Event`       | header, event                            |
+//! | ←   | 0x84| `CancelResult`| header, option\<completion\>             |
+//! | ←   | 0x85| `TopologyInfo`| header, shards u32, per_shard u32        |
+//! | ←   | 0x86| `Error`       | code u8, detail string                   |
+//!
+//! Every non-error response carries a [`ResponseHeader`]: the server's
+//! observable clock, whether events are buffered, any advance-stall
+//! diagnostic, and the **slot updates** — the connection slots that changed
+//! since the previous response, which is how the client's session-observable
+//! mirror stays exactly in sync without ever shipping the full slot space
+//! per message. `f64` fields travel as IEEE-754 bit patterns, so virtual
+//! time round-trips bit-exactly and a zero-latency wired episode can be
+//! byte-identical to a bare one.
+
+use crate::frame::{Cursor, FrameError, Writer};
+use bq_dbms::{AdvanceStall, ConnectionSlot, MemoryGrant, QueryCompletion, RunParams};
+use bq_plan::QueryId;
+
+/// Version of the wire protocol. Bumped on any frame-layout change; the
+/// handshake rejects a peer speaking a different version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic constant opening every handshake (`"bqwp"`), so a stray peer that
+/// is not speaking this protocol at all fails before version comparison.
+pub const HANDSHAKE_MAGIC: u32 = 0x6271_7770;
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_SUBMIT: u8 = 0x02;
+const REQ_SUBMIT_BATCH: u8 = 0x03;
+const REQ_POLL_EVENT: u8 = 0x04;
+const REQ_ADVANCE_TO: u8 = 0x05;
+const REQ_CANCEL: u8 = 0x06;
+const REQ_TOPOLOGY: u8 = 0x07;
+
+const RESP_HELLO_ACK: u8 = 0x81;
+const RESP_ACK: u8 = 0x82;
+const RESP_EVENT: u8 = 0x83;
+const RESP_CANCEL_RESULT: u8 = 0x84;
+const RESP_TOPOLOGY_INFO: u8 = 0x85;
+const RESP_ERROR: u8 = 0x86;
+
+/// One submission entry: `(query, params, connection)`.
+pub type WireEntry = (QueryId, RunParams, usize);
+
+/// Client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Protocol-version handshake; must be the first frame on a connection.
+    Hello {
+        /// Must equal [`HANDSHAKE_MAGIC`].
+        magic: u32,
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Submit one query to a free connection.
+    Submit {
+        /// The query to run.
+        query: QueryId,
+        /// Running parameters.
+        params: RunParams,
+        /// Target connection slot.
+        connection: usize,
+    },
+    /// Dispatch one scheduling instant's decisions together.
+    SubmitBatch {
+        /// The decisions, in decision order.
+        entries: Vec<WireEntry>,
+    },
+    /// Deliver the next executor event (advancing virtual time if needed).
+    PollEvent,
+    /// Advance virtual time to at most `until`.
+    AdvanceTo {
+        /// The advance bound.
+        until: f64,
+    },
+    /// Cancel whatever occupies `connection`.
+    Cancel {
+        /// The connection to cancel.
+        connection: usize,
+    },
+    /// Query the shard topology.
+    Topology,
+}
+
+/// State piggybacked on every non-error response, keeping the client's
+/// session-observable caches (clock, mirror, buffered-event flag, stall
+/// diagnostic) exactly in sync with the server after each round trip.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResponseHeader {
+    /// The server backend's observable clock after handling the request.
+    pub now: f64,
+    /// Whether the server backend has buffered events.
+    pub events_pending: bool,
+    /// Advance-stall diagnostic, if the backend recorded one.
+    pub stall: Option<AdvanceStall>,
+    /// Connection slots that changed since the previous response, as
+    /// `(connection, slot)` in ascending connection order.
+    pub slots: Vec<(usize, ConnectionSlot)>,
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    HelloAck {
+        /// The server's protocol version (== the client's, or no ack).
+        version: u16,
+        /// Total connection-slot count (sizes the client mirror).
+        connections: usize,
+        /// Shard count of the backend's topology.
+        shard_count: usize,
+        /// Connections per shard.
+        connections_per_shard: usize,
+        /// Workload size the backend was built for, when it knows it — the
+        /// client re-exports this through
+        /// [`ExecutorBackend::known_query_count`](bq_core::ExecutorBackend::known_query_count).
+        known_queries: Option<usize>,
+        /// Initial state (slot updates carry the full snapshot).
+        header: ResponseHeader,
+    },
+    /// A state-changing request (submit / batch / advance) succeeded.
+    Ack {
+        /// Post-request state.
+        header: ResponseHeader,
+    },
+    /// The next executor event.
+    Event {
+        /// Post-request state.
+        header: ResponseHeader,
+        /// The event itself.
+        event: WireEvent,
+    },
+    /// Outcome of a cancellation.
+    CancelResult {
+        /// Post-request state.
+        header: ResponseHeader,
+        /// The partial completion, or `None` if the slot was not busy (for
+        /// example because an observable completion is already in flight —
+        /// the completion wins, the cancel is a no-op).
+        completion: Option<QueryCompletion>,
+    },
+    /// The backend's shard topology.
+    TopologyInfo {
+        /// Post-request state.
+        header: ResponseHeader,
+        /// Shard count.
+        shard_count: usize,
+        /// Connections per shard.
+        connections_per_shard: usize,
+    },
+    /// The request was rejected; the backend was not touched.
+    Error {
+        /// Machine-readable rejection reason.
+        code: WireErrorCode,
+        /// Human-readable detail for diagnostics.
+        detail: String,
+    },
+}
+
+/// Machine-readable rejection reasons carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorCode {
+    /// The frame decoded to no known message (or decoding failed).
+    Malformed,
+    /// The handshake's magic or protocol version did not match.
+    VersionMismatch,
+    /// A request other than `Hello` arrived before the handshake.
+    HandshakeRequired,
+    /// A submitted query id is outside the workload the backend was built
+    /// for.
+    UnknownQuery,
+    /// A submission targeted an occupied slot (double-submit).
+    SlotOccupied,
+    /// A connection index outside the slot space.
+    OutOfRange,
+}
+
+impl WireErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireErrorCode::Malformed => 0,
+            WireErrorCode::VersionMismatch => 1,
+            WireErrorCode::HandshakeRequired => 2,
+            WireErrorCode::UnknownQuery => 3,
+            WireErrorCode::SlotOccupied => 4,
+            WireErrorCode::OutOfRange => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, FrameError> {
+        Ok(match v {
+            0 => WireErrorCode::Malformed,
+            1 => WireErrorCode::VersionMismatch,
+            2 => WireErrorCode::HandshakeRequired,
+            3 => WireErrorCode::UnknownQuery,
+            4 => WireErrorCode::SlotOccupied,
+            5 => WireErrorCode::OutOfRange,
+            other => return Err(FrameError::BadTag(other)),
+        })
+    }
+}
+
+/// An executor event in transit (the wire form of
+/// [`bq_core::ExecEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A submission was accepted onto a connection.
+    Submitted {
+        /// The accepted query.
+        query: QueryId,
+        /// Connection it was placed on.
+        connection: usize,
+    },
+    /// A query finished.
+    Completed(QueryCompletion),
+    /// Nothing running, nothing buffered.
+    Idle,
+}
+
+// --- field codecs ---------------------------------------------------------
+
+fn put_params(w: &mut Writer, params: RunParams) {
+    w.u32(params.workers);
+    w.u8(params.memory.index() as u8);
+}
+
+fn get_params(c: &mut Cursor<'_>) -> Result<RunParams, FrameError> {
+    let workers = c.u32()?;
+    let memory = match c.u8()? {
+        0 => MemoryGrant::Low,
+        1 => MemoryGrant::High,
+        _ => return Err(FrameError::BadValue("unknown memory grant")),
+    };
+    Ok(RunParams { workers, memory })
+}
+
+fn put_slot(w: &mut Writer, slot: &ConnectionSlot) {
+    match *slot {
+        ConnectionSlot::Free => w.u8(0),
+        ConnectionSlot::Pending {
+            query,
+            params,
+            queued_at,
+        } => {
+            w.u8(1);
+            w.u32(query.0 as u32);
+            put_params(w, params);
+            w.f64(queued_at);
+        }
+        ConnectionSlot::Busy {
+            query,
+            params,
+            started_at,
+        } => {
+            w.u8(2);
+            w.u32(query.0 as u32);
+            put_params(w, params);
+            w.f64(started_at);
+        }
+    }
+}
+
+fn get_slot(c: &mut Cursor<'_>) -> Result<ConnectionSlot, FrameError> {
+    Ok(match c.u8()? {
+        0 => ConnectionSlot::Free,
+        1 => ConnectionSlot::Pending {
+            query: QueryId(c.u32()? as usize),
+            params: get_params(c)?,
+            queued_at: c.f64()?,
+        },
+        2 => ConnectionSlot::Busy {
+            query: QueryId(c.u32()? as usize),
+            params: get_params(c)?,
+            started_at: c.f64()?,
+        },
+        other => return Err(FrameError::BadTag(other)),
+    })
+}
+
+fn put_completion(w: &mut Writer, c: &QueryCompletion) {
+    w.u32(c.query.0 as u32);
+    w.u32(c.connection as u32);
+    put_params(w, c.params);
+    w.f64(c.started_at);
+    w.f64(c.finished_at);
+}
+
+fn get_completion(c: &mut Cursor<'_>) -> Result<QueryCompletion, FrameError> {
+    Ok(QueryCompletion {
+        query: QueryId(c.u32()? as usize),
+        connection: c.u32()? as usize,
+        params: get_params(c)?,
+        started_at: c.f64()?,
+        finished_at: c.f64()?,
+    })
+}
+
+fn put_header(w: &mut Writer, h: &ResponseHeader) {
+    w.f64(h.now);
+    w.bool(h.events_pending);
+    match &h.stall {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            w.f64(s.now);
+            w.u32(s.busy as u32);
+            w.u32(s.budget as u32);
+        }
+    }
+    w.u32(h.slots.len() as u32);
+    for (conn, slot) in &h.slots {
+        w.u32(*conn as u32);
+        put_slot(w, slot);
+    }
+}
+
+fn get_header(c: &mut Cursor<'_>) -> Result<ResponseHeader, FrameError> {
+    let now = c.f64()?;
+    let events_pending = c.bool()?;
+    let stall = match c.u8()? {
+        0 => None,
+        1 => Some(AdvanceStall {
+            now: c.f64()?,
+            busy: c.u32()? as usize,
+            budget: c.u32()? as usize,
+        }),
+        other => return Err(FrameError::BadTag(other)),
+    };
+    let count = c.u32()? as usize;
+    let mut slots = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let conn = c.u32()? as usize;
+        slots.push((conn, get_slot(c)?));
+    }
+    Ok(ResponseHeader {
+        now,
+        events_pending,
+        stall,
+        slots,
+    })
+}
+
+// --- message codecs -------------------------------------------------------
+
+impl Request {
+    /// Encode into a frame payload (prepend the length prefix with
+    /// [`crate::frame::frame`] before transmitting).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Hello { magic, version } => {
+                w.u8(REQ_HELLO);
+                w.u32(*magic);
+                w.u16(*version);
+            }
+            Request::Submit {
+                query,
+                params,
+                connection,
+            } => {
+                w.u8(REQ_SUBMIT);
+                w.u32(query.0 as u32);
+                put_params(&mut w, *params);
+                w.u32(*connection as u32);
+            }
+            Request::SubmitBatch { entries } => {
+                w.u8(REQ_SUBMIT_BATCH);
+                w.u32(entries.len() as u32);
+                for (query, params, connection) in entries {
+                    w.u32(query.0 as u32);
+                    put_params(&mut w, *params);
+                    w.u32(*connection as u32);
+                }
+            }
+            Request::PollEvent => w.u8(REQ_POLL_EVENT),
+            Request::AdvanceTo { until } => {
+                w.u8(REQ_ADVANCE_TO);
+                w.f64(*until);
+            }
+            Request::Cancel { connection } => {
+                w.u8(REQ_CANCEL);
+                w.u32(*connection as u32);
+            }
+            Request::Topology => w.u8(REQ_TOPOLOGY),
+        }
+        w.into_payload()
+    }
+
+    /// Decode one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            REQ_HELLO => Request::Hello {
+                magic: c.u32()?,
+                version: c.u16()?,
+            },
+            REQ_SUBMIT => Request::Submit {
+                query: QueryId(c.u32()? as usize),
+                params: get_params(&mut c)?,
+                connection: c.u32()? as usize,
+            },
+            REQ_SUBMIT_BATCH => {
+                let count = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let query = QueryId(c.u32()? as usize);
+                    let params = get_params(&mut c)?;
+                    let connection = c.u32()? as usize;
+                    entries.push((query, params, connection));
+                }
+                Request::SubmitBatch { entries }
+            }
+            REQ_POLL_EVENT => Request::PollEvent,
+            REQ_ADVANCE_TO => Request::AdvanceTo { until: c.f64()? },
+            REQ_CANCEL => Request::Cancel {
+                connection: c.u32()? as usize,
+            },
+            REQ_TOPOLOGY => Request::Topology,
+            other => return Err(FrameError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// The state header piggybacked on this response, if it carries one
+    /// (every variant except [`Response::Error`] does).
+    pub fn header(&self) -> Option<&ResponseHeader> {
+        match self {
+            Response::HelloAck { header, .. }
+            | Response::Ack { header }
+            | Response::Event { header, .. }
+            | Response::CancelResult { header, .. }
+            | Response::TopologyInfo { header, .. } => Some(header),
+            Response::Error { .. } => None,
+        }
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::HelloAck {
+                version,
+                connections,
+                shard_count,
+                connections_per_shard,
+                known_queries,
+                header,
+            } => {
+                w.u8(RESP_HELLO_ACK);
+                w.u16(*version);
+                w.u32(*connections as u32);
+                w.u32(*shard_count as u32);
+                w.u32(*connections_per_shard as u32);
+                match known_queries {
+                    None => w.u8(0),
+                    Some(n) => {
+                        w.u8(1);
+                        w.u32(*n as u32);
+                    }
+                }
+                put_header(&mut w, header);
+            }
+            Response::Ack { header } => {
+                w.u8(RESP_ACK);
+                put_header(&mut w, header);
+            }
+            Response::Event { header, event } => {
+                w.u8(RESP_EVENT);
+                put_header(&mut w, header);
+                match event {
+                    WireEvent::Submitted { query, connection } => {
+                        w.u8(0);
+                        w.u32(query.0 as u32);
+                        w.u32(*connection as u32);
+                    }
+                    WireEvent::Completed(c) => {
+                        w.u8(1);
+                        put_completion(&mut w, c);
+                    }
+                    WireEvent::Idle => w.u8(2),
+                }
+            }
+            Response::CancelResult { header, completion } => {
+                w.u8(RESP_CANCEL_RESULT);
+                put_header(&mut w, header);
+                match completion {
+                    None => w.u8(0),
+                    Some(c) => {
+                        w.u8(1);
+                        put_completion(&mut w, c);
+                    }
+                }
+            }
+            Response::TopologyInfo {
+                header,
+                shard_count,
+                connections_per_shard,
+            } => {
+                w.u8(RESP_TOPOLOGY_INFO);
+                put_header(&mut w, header);
+                w.u32(*shard_count as u32);
+                w.u32(*connections_per_shard as u32);
+            }
+            Response::Error { code, detail } => {
+                w.u8(RESP_ERROR);
+                w.u8(code.to_u8());
+                w.string(detail);
+            }
+        }
+        w.into_payload()
+    }
+
+    /// Decode one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            RESP_HELLO_ACK => {
+                let version = c.u16()?;
+                let connections = c.u32()? as usize;
+                let shard_count = c.u32()? as usize;
+                let connections_per_shard = c.u32()? as usize;
+                let known_queries = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.u32()? as usize),
+                    other => return Err(FrameError::BadTag(other)),
+                };
+                Response::HelloAck {
+                    version,
+                    connections,
+                    shard_count,
+                    connections_per_shard,
+                    known_queries,
+                    header: get_header(&mut c)?,
+                }
+            }
+            RESP_ACK => Response::Ack {
+                header: get_header(&mut c)?,
+            },
+            RESP_EVENT => {
+                let header = get_header(&mut c)?;
+                let event = match c.u8()? {
+                    0 => WireEvent::Submitted {
+                        query: QueryId(c.u32()? as usize),
+                        connection: c.u32()? as usize,
+                    },
+                    1 => WireEvent::Completed(get_completion(&mut c)?),
+                    2 => WireEvent::Idle,
+                    other => return Err(FrameError::BadTag(other)),
+                };
+                Response::Event { header, event }
+            }
+            RESP_CANCEL_RESULT => {
+                let header = get_header(&mut c)?;
+                let completion = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_completion(&mut c)?),
+                    other => return Err(FrameError::BadTag(other)),
+                };
+                Response::CancelResult { header, completion }
+            }
+            RESP_TOPOLOGY_INFO => Response::TopologyInfo {
+                header: get_header(&mut c)?,
+                shard_count: c.u32()? as usize,
+                connections_per_shard: c.u32()? as usize,
+            },
+            RESP_ERROR => Response::Error {
+                code: WireErrorCode::from_u8(c.u8()?)?,
+                detail: c.string()?,
+            },
+            other => return Err(FrameError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RunParams {
+        RunParams {
+            workers: 4,
+            memory: MemoryGrant::High,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Hello {
+                magic: HANDSHAKE_MAGIC,
+                version: PROTOCOL_VERSION,
+            },
+            Request::Submit {
+                query: QueryId(17),
+                params: params(),
+                connection: 3,
+            },
+            Request::SubmitBatch {
+                entries: vec![
+                    (QueryId(0), RunParams::default_config(), 0),
+                    (QueryId(9), params(), 12),
+                ],
+            },
+            Request::PollEvent,
+            Request::AdvanceTo { until: 0.1 + 0.2 },
+            Request::Cancel { connection: 7 },
+            Request::Topology,
+        ];
+        for req in requests {
+            let decoded = Request::decode(&req.encode()).expect("round trip");
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let header = ResponseHeader {
+            now: 12.75,
+            events_pending: true,
+            stall: Some(AdvanceStall {
+                now: 12.5,
+                busy: 3,
+                budget: 100,
+            }),
+            slots: vec![
+                (0, ConnectionSlot::Free),
+                (
+                    2,
+                    ConnectionSlot::Pending {
+                        query: QueryId(5),
+                        params: params(),
+                        queued_at: 1.25,
+                    },
+                ),
+                (
+                    4,
+                    ConnectionSlot::Busy {
+                        query: QueryId(6),
+                        params: RunParams::default_config(),
+                        started_at: 2.5,
+                    },
+                ),
+            ],
+        };
+        let completion = QueryCompletion {
+            query: QueryId(6),
+            connection: 4,
+            params: params(),
+            started_at: 2.5,
+            finished_at: 7.125,
+        };
+        let responses = vec![
+            Response::HelloAck {
+                version: PROTOCOL_VERSION,
+                connections: 18,
+                shard_count: 2,
+                connections_per_shard: 9,
+                known_queries: Some(22),
+                header: header.clone(),
+            },
+            Response::Ack {
+                header: header.clone(),
+            },
+            Response::Event {
+                header: header.clone(),
+                event: WireEvent::Submitted {
+                    query: QueryId(1),
+                    connection: 2,
+                },
+            },
+            Response::Event {
+                header: header.clone(),
+                event: WireEvent::Completed(completion.clone()),
+            },
+            Response::Event {
+                header: ResponseHeader::default(),
+                event: WireEvent::Idle,
+            },
+            Response::CancelResult {
+                header: header.clone(),
+                completion: Some(completion),
+            },
+            Response::CancelResult {
+                header: ResponseHeader::default(),
+                completion: None,
+            },
+            Response::TopologyInfo {
+                header,
+                shard_count: 4,
+                connections_per_shard: 18,
+            },
+            Response::Error {
+                code: WireErrorCode::SlotOccupied,
+                detail: "connection 3 is busy".into(),
+            },
+        ];
+        for resp in responses {
+            let decoded = Response::decode(&resp.encode()).expect("round trip");
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn virtual_time_round_trips_bit_exactly() {
+        for v in [0.0, -0.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1e300] {
+            let req = Request::AdvanceTo { until: v };
+            let Request::AdvanceTo { until } = Request::decode(&req.encode()).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(until.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_an_error() {
+        let full = Request::Submit {
+            query: QueryId(1),
+            params: params(),
+            connection: 0,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(Request::decode(&[0x7F]), Err(FrameError::BadTag(0x7F)));
+        assert_eq!(Response::decode(&[0x10]), Err(FrameError::BadTag(0x10)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::PollEvent.encode();
+        payload.push(0xFF);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(FrameError::BadValue("trailing bytes after message"))
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! The engine-hosting side of the wire: [`WireServer`] owns any
+//! [`ExecutorBackend`] and services the framed protocol over a
+//! [`WireTransport`].
+//!
+//! The server is a pure request handler: its backend's state changes only
+//! while a request frame is being handled, never between frames, so the
+//! client's caches are exact between round trips. Each inbound frame first
+//! advances the backend's observable clock to the frame's arrival instant
+//! (queries keep executing while a frame is in flight — completions
+//! occurring on the way are buffered and delivered through subsequent
+//! `PollEvent`s, which is what lets a completion already in the observable
+//! past win against a cancel frame still in flight). The arrival advance
+//! happens for every frame, valid or not — time passes regardless of what
+//! the frame says — but requests are validated **before** they act on the
+//! backend: a malformed frame, an unknown query id, a double-submit, an
+//! out-of-range connection or a non-finite advance bound is answered with a
+//! [`Response::Error`] frame and changes nothing beyond that clock movement
+//! (the next successful response's header carries any slot diffs the
+//! advance buffered).
+
+use crate::frame::{frame, FrameReader};
+use crate::proto::{
+    Request, Response, ResponseHeader, WireErrorCode, WireEvent, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
+};
+use crate::transport::WireTransport;
+use bq_core::{ExecEvent, ExecutorBackend};
+use bq_dbms::ConnectionSlot;
+
+/// Serves the wire protocol over an owned [`ExecutorBackend`].
+#[derive(Debug)]
+pub struct WireServer<B> {
+    backend: B,
+    /// Protocol version this server speaks (overridable for negotiation
+    /// tests; production servers keep [`PROTOCOL_VERSION`]).
+    version: u16,
+    reader: FrameReader,
+    /// Slot states as of the last response — the diff base for the next
+    /// response's slot updates.
+    last_sent: Vec<ConnectionSlot>,
+    handshaken: bool,
+}
+
+impl<B: ExecutorBackend> WireServer<B> {
+    /// Host `backend` behind the wire protocol.
+    pub fn new(backend: B) -> Self {
+        Self {
+            backend,
+            version: PROTOCOL_VERSION,
+            reader: FrameReader::new(),
+            last_sent: Vec::new(),
+            handshaken: false,
+        }
+    }
+
+    /// Override the protocol version this server answers the handshake with
+    /// (version-negotiation tests; a mismatching client is rejected).
+    pub fn with_version(mut self, version: u16) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// The hosted backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Unwrap the server, returning the hosted backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Service every complete request frame that has reached the server:
+    /// decode, validate, apply to the backend, and transmit one response
+    /// frame per request.
+    pub fn service<T: WireTransport>(&mut self, transport: &mut T) {
+        while let Some((chunk, arrival)) = transport.recv_at_server() {
+            self.reader.feed(&chunk);
+            loop {
+                let response = match self.reader.next_frame() {
+                    Ok(None) => break,
+                    Ok(Some(payload)) => match Request::decode(&payload) {
+                        Ok(request) => self.handle(request, arrival),
+                        Err(err) => Response::Error {
+                            code: WireErrorCode::Malformed,
+                            detail: err.to_string(),
+                        },
+                    },
+                    // Framing is lost (oversized length prefix): report and
+                    // stop interpreting the stream.
+                    Err(err) => Response::Error {
+                        code: WireErrorCode::Malformed,
+                        detail: err.to_string(),
+                    },
+                };
+                let payload = response.encode();
+                transport.send_to_client(&frame(&payload), self.backend.now());
+            }
+        }
+    }
+
+    /// Handle one decoded request that arrived at `arrival`.
+    fn handle(&mut self, request: Request, arrival: f64) -> Response {
+        // The backend keeps executing while the frame is in flight: move the
+        // observable clock up to the arrival instant first. Completions on
+        // the way are buffered (never skipped) and deliver through
+        // subsequent polls. With a zero-latency transport `arrival` equals
+        // the current clock exactly and the backend is not touched.
+        if arrival > self.backend.now() {
+            self.backend.advance_to(arrival);
+        }
+
+        if let Request::Hello { magic, version } = request {
+            if magic != HANDSHAKE_MAGIC {
+                return Response::Error {
+                    code: WireErrorCode::VersionMismatch,
+                    detail: format!("bad handshake magic {magic:#010x}"),
+                };
+            }
+            if version != self.version {
+                return Response::Error {
+                    code: WireErrorCode::VersionMismatch,
+                    detail: format!(
+                        "client speaks protocol v{version}, server speaks v{}",
+                        self.version
+                    ),
+                };
+            }
+            self.handshaken = true;
+            // The diff base resets so the ack's header carries a full
+            // snapshot of every occupied slot.
+            self.last_sent = vec![ConnectionSlot::Free; self.backend.connection_count()];
+            let topology = self.backend.shard_topology();
+            return Response::HelloAck {
+                version: self.version,
+                connections: self.backend.connection_count(),
+                shard_count: topology.shard_count(),
+                connections_per_shard: topology.connections_per_shard(),
+                known_queries: self.backend.known_query_count(),
+                header: self.header(),
+            };
+        }
+        if !self.handshaken {
+            return Response::Error {
+                code: WireErrorCode::HandshakeRequired,
+                detail: "first frame must be Hello".into(),
+            };
+        }
+
+        match request {
+            Request::Hello { .. } => unreachable!("handled above"),
+            Request::Submit {
+                query,
+                params,
+                connection,
+            } => {
+                if let Some(error) = self.validate_submission(query, connection, &[]) {
+                    return error;
+                }
+                self.backend.submit(query, params, connection);
+                Response::Ack {
+                    header: self.header(),
+                }
+            }
+            Request::SubmitBatch { entries } => {
+                // Validate the whole batch before touching the backend, so a
+                // rejected batch is rejected atomically.
+                let mut claimed = Vec::with_capacity(entries.len());
+                for &(query, _, connection) in &entries {
+                    if let Some(error) = self.validate_submission(query, connection, &claimed) {
+                        return error;
+                    }
+                    claimed.push(connection);
+                }
+                self.backend.submit_batch(&entries);
+                Response::Ack {
+                    header: self.header(),
+                }
+            }
+            Request::PollEvent => {
+                let event = match self.backend.poll_event() {
+                    ExecEvent::Submitted { query, connection } => {
+                        WireEvent::Submitted { query, connection }
+                    }
+                    ExecEvent::Completed(completion) => WireEvent::Completed(completion),
+                    ExecEvent::Idle => WireEvent::Idle,
+                };
+                Response::Event {
+                    header: self.header(),
+                    event,
+                }
+            }
+            Request::AdvanceTo { until } => {
+                // A non-finite bound would make a bounded advance burn its
+                // whole budget without progress (NaN clamps every step to
+                // zero) — a peer-driven stall the validation contract
+                // forbids.
+                if !until.is_finite() {
+                    return Response::Error {
+                        code: WireErrorCode::Malformed,
+                        detail: format!("advance bound must be finite, got {until}"),
+                    };
+                }
+                self.backend.advance_to(until);
+                Response::Ack {
+                    header: self.header(),
+                }
+            }
+            Request::Cancel { connection } => {
+                // An out-of-range connection answers `None` — the shape the
+                // `cancel` trait contract gives a free/unknown connection —
+                // without reaching the backend, whose slot indexing a
+                // peer-controlled index must never drive (the learned
+                // simulator indexes unchecked).
+                let completion = if connection < self.backend.connection_count() {
+                    self.backend.cancel(connection)
+                } else {
+                    None
+                };
+                Response::CancelResult {
+                    header: self.header(),
+                    completion,
+                }
+            }
+            Request::Topology => {
+                let topology = self.backend.shard_topology();
+                Response::TopologyInfo {
+                    header: self.header(),
+                    shard_count: topology.shard_count(),
+                    connections_per_shard: topology.connections_per_shard(),
+                }
+            }
+        }
+    }
+
+    /// Reject a submission the backend would panic on: out-of-range or
+    /// occupied connection (including one claimed earlier in the same
+    /// batch), or a query id outside the workload.
+    fn validate_submission(
+        &self,
+        query: bq_plan::QueryId,
+        connection: usize,
+        claimed: &[usize],
+    ) -> Option<Response> {
+        if connection >= self.backend.connection_count() {
+            return Some(Response::Error {
+                code: WireErrorCode::OutOfRange,
+                detail: format!("connection {connection} out of range"),
+            });
+        }
+        if !self.backend.connections()[connection].is_free() || claimed.contains(&connection) {
+            return Some(Response::Error {
+                code: WireErrorCode::SlotOccupied,
+                detail: format!("connection {connection} is occupied"),
+            });
+        }
+        if let Some(limit) = self.backend.known_query_count() {
+            if query.0 >= limit {
+                return Some(Response::Error {
+                    code: WireErrorCode::UnknownQuery,
+                    detail: format!("query id {} beyond workload of {limit}", query.0),
+                });
+            }
+        }
+        None
+    }
+
+    /// Build the state header for the next response: observable clock,
+    /// buffered-event flag, stall diagnostic, and the slots that changed
+    /// since the previous response (updating the diff base).
+    fn header(&mut self) -> ResponseHeader {
+        let slots = self.backend.connections();
+        let mut updates = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if self.last_sent.get(i) != Some(slot) {
+                updates.push((i, *slot));
+            }
+        }
+        self.last_sent.clear();
+        self.last_sent.extend_from_slice(slots);
+        ResponseHeader {
+            now: self.backend.now(),
+            events_pending: self.backend.events_pending(),
+            stall: self.backend.stall_diagnostic(),
+            slots: updates,
+        }
+    }
+}

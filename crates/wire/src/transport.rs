@@ -1,0 +1,263 @@
+//! Byte-stream transports with deterministic virtual-time delivery.
+//!
+//! [`WireTransport`] is the substrate the framed protocol runs over: an
+//! ordered, reliable, bidirectional byte stream whose only freedom is *when*
+//! (in virtual time) each transmitted chunk reaches the peer. The in-memory
+//! implementation ([`InMemoryDuplex`]) delivers chunks verbatim with a
+//! seeded, deterministic latency per chunk — zero for the byte-identical
+//! configuration, or a fixed-plus-jitter distribution mirroring
+//! `bq_adapter::DispatchProfile`'s deterministic streams for realistic wire
+//! dynamics. Chunks are never reordered or dropped (TCP-like semantics);
+//! delivery instants are monotone per direction.
+//!
+//! A future TCP/UDS transport implements the same trait over real sockets;
+//! nothing above the trait changes.
+
+use bq_core::seeded_unit;
+
+/// Direction of one transmission, used to decorrelate the two latency
+/// streams of a duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server (requests).
+    ToServer,
+    /// Server → client (responses).
+    ToClient,
+}
+
+impl Direction {
+    fn salt(self) -> u64 {
+        match self {
+            Direction::ToServer => 0xA076_1D64_78BD_642F,
+            Direction::ToClient => 0xE703_7ED1_A0B4_28DB,
+        }
+    }
+}
+
+/// Deterministic latency model of a transport link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportProfile {
+    /// Deterministic floor of every chunk's transit latency, in virtual
+    /// seconds.
+    pub base_latency: f64,
+    /// Width of the seeded uniform jitter added on top of the floor; `0.0`
+    /// makes every latency exactly [`TransportProfile::base_latency`].
+    pub jitter: f64,
+    /// Seed of the jitter stream (latencies are a pure function of
+    /// `(seed, direction, chunk index)`).
+    pub seed: u64,
+}
+
+impl TransportProfile {
+    /// The degenerate link: every chunk arrives the instant it is sent. A
+    /// [`crate::WireBackend`] over this profile is byte-identical through
+    /// the whole session stack to the bare backend.
+    pub fn zero() -> Self {
+        Self {
+            base_latency: 0.0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A fixed transit latency of `seconds` per chunk (no jitter).
+    pub fn fixed(seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "transit latency must be finite and non-negative"
+        );
+        Self {
+            base_latency: seconds,
+            ..Self::zero()
+        }
+    }
+
+    /// Add a seeded uniform jitter of up to `seconds` on top of the base
+    /// latency.
+    pub fn with_jitter(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "jitter must be finite and non-negative"
+        );
+        self.jitter = seconds;
+        self
+    }
+
+    /// Re-seed the jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Transit latency of chunk number `index` in `direction` — a pure
+    /// function of `(seed, direction, index)`, so wired episodes replay
+    /// exactly.
+    pub fn latency_for(&self, direction: Direction, index: u64) -> f64 {
+        if self.jitter <= 0.0 {
+            return self.base_latency.max(0.0);
+        }
+        let unit =
+            seeded_unit(self.seed ^ direction.salt() ^ index.wrapping_mul(0x9E6C_63D0_876A_9A69));
+        (self.base_latency + self.jitter * unit).max(0.0)
+    }
+}
+
+/// An ordered, reliable, bidirectional byte stream with virtual-time
+/// delivery.
+///
+/// `send_*` stamps the chunk with its (deterministic) arrival instant and
+/// returns it; `drain_*` hands delivered chunks to the receiving endpoint in
+/// transmission order, each with its arrival stamp. Chunk boundaries carry
+/// no meaning — receivers reassemble frames with
+/// [`crate::frame::FrameReader`], exactly as they would over a socket.
+pub trait WireTransport {
+    /// Transmit `bytes` client → server at virtual instant `now`; returns
+    /// the arrival instant (≥ `now`, monotone across sends).
+    fn send_to_server(&mut self, bytes: &[u8], now: f64) -> f64;
+
+    /// Transmit `bytes` server → client at virtual instant `now`; returns
+    /// the arrival instant (≥ `now`, monotone across sends).
+    fn send_to_client(&mut self, bytes: &[u8], now: f64) -> f64;
+
+    /// Pop the next chunk delivered to the server, with its arrival instant.
+    fn recv_at_server(&mut self) -> Option<(Vec<u8>, f64)>;
+
+    /// Pop the next chunk delivered to the client, with its arrival instant.
+    fn recv_at_client(&mut self) -> Option<(Vec<u8>, f64)>;
+}
+
+/// In-memory duplex link: delivers chunks verbatim, in order, with the
+/// deterministic latency of its [`TransportProfile`].
+#[derive(Debug)]
+pub struct InMemoryDuplex {
+    profile: TransportProfile,
+    to_server: std::collections::VecDeque<(Vec<u8>, f64)>,
+    to_client: std::collections::VecDeque<(Vec<u8>, f64)>,
+    sent_to_server: u64,
+    sent_to_client: u64,
+    /// Per-direction last arrival stamps (reordering-free guarantee).
+    horizon_server: f64,
+    horizon_client: f64,
+}
+
+impl InMemoryDuplex {
+    /// A link with the given latency model.
+    pub fn new(profile: TransportProfile) -> Self {
+        Self {
+            profile,
+            to_server: std::collections::VecDeque::new(),
+            to_client: std::collections::VecDeque::new(),
+            sent_to_server: 0,
+            sent_to_client: 0,
+            horizon_server: 0.0,
+            horizon_client: 0.0,
+        }
+    }
+
+    /// The zero-latency link (the byte-identical configuration).
+    pub fn lossless() -> Self {
+        Self::new(TransportProfile::zero())
+    }
+
+    /// The latency model this link applies.
+    pub fn profile(&self) -> &TransportProfile {
+        &self.profile
+    }
+}
+
+impl WireTransport for InMemoryDuplex {
+    fn send_to_server(&mut self, bytes: &[u8], now: f64) -> f64 {
+        let latency = self
+            .profile
+            .latency_for(Direction::ToServer, self.sent_to_server);
+        self.sent_to_server += 1;
+        let arrival = (now + latency).max(self.horizon_server);
+        self.horizon_server = arrival;
+        self.to_server.push_back((bytes.to_vec(), arrival));
+        arrival
+    }
+
+    fn send_to_client(&mut self, bytes: &[u8], now: f64) -> f64 {
+        let latency = self
+            .profile
+            .latency_for(Direction::ToClient, self.sent_to_client);
+        self.sent_to_client += 1;
+        let arrival = (now + latency).max(self.horizon_client);
+        self.horizon_client = arrival;
+        self.to_client.push_back((bytes.to_vec(), arrival));
+        arrival
+    }
+
+    fn recv_at_server(&mut self) -> Option<(Vec<u8>, f64)> {
+        self.to_server.pop_front()
+    }
+
+    fn recv_at_client(&mut self) -> Option<(Vec<u8>, f64)> {
+        self.to_client.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_delivers_at_the_send_instant() {
+        let mut link = InMemoryDuplex::lossless();
+        assert_eq!(link.send_to_server(b"abc", 1.5), 1.5);
+        assert_eq!(link.send_to_client(b"xyz", 2.5), 2.5);
+        assert_eq!(link.recv_at_server(), Some((b"abc".to_vec(), 1.5)));
+        assert_eq!(link.recv_at_client(), Some((b"xyz".to_vec(), 2.5)));
+        assert_eq!(link.recv_at_server(), None);
+    }
+
+    #[test]
+    fn latencies_are_a_pure_function_of_seed_direction_and_index() {
+        let p = TransportProfile::fixed(0.1).with_jitter(0.5).with_seed(7);
+        assert_eq!(
+            p.latency_for(Direction::ToServer, 3),
+            p.latency_for(Direction::ToServer, 3)
+        );
+        assert_ne!(
+            p.latency_for(Direction::ToServer, 3),
+            p.latency_for(Direction::ToServer, 4)
+        );
+        assert_ne!(
+            p.latency_for(Direction::ToServer, 3),
+            p.latency_for(Direction::ToClient, 3),
+            "the directions must draw from decorrelated streams"
+        );
+        assert_ne!(
+            p.latency_for(Direction::ToServer, 3),
+            p.with_seed(8).latency_for(Direction::ToServer, 3)
+        );
+        for i in 0..64 {
+            let l = p.latency_for(Direction::ToServer, i);
+            assert!((0.1..0.6).contains(&l), "latency {l} out of range");
+        }
+        assert_eq!(
+            TransportProfile::fixed(0.25).latency_for(Direction::ToClient, 9),
+            0.25
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_per_direction() {
+        // A large-jitter profile would reorder arrivals if the link did not
+        // clamp to the per-direction horizon.
+        let mut link =
+            InMemoryDuplex::new(TransportProfile::fixed(0.0).with_jitter(5.0).with_seed(3));
+        let mut last = 0.0;
+        for i in 0..32 {
+            let arrival = link.send_to_server(&[i], 0.0);
+            assert!(arrival >= last, "arrival {arrival} before {last}");
+            last = arrival;
+        }
+        // Chunks pop in transmission order with their stamps.
+        let mut prev = 0.0;
+        while let Some((_, at)) = link.recv_at_server() {
+            assert!(at >= prev);
+            prev = at;
+        }
+    }
+}

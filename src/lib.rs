@@ -11,6 +11,8 @@
 //! * [`core`] — scheduling framework, logs, metrics and heuristics,
 //! * [`adapter`] — the async submission adapter (deferred admission,
 //!   batched dispatch, backpressure) over any executor backend,
+//! * [`wire`] — the framed wire protocol: a `WireServer`/`WireBackend`
+//!   pair putting real serialization between the session and any backend,
 //! * [`encoder`] — plan encoder and attention-based state representation,
 //! * [`rl`] — PPO / PPG / IQ-PPO,
 //! * [`sched`] — the BQSched agent, masking, clustering and the learned
@@ -30,6 +32,7 @@ pub use bq_nn as nn;
 pub use bq_plan as plan;
 pub use bq_rl as rl;
 pub use bq_sched as sched;
+pub use bq_wire as wire;
 
 /// Version of the reproduction (mirrors the workspace package version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

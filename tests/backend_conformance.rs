@@ -2,10 +2,11 @@
 //!
 //! Every execution substrate — the simulated DBMS (`ExecutionEngine`), the
 //! learned incremental simulator (`LearnedSimulator`), the sharded
-//! multi-engine backend (`ShardedEngine`), and the async submission adapter
-//! (`AsyncAdapter`, wrapped over each of the three) — must satisfy the same
-//! observable contract, because schedulers are non-intrusive and cannot
-//! tell backends apart. The contract, asserted here over every backend
+//! multi-engine backend (`ShardedEngine`), the async submission adapter
+//! (`AsyncAdapter`, wrapped over each of the three), and the wire-protocol
+//! backend (`WireBackend`, alone and under the adapter) — must satisfy the
+//! same observable contract, because schedulers are non-intrusive and
+//! cannot tell backends apart. The contract, asserted here over every backend
 //! through one parametrized harness:
 //!
 //! 1. **Determinism** — fixed seeds reproduce episode logs byte for byte;
@@ -29,6 +30,7 @@ use bqsched::core::{ExecutorBackend, FifoScheduler, ScheduleSession};
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, RunParams, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, Workload, WorkloadSpec};
 use bqsched::sched::LearnedSimulator;
+use bqsched::wire::{TransportProfile, WireBackend};
 
 fn tpch() -> Workload {
     generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1))
@@ -460,6 +462,115 @@ fn async_adapter_backpressure_races_timeouts_against_the_admission_queue() {
     // The race is deterministic: an identical replay is byte-identical.
     let replay = run(None);
     assert_eq!(log.to_json(), replay.to_json());
+}
+
+// --- The wire-protocol backend (`bq-wire`) --------------------------------
+//
+// With the zero-latency in-memory transport the wire stack must be a
+// drop-in for the hosted backend — every call still round-trips through
+// real frame encode/decode, so passing the full conformance suite here
+// exercises the codec, the server validation and the client mirror on
+// every event of every cell. The fifth backend family: wired engine, wired
+// sharded engine, wired learned simulator, and the adapter-over-wire
+// composition a real deployment would run (admission latency in front of
+// wire latency).
+
+#[test]
+fn wire_backend_over_the_engine_passes_conformance() {
+    let w = tpch();
+    conformance_suite("wire(engine)", &w, |seed| {
+        WireBackend::lossless(ExecutionEngine::new(DbmsProfile::dbms_x(), &w, seed))
+    });
+}
+
+#[test]
+fn wire_backend_over_the_sharded_engine_passes_conformance() {
+    let w = tpch();
+    for shards in [1usize, 2] {
+        conformance_suite(&format!("wire(sharded{shards})"), &w, |seed| {
+            WireBackend::lossless(ShardedEngine::new(DbmsProfile::dbms_x(), &w, seed, shards))
+        });
+    }
+}
+
+#[test]
+fn wire_backend_over_the_simulator_passes_conformance() {
+    let w = tpch();
+    let (model, embs, avg) = common::simulator_parts(&w);
+    conformance_suite("wire(simulator)", &w, |_seed| {
+        WireBackend::lossless(LearnedSimulator::new(&model, &w, &embs, avg.clone(), 6))
+    });
+}
+
+#[test]
+fn async_adapter_over_the_wire_backend_passes_conformance() {
+    let w = tpch();
+    conformance_suite("adapter(wire(engine))", &w, |seed| {
+        AsyncAdapter::new(
+            WireBackend::lossless(ExecutionEngine::new(DbmsProfile::dbms_x(), &w, seed)),
+            DispatchProfile::synchronous(),
+        )
+    });
+}
+
+/// The wired engine is not merely self-consistent: at zero transport
+/// latency it replays the engine's pinned on-disk artifact byte for byte,
+/// through real serialization of every message.
+#[test]
+fn wire_backend_matches_the_engine_golden_artifact() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let mut wired = WireBackend::over_engine(&profile, &w, 0, TransportProfile::zero());
+    let json = ScheduleSession::builder(&w)
+        .dbms(profile.kind)
+        .round(0)
+        .build(&mut wired)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    common::assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
+}
+
+/// The deployment shape the wire layer exists for: an `AsyncAdapter`
+/// modelling admission latency **over** a `WireBackend` modelling transit
+/// latency. The composition must complete every query exactly once and be
+/// a pure function of (workload, profile, seed, dispatch profile,
+/// transport profile).
+#[test]
+fn async_adapter_over_a_latency_wire_completes_and_replays() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let dispatch = DispatchProfile::fixed(0.2)
+        .with_jitter(0.1)
+        .with_max_in_flight(4)
+        .with_max_batch(4)
+        .with_seed(3);
+    let transport = TransportProfile::fixed(0.05).with_jitter(0.02).with_seed(7);
+    let run = || {
+        let mut stack = AsyncAdapter::new(
+            WireBackend::over_engine(&profile, &w, 1, transport),
+            dispatch,
+        );
+        ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(1)
+            .build(&mut stack)
+            .run(&mut FifoScheduler::new())
+    };
+    let log = run();
+    assert_eq!(log.len(), w.len());
+    let mut seen = vec![false; w.len()];
+    for r in &log.records {
+        assert!(!seen[r.query.0], "duplicate completion for {:?}", r.query);
+        seen[r.query.0] = true;
+        assert!(r.finished_at > r.started_at);
+        assert!(
+            r.started_at >= 0.2 + 0.05 - 1e-9,
+            "nothing can start before one admission latency plus one wire \
+             transit: {}",
+            r.started_at
+        );
+    }
+    assert_eq!(log.to_json(), run().to_json(), "replay must be identical");
 }
 
 /// Cross-version pin for a nonzero-latency adapter configuration: fixed

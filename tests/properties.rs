@@ -1,7 +1,9 @@
 //! Property-based tests on cross-crate invariants: the execution engine never
 //! loses queries and respects physical bounds, the async submission adapter
 //! is a byte-identical passthrough at zero latency and a pure function of its
-//! dispatch profile otherwise, the gain matrix is symmetric, masking never
+//! dispatch profile otherwise, the wire-protocol backend is a byte-identical
+//! passthrough over the zero-latency transport and a pure function of its
+//! transport profile otherwise, the gain matrix is symmetric, masking never
 //! removes every configuration, and clustering always yields a partition —
 //! for arbitrary workload subsets, seeds and parameters.
 
@@ -10,6 +12,7 @@ use bqsched::core::{collect_history, FifoScheduler, RandomScheduler, ScheduleSes
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, ParamSpace, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
+use bqsched::wire::{TransportProfile, WireBackend};
 use proptest::prelude::*;
 
 fn workload_for(benchmark: Benchmark, n: usize) -> bqsched::plan::Workload {
@@ -201,6 +204,68 @@ proptest! {
             prop_assert!(
                 r.started_at >= base_latency - 1e-9,
                 "no query can start before one admission latency"
+            );
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(log.to_json(), run().to_json(), "replay must be byte-identical");
+    }
+
+    #[test]
+    fn zero_latency_wire_is_byte_identical_for_any_subset(seed in 0u64..300, n in 4usize..22) {
+        // For ANY workload subset and seed, running the session against the
+        // engine THROUGH the framed wire protocol (every call encoded,
+        // transmitted, decoded, validated) over the zero-latency transport
+        // changes NOTHING: the episode log is byte for byte the bare
+        // engine's. This is the wire stack's load-bearing invariant.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut bare = ExecutionEngine::new(profile.clone(), &workload, seed);
+        let base = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut bare)
+            .run(&mut FifoScheduler::new());
+        let mut wired = WireBackend::over_engine(&profile, &workload, seed, TransportProfile::zero());
+        let over_wire = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut wired)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(base.to_json(), over_wire.to_json());
+    }
+
+    #[test]
+    fn wired_episodes_are_a_pure_function_of_the_transport_profile(
+        seed in 0u64..200,
+        n in 4usize..22,
+        latency_centi in 1u32..50,
+        jitter_centi in 0u32..20,
+    ) {
+        // For ANY latency-injecting transport configuration, the wired
+        // episode is a pure function of (workload, profile, seed, transport
+        // profile): replays are byte-identical, every query completes
+        // exactly once, and nothing starts before one wire transit.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let base_latency = latency_centi as f64 / 100.0;
+        let transport = TransportProfile::fixed(base_latency)
+            .with_jitter(jitter_centi as f64 / 100.0)
+            .with_seed(seed);
+        let run = || {
+            let mut wired = WireBackend::over_engine(&profile, &workload, seed, transport);
+            ScheduleSession::builder(&workload)
+                .round(seed)
+                .build(&mut wired)
+                .run(&mut FifoScheduler::new())
+        };
+        let log = run();
+        prop_assert_eq!(log.len(), workload.len());
+        let mut seen = vec![false; workload.len()];
+        for r in &log.records {
+            prop_assert!(!seen[r.query.0], "duplicate completion");
+            seen[r.query.0] = true;
+            prop_assert!(r.finished_at > r.started_at);
+            prop_assert!(
+                r.started_at >= base_latency - 1e-9,
+                "no query can start before one wire transit"
             );
         }
         prop_assert!(seen.iter().all(|&s| s));
