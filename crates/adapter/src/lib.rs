@@ -71,7 +71,7 @@
 
 #![warn(missing_docs)]
 
-use bq_core::{seeded_unit, ExecEvent, ExecutorBackend, ShardTopology};
+use bq_core::{seeded_unit, ExecEvent, ExecutorBackend, FaultEvent, ShardTopology};
 use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
 use bq_plan::QueryId;
 use std::collections::VecDeque;
@@ -230,6 +230,9 @@ pub struct AsyncAdapter<B> {
     in_flight: usize,
     /// Dispatches issued so far (the latency-stream index).
     dispatches: u64,
+    /// Faults the adapter synthesized itself (submissions it still held for
+    /// a shard that died), delivered after the inner fault that caused them.
+    faults: VecDeque<FaultEvent>,
 }
 
 impl<B: ExecutorBackend> AsyncAdapter<B> {
@@ -244,6 +247,7 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
             queued: VecDeque::new(),
             in_flight: 0,
             dispatches: 0,
+            faults: VecDeque::new(),
         }
     }
 
@@ -524,6 +528,43 @@ impl<B: ExecutorBackend> ExecutorBackend for AsyncAdapter<B> {
 
     fn shard_topology(&self) -> ShardTopology {
         self.inner.shard_topology()
+    }
+
+    fn poll_fault(&mut self) -> Option<FaultEvent> {
+        if let Some(fault) = self.faults.pop_front() {
+            return Some(fault);
+        }
+        let fault = self.inner.poll_fault()?;
+        match fault {
+            // The executor lost an admitted query: no completion will ever
+            // free its mirror slot, so the adapter frees it here — a
+            // resubmission must be able to reclaim the connection.
+            FaultEvent::QueryLost { connection, .. } if connection < self.mirror.len() => {
+                self.mirror[connection] = ConnectionSlot::Free;
+            }
+            FaultEvent::ShardDied { shard, at } => {
+                // Submissions the adapter still holds for the dead shard
+                // (queued or awaiting admission) will never be admitted:
+                // revoke them and surface each as its own loss, after the
+                // shard-death event that caused them.
+                let range = self.inner.shard_topology().range_of(shard);
+                for connection in range {
+                    let Some(&ConnectionSlot::Pending { query, .. }) = self.mirror.get(connection)
+                    else {
+                        continue;
+                    };
+                    self.revoke(connection);
+                    self.mirror[connection] = ConnectionSlot::Free;
+                    self.faults.push_back(FaultEvent::QueryLost {
+                        query,
+                        connection,
+                        at,
+                    });
+                }
+            }
+            _ => {}
+        }
+        Some(fault)
     }
 
     fn known_query_count(&self) -> Option<usize> {
@@ -837,6 +878,125 @@ mod tests {
                 connection: 0
             }
         );
+    }
+
+    /// Forwards everything to the wrapped backend while replaying a scripted
+    /// fault queue — the minimal fault source for adapter tests.
+    struct FaultyShell<B> {
+        inner: B,
+        faults: std::collections::VecDeque<FaultEvent>,
+    }
+
+    impl<B: ExecutorBackend> ExecutorBackend for FaultyShell<B> {
+        fn connections(&self) -> &[ConnectionSlot] {
+            self.inner.connections()
+        }
+        fn now(&self) -> f64 {
+            self.inner.now()
+        }
+        fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+            self.inner.submit(query, params, connection);
+        }
+        fn poll_event(&mut self) -> ExecEvent {
+            self.inner.poll_event()
+        }
+        fn events_pending(&self) -> bool {
+            self.inner.events_pending()
+        }
+        fn advance_to(&mut self, until: f64) {
+            self.inner.advance_to(until);
+        }
+        fn shard_topology(&self) -> ShardTopology {
+            self.inner.shard_topology()
+        }
+        fn poll_fault(&mut self) -> Option<FaultEvent> {
+            self.faults.pop_front()
+        }
+    }
+
+    #[test]
+    fn a_lost_query_fault_frees_the_adapter_mirror() {
+        let w = tpch();
+        let shell = FaultyShell {
+            inner: engine(&w, 0),
+            faults: [FaultEvent::QueryLost {
+                query: QueryId(0),
+                connection: 0,
+                at: 0.0,
+            }]
+            .into(),
+        };
+        let mut a = AsyncAdapter::new(shell, DispatchProfile::synchronous());
+        a.submit(QueryId(0), RunParams::default_config(), 0);
+        assert!(
+            !a.connections()[0].is_free(),
+            "admitted: the mirror tracks the busy slot"
+        );
+        // The inner backend reports the query lost: the adapter must free
+        // its mirror (no completion will ever deliver for it) and forward
+        // the fault unchanged.
+        assert!(matches!(
+            a.poll_fault(),
+            Some(FaultEvent::QueryLost {
+                query: QueryId(0),
+                connection: 0,
+                ..
+            })
+        ));
+        assert!(a.connections()[0].is_free());
+        assert!(a.poll_fault().is_none());
+    }
+
+    #[test]
+    fn shard_death_revokes_submissions_the_adapter_still_holds() {
+        let w = tpch();
+        let shell = FaultyShell {
+            inner: ShardedEngine::new(DbmsProfile::dbms_x(), &w, 0, 2),
+            faults: [FaultEvent::ShardDied { shard: 1, at: 0.0 }].into(),
+        };
+        // Nonzero latency keeps both submissions pending in the adapter.
+        let mut a = AsyncAdapter::new(shell, DispatchProfile::fixed(0.5));
+        a.submit(QueryId(0), RunParams::default_config(), 0); // shard 0
+        a.submit(QueryId(1), RunParams::default_config(), 18); // shard 1
+        assert_eq!(a.in_flight(), 2);
+        // The shard-death fault surfaces first, then the loss the adapter
+        // synthesized for the submission it was still holding — which never
+        // reaches the dead shard.
+        assert!(matches!(
+            a.poll_fault(),
+            Some(FaultEvent::ShardDied { shard: 1, .. })
+        ));
+        assert!(matches!(
+            a.poll_fault(),
+            Some(FaultEvent::QueryLost {
+                query: QueryId(1),
+                connection: 18,
+                ..
+            })
+        ));
+        assert!(a.poll_fault().is_none());
+        assert!(
+            a.connections()[18].is_free(),
+            "the doomed slot is reclaimed"
+        );
+        assert!(a.connections()[0].is_pending(), "shard 0 is untouched");
+        assert_eq!(
+            a.in_flight(),
+            1,
+            "the revoked dispatch freed its window share"
+        );
+        // The surviving submission admits and completes normally.
+        assert!(matches!(
+            a.poll_event(),
+            ExecEvent::Submitted {
+                query: QueryId(0),
+                ..
+            }
+        ));
+        match a.poll_event() {
+            ExecEvent::Completed(c) => assert_eq!(c.query, QueryId(0)),
+            other => panic!("expected completion, got {other:?}"),
+        }
     }
 
     // Release-only: debug builds assert inside the engine's advance loop

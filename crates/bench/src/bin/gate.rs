@@ -10,7 +10,8 @@
 //! binary (`... | tail -n 1 | tee BENCH_<bench>.json`). The baseline for a
 //! summary lives at `<baseline-dir>/<bench>_<scale>.json`. Exit status: 0
 //! when every metric is within tolerance (or after a bless), 1 on any
-//! regression, missing baseline, or missing metric.
+//! regression, missing baseline, missing metric, or metric that has no
+//! baseline entry yet (bless to admit it).
 
 use bq_bench::gate::{compare, parse_summary};
 use std::path::PathBuf;
@@ -114,7 +115,7 @@ fn run() -> Result<bool, String> {
             println!("  MISSING {key}: present in the baseline, absent from this run");
         }
         for key in &outcome.unbaselined {
-            println!("  new metric {key} (joins the baseline at the next bless)");
+            println!("  metric {key} has no baseline; run --bless-baseline");
         }
         all_ok &= outcome.ok();
     }
@@ -125,7 +126,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
-            eprintln!("bench gate FAILED: a metric regressed beyond tolerance");
+            eprintln!("bench gate FAILED: a metric regressed, went missing, or has no baseline");
             ExitCode::FAILURE
         }
         Err(message) => {

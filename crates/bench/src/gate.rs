@@ -12,8 +12,15 @@
 //! Intended changes are blessed with `--bless-baseline`, which rewrites the
 //! committed baseline from the current run.
 //!
-//! Direction is keyed by name: metrics whose key starts with `acc` are
-//! higher-is-better; everything else (makespans, MSEs) is lower-is-better.
+//! Direction is keyed by name: metrics whose key starts with `acc` or
+//! `throughput` are higher-is-better; everything else (makespans, MSEs) is
+//! lower-is-better.
+//!
+//! The gate is two-sided about *coverage*, not just values: a metric in the
+//! baseline but absent from the run fails (a deleted metric would hide its
+//! regressions forever), and a metric in the run but absent from the
+//! baseline fails too (an ungated metric is a regression channel nobody
+//! watches) — the fix for the latter is an explicit `--bless-baseline`.
 
 use serde::Value;
 
@@ -64,10 +71,27 @@ pub fn parse_summary(json: &str) -> Result<Summary, String> {
     })
 }
 
-/// Whether a higher value of `key` is an improvement (accuracies) or a
-/// regression (makespans, MSEs, and everything else).
+/// Whether a higher value of `key` is an improvement (accuracies,
+/// throughputs) or a regression (makespans, MSEs, and everything else).
 pub fn higher_is_better(key: &str) -> bool {
-    key.starts_with("acc")
+    key.starts_with("acc") || key.starts_with("throughput")
+}
+
+/// The tolerance actually applied to `key`, given the gate-wide `tolerance`.
+///
+/// Virtual-time metrics are deterministic per seed, so the configured margin
+/// applies as-is. `throughput`-prefixed metrics are **wall-clock** rates —
+/// they move with the runner's load and CPU, and the committed baseline may
+/// come from a faster machine than the CI runner — so the gate widens their
+/// margin to 7.5x (capped below 1.0): at the default 10% tolerance a
+/// throughput may drop 75% before failing, which still catches the 4x-plus
+/// collapse of a genuinely broken loop without flaking on machine skew.
+pub fn tolerance_for(key: &str, tolerance: f64) -> f64 {
+    if key.starts_with("throughput") {
+        (tolerance * 7.5).min(0.95)
+    } else {
+        tolerance
+    }
 }
 
 /// One metric that moved past the tolerance in the regressing direction.
@@ -128,22 +152,26 @@ pub struct GateOutcome {
     /// a coverage loss the gate also refuses (a deleted metric would
     /// otherwise make its regressions invisible forever).
     pub missing: Vec<String>,
-    /// Metrics present in the current run but not yet in the baseline
-    /// (informational: they join the baseline at the next bless).
+    /// Metrics present in the current run but not in the baseline — also a
+    /// failure: an ungated metric could regress forever without anyone
+    /// noticing. Adding a metric demands an explicit `--bless-baseline`.
     pub unbaselined: Vec<String>,
     /// Metrics compared and found within tolerance.
     pub passed: usize,
 }
 
 impl GateOutcome {
-    /// Whether the gate passes.
+    /// Whether the gate passes: no regressions, no coverage loss, and no
+    /// metric running ungated.
     pub fn ok(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty() && self.missing.is_empty() && self.unbaselined.is_empty()
     }
 }
 
 /// Compare `current` against `baseline` with a relative `tolerance`
 /// (`0.10` = a metric may be up to 10% worse before the gate fails).
+/// Wall-clock throughput metrics apply a widened per-key margin — see
+/// [`tolerance_for`].
 ///
 /// Near-zero baselines (|v| < 1e-9) are compared absolutely against the
 /// tolerance instead of relatively, so a 0.0-baseline metric cannot divide
@@ -171,6 +199,7 @@ pub fn compare(
             outcome.missing.push(key);
             continue;
         };
+        let tolerance = tolerance_for(&key, tolerance);
         let regressed = if base.abs() < 1e-9 {
             // Absolute comparison around a zero baseline.
             if higher_is_better(&key) {
@@ -275,13 +304,49 @@ mod tests {
     }
 
     #[test]
-    fn missing_metrics_fail_and_new_metrics_inform() {
+    fn missing_and_unbaselined_metrics_both_fail() {
         let base = summary(&[("makespan_a", 100.0)]);
         let now = summary(&[("makespan_b", 50.0)]);
         let outcome = compare(&now, &base, 0.10).expect("comparable");
         assert!(!outcome.ok());
         assert_eq!(outcome.missing, vec!["makespan_a".to_string()]);
         assert_eq!(outcome.unbaselined, vec!["makespan_b".to_string()]);
+    }
+
+    #[test]
+    fn an_unbaselined_metric_alone_fails_the_gate() {
+        // Every baselined metric is within tolerance, yet a new metric with
+        // no baseline must still fail: it would otherwise run ungated until
+        // someone happened to bless.
+        let base = summary(&[("makespan_a", 100.0)]);
+        let now = summary(&[("makespan_a", 100.0), ("recovered_chaos", 3.0)]);
+        let outcome = compare(&now, &base, 0.10).expect("comparable");
+        assert!(outcome.regressions.is_empty() && outcome.missing.is_empty());
+        assert_eq!(outcome.unbaselined, vec!["recovered_chaos".to_string()]);
+        assert!(!outcome.ok(), "unbaselined metrics must fail the gate");
+    }
+
+    #[test]
+    fn throughput_direction_is_higher_is_better_with_a_widened_margin() {
+        assert!(higher_is_better("throughput_decisions_per_sec"));
+        assert_eq!(tolerance_for("throughput_events_per_sec", 0.10), 0.75);
+        assert_eq!(tolerance_for("makespan_a", 0.10), 0.10);
+        let base = summary(&[("throughput_decisions_per_sec", 1000.0)]);
+        // Wall-clock rates breathe with the runner: even a halving stays
+        // inside the widened (7.5x) margin...
+        let noisy = summary(&[("throughput_decisions_per_sec", 500.0)]);
+        assert!(compare(&noisy, &base, 0.10).expect("comparable").ok());
+        // ...but a collapse past it still fails, in the inverted direction.
+        let collapsed = summary(&[("throughput_decisions_per_sec", 100.0)]);
+        assert!(
+            !compare(&collapsed, &base, 0.10).expect("comparable").ok(),
+            "a throughput collapse must fail"
+        );
+        let faster = summary(&[("throughput_decisions_per_sec", 2000.0)]);
+        assert!(
+            compare(&faster, &base, 0.10).expect("comparable").ok(),
+            "a throughput gain never fails"
+        );
     }
 
     #[test]

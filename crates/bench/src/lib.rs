@@ -16,12 +16,18 @@
 #![warn(missing_docs)]
 
 use bq_adapter::{AsyncAdapter, DispatchProfile};
+use bq_chaos::{ChaosBackend, FaultSchedule, FaultSpec};
+use bq_core::FaultEvent;
 use bq_core::{
-    collect_history, evaluate_strategy, mean, ExecutionHistory, FifoScheduler, FirstFreeRouter,
-    GanttChart, HashRouter, LeastLoadedRouter, McfScheduler, RandomScheduler, SchedulerPolicy,
-    ShardRouter, StrategyEvaluation,
+    collect_history, degraded_evaluation, evaluate_strategy, mean, ExecEvent, ExecutionHistory,
+    ExecutorBackend, FaultAwareRouter, FifoScheduler, FirstFreeRouter, GanttChart, HashRouter,
+    LeastLoadedRouter, McfScheduler, RandomScheduler, RecoveryPolicy, SchedulerPolicy, ShardRouter,
+    ShardTopology, StrategyEvaluation,
 };
-use bq_dbms::{DbmsKind, DbmsProfile, ExecutionEngine, ShardedEngine};
+use bq_dbms::{
+    AdvanceStall, ConnectionSlot, DbmsKind, DbmsProfile, ExecutionEngine, QueryCompletion,
+    RunParams, ShardedEngine,
+};
 use bq_encoder::{PlanEncoderConfig, StateEncoderConfig};
 use bq_plan::{generate, perturb_query_set, Benchmark, QueryId, Workload, WorkloadSpec};
 use bq_sched::{
@@ -538,10 +544,112 @@ pub fn table3_report(scale: RunScale) -> BenchReport {
         gate_metrics.push((format!("acc_{slug}"), metrics.accuracy));
         gate_metrics.push((format!("mse_{slug}"), metrics.mse));
     }
+    let throughput = throughput_metrics(&setup, scale);
+    for (key, value) in &throughput {
+        out.push_str(&format!("{:<24} {:>12.0}/s\n", key, value));
+    }
+    gate_metrics.extend(throughput);
     BenchReport {
         text: out,
         metrics: gate_metrics,
     }
+}
+
+/// An [`ExecutorBackend`] decorator that counts [`ExecutorBackend::poll_event`]
+/// calls, so the throughput cell can report events processed per wall-clock
+/// second without touching the backend's behaviour.
+struct CountingBackend<B> {
+    inner: B,
+    events: usize,
+}
+
+impl<B: ExecutorBackend> ExecutorBackend for CountingBackend<B> {
+    fn connections(&self) -> &[ConnectionSlot] {
+        self.inner.connections()
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+        self.inner.submit(query, params, connection);
+    }
+
+    fn submit_batch(&mut self, batch: &[(QueryId, RunParams, usize)]) {
+        self.inner.submit_batch(batch);
+    }
+
+    fn poll_event(&mut self) -> ExecEvent {
+        self.events += 1;
+        self.inner.poll_event()
+    }
+
+    fn events_pending(&self) -> bool {
+        self.inner.events_pending()
+    }
+
+    fn advance_to(&mut self, until: f64) {
+        self.inner.advance_to(until);
+    }
+
+    fn cancel(&mut self, connection: usize) -> Option<QueryCompletion> {
+        self.inner.cancel(connection)
+    }
+
+    fn stall_diagnostic(&self) -> Option<AdvanceStall> {
+        self.inner.stall_diagnostic()
+    }
+
+    fn shard_topology(&self) -> ShardTopology {
+        self.inner.shard_topology()
+    }
+
+    fn poll_fault(&mut self) -> Option<FaultEvent> {
+        self.inner.poll_fault()
+    }
+
+    fn known_query_count(&self) -> Option<usize> {
+        self.inner.known_query_count()
+    }
+}
+
+/// Wall-clock throughput of the core scheduling loop: decisions committed
+/// and backend events processed per second of real time, measured over FIFO
+/// episodes on the given setup. Unlike every other gate metric these are
+/// **wall-clock** rates — the `throughput` prefix both inverts the gate's
+/// direction (higher is better) and widens its margin
+/// ([`gate::tolerance_for`]) — so the cell catches an order-of-magnitude
+/// slowdown of the loop itself, which virtual-time makespans cannot see.
+pub fn throughput_metrics(setup: &Setup, scale: RunScale) -> Vec<(String, f64)> {
+    let rounds = scale.eval_rounds();
+    let mut decisions = 0usize;
+    let mut events = 0usize;
+    let started = std::time::Instant::now();
+    for seed in 0..rounds {
+        let mut backend = CountingBackend {
+            inner: ExecutionEngine::new(setup.profile.clone(), &setup.workload, seed),
+            events: 0,
+        };
+        let log = bq_core::ScheduleSession::builder(&setup.workload)
+            .dbms(setup.profile.kind)
+            .round(seed)
+            .build(&mut backend)
+            .run(&mut FifoScheduler::new());
+        decisions += log.len();
+        events += backend.events;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    vec![
+        (
+            "throughput_decisions_per_sec".to_string(),
+            decisions as f64 / elapsed,
+        ),
+        (
+            "throughput_events_per_sec".to_string(),
+            events as f64 / elapsed,
+        ),
+    ]
 }
 
 /// Figure 5 — scalability: makespan of every strategy as data scale and query
@@ -611,6 +719,10 @@ pub fn fig5_report(scale: RunScale) -> BenchReport {
     let wire_sweep = fig5_wire_sweep(scale);
     out.push_str(&wire_sweep.text);
     gate_metrics.extend(wire_sweep.metrics);
+    // (g) the chaos cell: degraded-mode cost of a shard stall + death.
+    let chaos_sweep = fig5_chaos_sweep(scale);
+    out.push_str(&chaos_sweep.text);
+    gate_metrics.extend(chaos_sweep.metrics);
     BenchReport {
         text: out,
         metrics: gate_metrics,
@@ -793,6 +905,86 @@ pub fn fig5_wire_sweep(scale: RunScale) -> BenchReport {
             mean_makespan,
         ));
     }
+    BenchReport {
+        text: out,
+        metrics: gate_metrics,
+    }
+}
+
+/// Figure 5(g) — degraded-mode cost: mean FIFO makespan over a two-shard
+/// engine when a fixed chaos schedule stalls shard 0 early and kills
+/// shard 1 mid-episode, versus the same engine healthy. The degraded run
+/// recovers through the full chaos stack — [`FaultAwareRouter`] drains
+/// placements away from the down shards and [`RecoveryPolicy`] resubmits
+/// the queries the dead shard swallowed — so the cell gates three things at
+/// once: that recovery still completes every query, how much makespan a
+/// shard death costs, and how many submissions the recovery machinery had
+/// to replay. All three are virtual-time scalars, deterministic per seed.
+pub fn fig5_chaos_sweep(scale: RunScale) -> BenchReport {
+    let mut out = String::new();
+    let mut gate_metrics: Vec<(String, f64)> = Vec::new();
+    out.push_str(
+        "Figure 5(g): chaos cell — shard stall + death under recovery (mean FIFO makespan, s)\n",
+    );
+    out.push_str(&format!(
+        "{:<28} {:>15}  {:>15}  {:>15}\n",
+        "cell", "healthy", "degraded", "recovered"
+    ));
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let rounds = scale.eval_rounds();
+    // The schedule is fixed, not seeded: the stall and the death land at the
+    // same virtual instants every round, so the only variation across rounds
+    // is the engine seed — exactly like every other fig5 cell.
+    let schedule = FaultSchedule::from_events(vec![
+        FaultSpec::ShardStall {
+            shard: 0,
+            at: 0.2,
+            resume_at: 0.4,
+        },
+        FaultSpec::ShardDeath { shard: 1, at: 0.5 },
+    ]);
+    let mut healthy_sum = 0.0;
+    let mut degraded_sum = 0.0;
+    let mut recovered_sum = 0.0;
+    for seed in 0..rounds {
+        let mut healthy_backend = ShardedEngine::new(profile.clone(), &workload, seed, 2);
+        let healthy = bq_core::ScheduleSession::builder(&workload)
+            .dbms(profile.kind)
+            .round(seed)
+            .router(LeastLoadedRouter)
+            .build(&mut healthy_backend)
+            .run(&mut FifoScheduler::new());
+        healthy_sum += healthy.makespan();
+        let mut chaotic = ChaosBackend::new(
+            ShardedEngine::new(profile.clone(), &workload, seed, 2),
+            &schedule,
+        );
+        let log = bq_core::ScheduleSession::builder(&workload)
+            .dbms(profile.kind)
+            .round(seed)
+            .router(FaultAwareRouter::new(LeastLoadedRouter))
+            .recovery(RecoveryPolicy::bounded())
+            .build(&mut chaotic)
+            .run(&mut FifoScheduler::new());
+        assert_eq!(
+            log.len(),
+            workload.len(),
+            "recovery must complete the episode"
+        );
+        let degraded = degraded_evaluation(&log);
+        degraded_sum += degraded.makespan;
+        recovered_sum += log.recovered_submissions() as f64;
+    }
+    let n = rounds as f64;
+    let (healthy, degraded, recovered) = (healthy_sum / n, degraded_sum / n, recovered_sum / n);
+    gate_metrics.push(("makespan_chaos_baseline".to_string(), healthy));
+    gate_metrics.push(("makespan_chaos_degraded".to_string(), degraded));
+    gate_metrics.push(("recovered_chaos_degraded".to_string(), recovered));
+    out.push_str(&format!(
+        "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
+        "tpch X shards=2 stall+death", healthy, degraded, recovered,
+    ));
     BenchReport {
         text: out,
         metrics: gate_metrics,

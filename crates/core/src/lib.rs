@@ -63,14 +63,18 @@ pub mod state;
 
 pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
-pub use log::{EpisodeLog, ExecutionHistory, QueryRecord};
-pub use metrics::{collect_history, evaluate_strategy, mean, std_dev, StrategyEvaluation};
+pub use log::{EpisodeLog, ExecutionHistory, FaultRecord, QueryRecord};
+pub use metrics::{
+    collect_history, degraded_evaluation, evaluate_strategy, mean, std_dev, DegradedEvaluation,
+    StrategyEvaluation,
+};
 pub use routing::{
-    seeded_unit, splitmix64, FirstFreeRouter, HashRouter, LeastLoadedRouter, ShardRouter,
-    ShardTopology,
+    seeded_unit, splitmix64, FaultAwareRouter, FirstFreeRouter, HashRouter, LeastLoadedRouter,
+    ShardRouter, ShardTopology,
 };
 pub use scheduler::{
-    AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, RunningView, SchedulerPolicy,
+    AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, FaultEvent, RecoveryPolicy,
+    RunningView, SchedulerPolicy,
 };
 pub use session::{CompletionHook, ScheduleSession, ScheduleSessionBuilder};
 pub use state::{Action, QueryRuntime, QueryStatus, SchedulingState};

@@ -6,9 +6,10 @@
 //! the IQ-PPO auxiliary task reads individual query completion signals, and
 //! the incremental simulator is (pre-)trained on them.
 
+use crate::scheduler::FaultEvent;
 use bq_dbms::{DbmsKind, QueryCompletion, RunParams};
 use bq_plan::{QueryId, Workload};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// One executed query inside one scheduling round.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,8 +44,85 @@ impl QueryRecord {
     }
 }
 
+/// One fault or recovery event observed during a round, in log form: a flat
+/// record with a `kind` tag plus the fields that apply to that kind (the
+/// others stay `None`). Kept separate from [`FaultEvent`] so the log format
+/// is a plain serializable struct independent of the in-memory enum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Event kind tag: `transport_retransmit`, `shard_stalled`,
+    /// `shard_resumed`, `shard_died`, `query_lost` or `query_resubmitted`.
+    pub kind: String,
+    /// Virtual instant of the event.
+    pub at: f64,
+    /// Shard involved (shard events only).
+    pub shard: Option<usize>,
+    /// Query involved (query events only).
+    pub query: Option<usize>,
+    /// Connection involved (`query_lost` only).
+    pub connection: Option<usize>,
+    /// Retry attempt number (retransmit/resubmit events only).
+    pub attempt: Option<u32>,
+    /// Scheduled resume instant (`shard_stalled` only).
+    pub resume_at: Option<f64>,
+}
+
+impl FaultRecord {
+    /// Flatten a [`FaultEvent`] into its log form.
+    pub fn from_event(event: &FaultEvent) -> Self {
+        let mut r = FaultRecord {
+            kind: String::new(),
+            at: event.at(),
+            shard: None,
+            query: None,
+            connection: None,
+            attempt: None,
+            resume_at: None,
+        };
+        match *event {
+            FaultEvent::TransportRetransmit { attempt, .. } => {
+                r.kind = "transport_retransmit".into();
+                r.attempt = Some(attempt);
+            }
+            FaultEvent::ShardStalled {
+                shard, resume_at, ..
+            } => {
+                r.kind = "shard_stalled".into();
+                r.shard = Some(shard);
+                r.resume_at = Some(resume_at);
+            }
+            FaultEvent::ShardResumed { shard, .. } => {
+                r.kind = "shard_resumed".into();
+                r.shard = Some(shard);
+            }
+            FaultEvent::ShardDied { shard, .. } => {
+                r.kind = "shard_died".into();
+                r.shard = Some(shard);
+            }
+            FaultEvent::QueryLost {
+                query, connection, ..
+            } => {
+                r.kind = "query_lost".into();
+                r.query = Some(query.0);
+                r.connection = Some(connection);
+            }
+            FaultEvent::QueryResubmitted { query, attempt, .. } => {
+                r.kind = "query_resubmitted".into();
+                r.query = Some(query.0);
+                r.attempt = Some(attempt);
+            }
+        }
+        r
+    }
+}
+
 /// The complete log of one scheduling round (one episode).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization note: the `faults` key is written only when at least one
+/// fault was recorded, so fault-free episode logs are byte-identical to the
+/// pre-chaos format (pinned by the golden artifacts); absent keys
+/// deserialize to an empty fault list.
+#[derive(Debug, Clone)]
 pub struct EpisodeLog {
     /// Which DBMS the round ran on.
     pub dbms: DbmsKind,
@@ -54,6 +132,42 @@ pub struct EpisodeLog {
     pub round: u64,
     /// Per-query execution records, in completion order.
     pub records: Vec<QueryRecord>,
+    /// Fault and recovery events, in observation order (empty when the
+    /// round ran on a healthy substrate).
+    pub faults: Vec<FaultRecord>,
+}
+
+impl Serialize for EpisodeLog {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("dbms".to_string(), self.dbms.to_value()),
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("round".to_string(), self.round.to_value()),
+            ("records".to_string(), self.records.to_value()),
+        ];
+        if !self.faults.is_empty() {
+            entries.push(("faults".to_string(), self.faults.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for EpisodeLog {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("EpisodeLog: expected a map"))?;
+        Ok(Self {
+            dbms: Deserialize::from_value(Value::map_get(m, "dbms"))?,
+            strategy: Deserialize::from_value(Value::map_get(m, "strategy"))?,
+            round: Deserialize::from_value(Value::map_get(m, "round"))?,
+            records: Deserialize::from_value(Value::map_get(m, "records"))?,
+            faults: match Value::map_get(m, "faults") {
+                Value::Null => Vec::new(),
+                v => Deserialize::from_value(v)?,
+            },
+        })
+    }
 }
 
 impl EpisodeLog {
@@ -64,7 +178,30 @@ impl EpisodeLog {
             strategy: strategy.into(),
             round,
             records: Vec::new(),
+            faults: Vec::new(),
         }
+    }
+
+    /// Append a fault or recovery event observed from the backend (or
+    /// emitted by the session's own recovery layer).
+    pub fn push_fault(&mut self, event: &FaultEvent) {
+        self.faults.push(FaultRecord::from_event(event));
+    }
+
+    /// Number of fault events of a given kind tag.
+    pub fn fault_count(&self, kind: &str) -> usize {
+        self.faults.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// How many submissions the recovery layer successfully re-entered
+    /// (`query_resubmitted` events).
+    pub fn recovered_submissions(&self) -> usize {
+        self.fault_count("query_resubmitted")
+    }
+
+    /// How many in-flight queries were lost to faults (`query_lost` events).
+    pub fn lost_queries(&self) -> usize {
+        self.fault_count("query_lost")
     }
 
     /// Append a completion observed from the executor.
@@ -341,5 +478,48 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back.makespan(), 5.0);
         assert_eq!(back.strategy, "test");
+    }
+
+    #[test]
+    fn fault_free_logs_serialize_without_a_faults_key() {
+        // The pre-chaos on-disk format must survive unchanged (the golden
+        // artifacts pin it byte-for-byte): no `faults` key unless faults
+        // were recorded.
+        let e = episode(vec![record(0, 0.0, 5.0)]);
+        assert!(!e.to_json().contains("faults"));
+    }
+
+    #[test]
+    fn faults_roundtrip_and_count() {
+        let mut e = episode(vec![record(0, 0.0, 5.0)]);
+        e.push_fault(&FaultEvent::ShardDied { shard: 1, at: 2.0 });
+        e.push_fault(&FaultEvent::QueryLost {
+            query: QueryId(0),
+            connection: 3,
+            at: 2.0,
+        });
+        e.push_fault(&FaultEvent::QueryResubmitted {
+            query: QueryId(0),
+            attempt: 1,
+            at: 2.1,
+        });
+        assert_eq!(e.lost_queries(), 1);
+        assert_eq!(e.recovered_submissions(), 1);
+        assert_eq!(e.fault_count("shard_died"), 1);
+
+        let json = e.to_json();
+        assert!(json.contains("faults"));
+        let back = EpisodeLog::from_json(&json).unwrap();
+        assert_eq!(back.faults, e.faults);
+        assert_eq!(back.faults[0].shard, Some(1));
+        assert_eq!(back.faults[1].connection, Some(3));
+        assert_eq!(back.faults[2].attempt, Some(1));
+    }
+
+    #[test]
+    fn absent_faults_key_deserializes_to_an_empty_list() {
+        let e = episode(vec![record(0, 0.0, 5.0)]);
+        let back = EpisodeLog::from_json(&e.to_json()).unwrap();
+        assert!(back.faults.is_empty());
     }
 }

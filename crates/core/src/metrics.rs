@@ -4,7 +4,7 @@
 //! rounds of scheduling under identical settings: the average makespan
 //! `t̄_ov` (efficiency) and its standard deviation `σ_ov` (stability).
 
-use crate::log::ExecutionHistory;
+use crate::log::{EpisodeLog, ExecutionHistory};
 use crate::scheduler::SchedulerPolicy;
 use crate::session::ScheduleSession;
 use bq_dbms::DbmsProfile;
@@ -44,6 +44,32 @@ impl StrategyEvaluation {
             return 0.0;
         }
         (other.mean_makespan - self.mean_makespan) / other.mean_makespan
+    }
+}
+
+/// How a round degraded under faults: the makespan it still achieved plus
+/// how much work the substrate lost and the recovery layer clawed back.
+/// Computed from an episode log by [`degraded_evaluation`]; on a fault-free
+/// round every count is zero and the makespan equals the healthy one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedEvaluation {
+    /// Makespan of the round, faults included (`t_ov` under degradation).
+    pub makespan: f64,
+    /// Total fault and recovery events observed.
+    pub fault_events: usize,
+    /// In-flight queries lost to faults.
+    pub lost_queries: usize,
+    /// Lost submissions the recovery layer re-entered successfully.
+    pub recovered_submissions: usize,
+}
+
+/// Summarise the degradation of one round from its episode log.
+pub fn degraded_evaluation(log: &EpisodeLog) -> DegradedEvaluation {
+    DegradedEvaluation {
+        makespan: log.makespan(),
+        fault_events: log.faults.len(),
+        lost_queries: log.lost_queries(),
+        recovered_submissions: log.recovered_submissions(),
     }
 }
 
@@ -147,6 +173,38 @@ mod tests {
         assert!(eval.mean_makespan > 0.0);
         // Noise across rounds creates some deviation.
         assert!(eval.std_makespan >= 0.0);
+    }
+
+    #[test]
+    fn degraded_evaluation_counts_faults_and_recoveries() {
+        use crate::scheduler::FaultEvent;
+        use bq_plan::QueryId;
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let profile = DbmsProfile::dbms_x();
+        let mut log =
+            ScheduleSession::builder(&w).run_on_profile(&profile, 0, &mut FifoScheduler::new());
+        // Fault-free round: zero counts, healthy makespan.
+        let healthy = degraded_evaluation(&log);
+        assert_eq!(healthy.fault_events, 0);
+        assert_eq!(healthy.lost_queries, 0);
+        assert_eq!(healthy.recovered_submissions, 0);
+        assert_eq!(healthy.makespan, log.makespan());
+
+        log.push_fault(&FaultEvent::ShardDied { shard: 0, at: 1.0 });
+        log.push_fault(&FaultEvent::QueryLost {
+            query: QueryId(2),
+            connection: 0,
+            at: 1.0,
+        });
+        log.push_fault(&FaultEvent::QueryResubmitted {
+            query: QueryId(2),
+            attempt: 1,
+            at: 1.2,
+        });
+        let degraded = degraded_evaluation(&log);
+        assert_eq!(degraded.fault_events, 3);
+        assert_eq!(degraded.lost_queries, 1);
+        assert_eq!(degraded.recovered_submissions, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * [`LeastLoadedRouter`] — the shard with the fewest busy slots wins,
 //!   ties toward the lower shard id (greedy load balancing).
 
+use crate::scheduler::FaultEvent;
 use bq_dbms::ConnectionSlot;
 
 /// Static description of how a backend's global connection-slot space is
@@ -113,6 +114,13 @@ pub trait ShardRouter {
 
     /// Choose the next free global connection, or `None` if all are busy.
     fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize>;
+
+    /// Observe a fault or recovery signal drained from the backend. The
+    /// session layer forwards every [`FaultEvent`] here before its next
+    /// routing decision, so fault-aware policies (see [`FaultAwareRouter`])
+    /// can steer placement away from degraded shards. Default: ignore —
+    /// plain placement policies stay byte-identical on fault-free backends.
+    fn observe_fault(&mut self, _event: &FaultEvent) {}
 }
 
 /// Mutable references route through the referent, so a caller can hand a
@@ -125,6 +133,10 @@ impl<R: ShardRouter + ?Sized> ShardRouter for &mut R {
     fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
         (**self).route(topology, slots)
     }
+
+    fn observe_fault(&mut self, event: &FaultEvent) {
+        (**self).observe_fault(event)
+    }
 }
 
 /// Boxed routers route through the referent (runtime-chosen policies).
@@ -135,6 +147,10 @@ impl<R: ShardRouter + ?Sized> ShardRouter for Box<R> {
 
     fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
         (**self).route(topology, slots)
+    }
+
+    fn observe_fault(&mut self, event: &FaultEvent) {
+        (**self).observe_fault(event)
     }
 }
 
@@ -228,6 +244,105 @@ impl ShardRouter for LeastLoadedRouter {
     }
 }
 
+/// Fault-aware placement decorator: routes through the wrapped policy, but
+/// never onto a shard currently known to be dead or stalled. Fault knowledge
+/// arrives through [`ShardRouter::observe_fault`] (the session layer drains
+/// backend faults and forwards them before every routing decision):
+/// [`FaultEvent::ShardStalled`] and [`FaultEvent::ShardDied`] take a shard
+/// out of rotation, [`FaultEvent::ShardResumed`] reintegrates it.
+///
+/// While every shard is healthy the decorator is a pure passthrough — the
+/// inner policy sees the untouched occupancy view, so fault-free episodes
+/// are byte-identical with and without the wrapper. With degraded shards,
+/// their free slots are masked as occupied in a scratch copy before the
+/// inner policy routes, so any placement policy becomes fault-aware without
+/// knowing it.
+#[derive(Debug, Clone)]
+pub struct FaultAwareRouter<R> {
+    inner: R,
+    /// Per-shard out-of-rotation flags, grown lazily to the topology.
+    down: Vec<bool>,
+    /// Reusable masked-occupancy copy (no per-decision allocation).
+    scratch: Vec<ConnectionSlot>,
+}
+
+impl<R: ShardRouter> FaultAwareRouter<R> {
+    /// Wrap `inner` with fault awareness.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            down: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Shards currently out of rotation (dead or stalled).
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    fn mark(&mut self, shard: usize, down: bool) {
+        if self.down.len() <= shard {
+            self.down.resize(shard + 1, false);
+        }
+        self.down[shard] = down;
+    }
+}
+
+impl<R: ShardRouter> ShardRouter for FaultAwareRouter<R> {
+    fn name(&self) -> &str {
+        "fault-aware"
+    }
+
+    fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
+        if self.down.iter().all(|&d| !d) {
+            // Healthy cluster: the inner policy must see the untouched view
+            // (byte-identity of fault-free episodes).
+            return self.inner.route(topology, slots);
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(slots);
+        for shard in 0..topology.shard_count().min(self.down.len()) {
+            if !self.down[shard] {
+                continue;
+            }
+            for slot in &mut self.scratch[topology.range_of(shard)] {
+                if slot.is_free() {
+                    // Sentinel occupation: the inner policy only ever reads
+                    // freeness of masked slots, never their contents.
+                    *slot = ConnectionSlot::Pending {
+                        query: bq_plan::QueryId(usize::MAX),
+                        params: bq_dbms::RunParams::default_config(),
+                        queued_at: 0.0,
+                    };
+                }
+            }
+        }
+        let pick = self.inner.route(topology, &self.scratch)?;
+        debug_assert!(
+            slots[pick].is_free(),
+            "inner router picked a slot that is not free in the real view"
+        );
+        Some(pick)
+    }
+
+    fn observe_fault(&mut self, event: &FaultEvent) {
+        match *event {
+            FaultEvent::ShardStalled { shard, .. } | FaultEvent::ShardDied { shard, .. } => {
+                self.mark(shard, true)
+            }
+            FaultEvent::ShardResumed { shard, .. } => self.mark(shard, false),
+            _ => {}
+        }
+        self.inner.observe_fault(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +417,53 @@ mod tests {
         assert_eq!(r.route(&t, &slots), Some(3));
         let full = occupancy(&[0, 1, 2, 3], 4);
         assert_eq!(r.route(&t, &full), None);
+    }
+
+    #[test]
+    fn fault_aware_router_is_a_passthrough_while_healthy() {
+        let t = ShardTopology::uniform(2, 3);
+        let slots = occupancy(&[0, 1], 6);
+        let mut plain = FirstFreeRouter;
+        let mut wrapped = FaultAwareRouter::new(FirstFreeRouter);
+        assert_eq!(wrapped.route(&t, &slots), plain.route(&t, &slots));
+        assert!(wrapped.degraded_shards().is_empty());
+    }
+
+    #[test]
+    fn fault_aware_router_avoids_down_shards_and_reintegrates() {
+        let t = ShardTopology::uniform(2, 3);
+        let slots = occupancy(&[], 6);
+        let mut r = FaultAwareRouter::new(FirstFreeRouter);
+        r.observe_fault(&FaultEvent::ShardDied { shard: 0, at: 1.0 });
+        assert_eq!(r.degraded_shards(), vec![0]);
+        // First-free would pick slot 0; the wrapper must skip shard 0.
+        assert_eq!(r.route(&t, &slots), Some(3));
+        // A stalled shard is equally out of rotation...
+        r.observe_fault(&FaultEvent::ShardStalled {
+            shard: 1,
+            at: 2.0,
+            resume_at: 5.0,
+        });
+        assert_eq!(r.route(&t, &slots), None, "every shard is down");
+        // ...until it resumes.
+        r.observe_fault(&FaultEvent::ShardResumed { shard: 1, at: 5.0 });
+        assert_eq!(r.route(&t, &slots), Some(3));
+        assert_eq!(r.degraded_shards(), vec![0]);
+    }
+
+    #[test]
+    fn fault_aware_router_composes_with_least_loaded() {
+        let t = ShardTopology::uniform(3, 4);
+        // shard 1 is the emptiest, but it is down: the wrapped least-loaded
+        // policy must fall to the next emptiest (shard 2).
+        let slots = occupancy(&[0, 1, 2, 4, 8, 9], 12);
+        let mut r = FaultAwareRouter::new(LeastLoadedRouter);
+        r.observe_fault(&FaultEvent::ShardStalled {
+            shard: 1,
+            at: 0.0,
+            resume_at: 9.0,
+        });
+        assert_eq!(r.route(&t, &slots), Some(10));
     }
 
     #[test]

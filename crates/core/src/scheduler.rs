@@ -70,6 +70,156 @@ pub enum ExecEvent {
     Idle,
 }
 
+/// One fault or recovery signal surfaced by a fault-injecting or
+/// fault-tolerant backend (the `bq-chaos` decorators, the `bq-wire` client's
+/// retransmission layer). Faults travel on their own channel —
+/// [`ExecutorBackend::poll_fault`] — instead of [`ExecEvent`], so backends
+/// without faults pay nothing and existing policies never see them; the
+/// session layer drains the channel every iteration, records each event in
+/// the episode log, forwards it to the configured
+/// [`ShardRouter`](crate::routing::ShardRouter) and applies its
+/// [`RecoveryPolicy`] to lost queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A request/response exchange was lost on the transport and is about to
+    /// be retransmitted after a seeded backoff.
+    TransportRetransmit {
+        /// Virtual instant the loss was detected.
+        at: f64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A shard stopped delivering results; completions are held until
+    /// `resume_at`.
+    ShardStalled {
+        /// The stalled shard.
+        shard: usize,
+        /// Virtual instant the stall began.
+        at: f64,
+        /// Virtual instant the shard resumes delivering.
+        resume_at: f64,
+    },
+    /// A previously stalled shard recovered and released its held results.
+    ShardResumed {
+        /// The recovered shard.
+        shard: usize,
+        /// Virtual instant of the recovery.
+        at: f64,
+    },
+    /// A shard died permanently; queries in flight on it are lost
+    /// (each one surfaces as its own [`FaultEvent::QueryLost`]).
+    ShardDied {
+        /// The dead shard.
+        shard: usize,
+        /// Virtual instant of the death.
+        at: f64,
+    },
+    /// An in-flight query was lost (its shard died mid-execution); the
+    /// connection slot is free again and the query needs resubmission.
+    QueryLost {
+        /// The lost query.
+        query: QueryId,
+        /// Connection it was running on.
+        connection: usize,
+        /// Virtual instant the loss was observed.
+        at: f64,
+    },
+    /// The session resubmitted a previously lost query after its recovery
+    /// backoff elapsed (emitted by the session layer itself, never by a
+    /// backend).
+    QueryResubmitted {
+        /// The recovered query.
+        query: QueryId,
+        /// Resubmission attempt number for this query (1 = first retry).
+        attempt: u32,
+        /// Virtual instant the query became eligible again.
+        at: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Virtual instant the event is stamped with.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::TransportRetransmit { at, .. }
+            | FaultEvent::ShardStalled { at, .. }
+            | FaultEvent::ShardResumed { at, .. }
+            | FaultEvent::ShardDied { at, .. }
+            | FaultEvent::QueryLost { at, .. }
+            | FaultEvent::QueryResubmitted { at, .. } => at,
+        }
+    }
+}
+
+/// Stream salt decorrelating recovery backoff draws from the admission and
+/// transit jitter streams that share [`crate::routing::seeded_unit`].
+const BACKOFF_SALT: u64 = 0x8C90_FC18_6C35_BF11;
+
+/// Bounded-retry policy applied when a fault loses work: how many times to
+/// retry and how long to back off (exponential with seeded jitter) before
+/// each retry. Shared vocabulary between the session layer (resubmitting
+/// lost queries) and the `bq-wire` client (retransmitting lost exchanges),
+/// so one knob tunes the whole stack's persistence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retry budget per lost unit of work (query or request). Exhausting it
+    /// fails the round loudly instead of looping forever.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual seconds.
+    pub backoff_base: f64,
+    /// Multiplicative backoff growth per subsequent retry.
+    pub backoff_factor: f64,
+    /// Width of the seeded uniform jitter applied to each backoff, as a
+    /// fraction of the exponential delay (`0.0` = deterministic ladder).
+    pub backoff_jitter: f64,
+    /// Seed of the jitter stream (backoffs are a pure function of
+    /// `(seed, key, attempt)`).
+    pub seed: u64,
+}
+
+impl RecoveryPolicy {
+    /// The default bounded policy: 8 retries, 50 ms base backoff doubling
+    /// per attempt, 50% seeded jitter.
+    pub fn bounded() -> Self {
+        Self {
+            max_retries: 8,
+            backoff_base: 0.05,
+            backoff_factor: 2.0,
+            backoff_jitter: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Re-seed the jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based) of the work unit
+    /// identified by `key` — a pure function of `(seed, key, attempt)`, so
+    /// recovered episodes replay exactly.
+    pub fn backoff(&self, attempt: u32, key: u64) -> f64 {
+        let exp = self.backoff_base
+            * self
+                .backoff_factor
+                .powi(attempt.saturating_sub(1).min(i32::MAX as u32) as i32);
+        if self.backoff_jitter <= 0.0 {
+            return exp;
+        }
+        let unit = crate::routing::seeded_unit(
+            self.seed ^ BACKOFF_SALT ^ key.wrapping_mul(0x9E6C_63D0_876A_9A69) ^ attempt as u64,
+        );
+        exp * (1.0 + self.backoff_jitter * unit)
+    }
+}
+
 /// Borrow-based view over the queries currently executing: iterates
 /// `(query, params, elapsed, connection)` without allocating, in ascending
 /// connection order.
@@ -324,6 +474,16 @@ pub trait ExecutorBackend {
     /// Monolithic backends report the single-shard topology (the default).
     fn shard_topology(&self) -> ShardTopology {
         ShardTopology::single(self.connection_count())
+    }
+
+    /// Pop the next buffered fault or recovery signal, if any. Fault-free
+    /// backends never produce one (the default); fault-injecting decorators
+    /// (`bq-chaos`) and fault-tolerant boundaries (the `bq-wire` client)
+    /// queue events here as they detect them. The session layer drains this
+    /// every iteration — before routing decisions, so a router can stop
+    /// placing work on a shard the same instant its death is observable.
+    fn poll_fault(&mut self) -> Option<FaultEvent> {
+        None
     }
 
     /// Number of workload queries the backend was built for, when it knows
@@ -583,6 +743,50 @@ mod tests {
     fn partitioned_view_rejects_mismatched_lengths() {
         let slots = [ConnectionSlot::Free, ConnectionSlot::Free];
         let _ = RunningView::with_connections(&slots, &[0usize], 0.0);
+    }
+
+    #[test]
+    fn recovery_backoff_is_a_pure_growing_function_of_its_inputs() {
+        let p = RecoveryPolicy::bounded().with_seed(7);
+        // Pure function of (seed, key, attempt).
+        assert_eq!(p.backoff(1, 3), p.backoff(1, 3));
+        assert_ne!(p.backoff(1, 3), p.backoff(2, 3));
+        assert_ne!(p.backoff(1, 3), p.backoff(1, 4));
+        assert_ne!(p.backoff(1, 3), p.with_seed(8).backoff(1, 3));
+        // The exponential ladder dominates the jitter: with factor 2 and
+        // jitter 0.5, attempt n+1's floor (2^n * base) exceeds attempt n's
+        // ceiling (2^(n-1) * base * 1.5).
+        for attempt in 1..6 {
+            assert!(p.backoff(attempt + 1, 9) > p.backoff(attempt, 9));
+        }
+        // Jitter-free policies are exactly the exponential ladder.
+        let flat = RecoveryPolicy {
+            backoff_jitter: 0.0,
+            ..RecoveryPolicy::bounded()
+        };
+        assert_eq!(flat.backoff(1, 0), 0.05);
+        assert_eq!(flat.backoff(3, 0), 0.2);
+    }
+
+    #[test]
+    fn fault_events_report_their_instant() {
+        assert_eq!(FaultEvent::ShardDied { shard: 1, at: 2.5 }.at(), 2.5);
+        assert_eq!(
+            FaultEvent::QueryLost {
+                query: QueryId(0),
+                connection: 3,
+                at: 7.0
+            }
+            .at(),
+            7.0
+        );
+    }
+
+    #[test]
+    fn backends_report_no_faults_by_default() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut e = ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 1);
+        assert_eq!(ExecutorBackend::poll_fault(&mut e), None);
     }
 
     #[test]

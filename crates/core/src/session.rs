@@ -28,7 +28,9 @@
 
 use crate::log::{EpisodeLog, ExecutionHistory};
 use crate::routing::{ShardRouter, ShardTopology};
-use crate::scheduler::{ConnectionSlot, ExecEvent, ExecutorBackend, SchedulerPolicy};
+use crate::scheduler::{
+    ConnectionSlot, ExecEvent, ExecutorBackend, FaultEvent, RecoveryPolicy, SchedulerPolicy,
+};
 use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
 use bq_dbms::{DbmsKind, QueryCompletion, RunParams};
 use bq_plan::{QueryId, Workload};
@@ -53,6 +55,7 @@ pub struct ScheduleSessionBuilder<'a> {
     decision_budget: Option<usize>,
     on_completion: Option<CompletionHook<'a>>,
     router: Option<Box<dyn ShardRouter + 'a>>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl<'a> ScheduleSessionBuilder<'a> {
@@ -66,6 +69,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
             decision_budget: None,
             on_completion: None,
             router: None,
+            recovery: None,
         }
     }
 
@@ -132,6 +136,20 @@ impl<'a> ScheduleSessionBuilder<'a> {
         self
     }
 
+    /// Survive faults reported by the backend (via
+    /// [`ExecutorBackend::poll_fault`]): a query reported as
+    /// [`FaultEvent::QueryLost`] is resubmitted after a seeded backoff
+    /// computed by `policy`, for at most `policy.max_retries` attempts per
+    /// query. Resubmissions re-enter the session's normal fill loop — they
+    /// compete for free connections like first-time submissions, so an async
+    /// adapter's admission window and backpressure queue apply to them
+    /// unchanged. Fault and recovery events are recorded in the episode log.
+    /// Without a policy, a lost query fails the round loudly.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// The common "one round on a fresh simulated DBMS" shape: build an
     /// [`ExecutionEngine`](bq_dbms::ExecutionEngine) from `profile` seeded
     /// with `seed` and run `policy` to completion. Unless the caller set
@@ -170,11 +188,15 @@ impl<'a> ScheduleSessionBuilder<'a> {
             decision_budget: self.decision_budget,
             on_completion: self.on_completion,
             router: self.router,
+            recovery: self.recovery,
             topology,
             backend,
             runtimes,
             batch: Vec::new(),
             slot_scratch: Vec::new(),
+            cooling: Vec::new(),
+            resubmit_attempts: vec![0; n],
+            idle_spins: 0,
             finished: 0,
             decisions: 0,
         }
@@ -191,6 +213,8 @@ pub struct ScheduleSession<'a, E> {
     on_completion: Option<CompletionHook<'a>>,
     /// Placement policy for submissions; `None` = first free connection.
     router: Option<Box<dyn ShardRouter + 'a>>,
+    /// Resubmit-on-loss policy; `None` = any lost query fails the round.
+    recovery: Option<RecoveryPolicy>,
     /// The backend's slot-space partition, queried once at build time.
     topology: ShardTopology,
     backend: &'a mut E,
@@ -204,6 +228,15 @@ pub struct ScheduleSession<'a, E> {
     /// decisions are marked [`ConnectionSlot::Pending`], so routing sees
     /// reserved slots before the batch reaches the backend.
     slot_scratch: Vec<ConnectionSlot>,
+    /// Lost queries waiting out their recovery backoff: `(eligible_at,
+    /// query)`. Flipped back to `Pending` once the clock reaches
+    /// `eligible_at`, re-entering the fill loop's admission path.
+    cooling: Vec<(f64, QueryId)>,
+    /// Per-query resubmission count, checked against the recovery budget.
+    resubmit_attempts: Vec<u32>,
+    /// Consecutive idle polls with pending-but-unroutable queries; bounds
+    /// the recovery loop so an unrecoverable cluster fails loudly.
+    idle_spins: usize,
     finished: usize,
     decisions: usize,
 }
@@ -227,6 +260,8 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
 
         while self.finished < n {
             self.check_stall(n);
+            self.drain_faults(&mut log);
+            self.release_cooling(&mut log);
 
             // Apply buffered completions (e.g. produced by a bounded advance
             // on the previous iteration) BEFORE any refill, so the policy
@@ -237,6 +272,9 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                 break;
             }
 
+            // Observe any faults the drain surfaced before routing, so the
+            // router never places onto a shard that just went down.
+            self.drain_faults(&mut log);
             self.fill_free_connections(policy);
             // Consume the fill's submission echoes (no time advance).
             if self.drain_buffered_events(policy, &mut log) {
@@ -269,6 +307,48 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                 }
                 ExecEvent::Submitted { .. } => {}
                 ExecEvent::Idle => {
+                    self.drain_faults(&mut log);
+                    if !self.cooling.is_empty() {
+                        // Nothing is running, but lost queries are waiting
+                        // out their backoff: advance the clock to the
+                        // earliest eligibility instant and resubmit.
+                        let earliest = self
+                            .cooling
+                            .iter()
+                            .map(|(at, _)| *at)
+                            .fold(f64::INFINITY, f64::min);
+                        if earliest > self.backend.now() + TIME_EPS {
+                            self.backend.advance_to(earliest);
+                        }
+                        if self.release_cooling(&mut log) == 0 {
+                            // The backend clock cannot reach the instant
+                            // (idle backends may refuse to advance); release
+                            // the earliest entry anyway so the round makes
+                            // progress — the resubmission timestamp is the
+                            // backend's own `now`, so the log stays honest.
+                            self.force_release_earliest(&mut log);
+                        }
+                        continue;
+                    }
+                    if self
+                        .runtimes
+                        .iter()
+                        .any(|q| q.status == QueryStatus::Pending)
+                    {
+                        // Lost queries were just released (or never started):
+                        // go back around and refill. Bounded, so a cluster
+                        // with no routable shard left fails loudly instead
+                        // of spinning forever.
+                        self.idle_spins += 1;
+                        assert!(
+                            self.idle_spins <= self.workload.len() + 4,
+                            "recovery made no progress: pending queries \
+                             cannot be routed ({}/{} finished)",
+                            self.finished,
+                            n
+                        );
+                        continue;
+                    }
                     self.check_stall(n);
                     panic!(
                         "executor stalled with {}/{} queries finished",
@@ -299,6 +379,94 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                 self.finished, n
             );
         }
+    }
+
+    /// Drain fault events the backend has queued: record each in the
+    /// episode log, let the router observe it (so placement adapts), and
+    /// start the recovery clock for lost queries. Fault-free backends take
+    /// the default `poll_fault` (always `None`), so this is a no-op for
+    /// every existing episode — byte-identity preserved.
+    fn drain_faults(&mut self, log: &mut EpisodeLog) {
+        while let Some(event) = self.backend.poll_fault() {
+            log.push_fault(&event);
+            if let Some(router) = self.router.as_mut() {
+                router.observe_fault(&event);
+            }
+            if let FaultEvent::QueryLost { query, at, .. } = event {
+                let policy = self.recovery.unwrap_or_else(|| {
+                    panic!(
+                        "query {query:?} lost to a fault at t={at} but the \
+                         session has no recovery policy; configure one with \
+                         ScheduleSessionBuilder::recovery"
+                    )
+                });
+                let attempt = &mut self.resubmit_attempts[query.0];
+                *attempt += 1;
+                assert!(
+                    *attempt <= policy.max_retries,
+                    "recovery budget exhausted: query {query:?} lost {} \
+                     times (max_retries = {})",
+                    *attempt,
+                    policy.max_retries
+                );
+                let eligible = at + policy.backoff(*attempt, query.0 as u64);
+                self.cooling.push((eligible, query));
+            }
+        }
+    }
+
+    /// Flip cooled-down lost queries back to `Pending` so the fill loop
+    /// resubmits them; returns how many were released. Each release is
+    /// recorded as a [`FaultEvent::QueryResubmitted`] recovery event.
+    fn release_cooling(&mut self, log: &mut EpisodeLog) -> usize {
+        if self.cooling.is_empty() {
+            return 0;
+        }
+        let now = self.backend.now();
+        let mut released = 0;
+        let mut i = 0;
+        while i < self.cooling.len() {
+            if self.cooling[i].0 <= now + TIME_EPS {
+                let (_, query) = self.cooling.swap_remove(i);
+                self.release_lost_query(query, now, log);
+                released += 1;
+            } else {
+                i += 1;
+            }
+        }
+        released
+    }
+
+    /// Release the earliest cooling entry regardless of the clock — used
+    /// when an idle backend cannot advance to the eligibility instant.
+    fn force_release_earliest(&mut self, log: &mut EpisodeLog) {
+        let i = self
+            .cooling
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("finite backoff"))
+            .map(|(i, _)| i)
+            .expect("checked by caller");
+        let (_, query) = self.cooling.swap_remove(i);
+        let now = self.backend.now();
+        self.release_lost_query(query, now, log);
+    }
+
+    fn release_lost_query(&mut self, query: QueryId, now: f64, log: &mut EpisodeLog) {
+        let rt = &mut self.runtimes[query.0];
+        debug_assert!(
+            rt.status == QueryStatus::Running,
+            "lost query not in flight"
+        );
+        rt.status = QueryStatus::Pending;
+        rt.params = None;
+        rt.elapsed = 0.0;
+        self.idle_spins = 0;
+        log.push_fault(&FaultEvent::QueryResubmitted {
+            query,
+            attempt: self.resubmit_attempts[query.0],
+            at: now,
+        });
     }
 
     /// Pop every buffered event (no virtual-time advance); returns whether
@@ -428,6 +596,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         rt.status = QueryStatus::Finished;
         rt.elapsed = completion.finished_at - completion.started_at;
         self.finished += 1;
+        self.idle_spins = 0;
         policy.observe_completion(&completion);
         log.push_completion(self.workload, &completion);
         if let Some(hook) = self.on_completion.as_mut() {
@@ -729,6 +898,107 @@ mod tests {
                 .to_json()
         };
         assert_eq!(run(), run(), "hash routing must be deterministic");
+    }
+
+    /// An engine that loses the query on connection 0 once: the work is
+    /// cancelled and discarded (never completed) and a `QueryLost` fault is
+    /// reported — the minimal fault a recovery policy must survive.
+    struct LossyBackend {
+        inner: ExecutionEngine,
+        fault: Option<crate::scheduler::FaultEvent>,
+        killed: bool,
+    }
+
+    impl ExecutorBackend for LossyBackend {
+        fn connections(&self) -> &[ConnectionSlot] {
+            self.inner.connection_slots()
+        }
+
+        fn now(&self) -> f64 {
+            self.inner.now()
+        }
+
+        fn submit(&mut self, query: QueryId, params: RunParams, connection: usize) {
+            self.inner.submit_to(query, params, connection);
+        }
+
+        fn poll_event(&mut self) -> ExecEvent {
+            if let Some((query, connection)) = self.inner.pop_submitted_event() {
+                return ExecEvent::Submitted { query, connection };
+            }
+            if !self.killed && self.inner.connection_slots()[0].started_at().is_some() {
+                let at = self.inner.now();
+                if let Some(c) = self.inner.cancel_connection(0) {
+                    self.killed = true;
+                    self.fault = Some(crate::scheduler::FaultEvent::QueryLost {
+                        query: c.query,
+                        connection: 0,
+                        at,
+                    });
+                }
+            }
+            match self.inner.pop_completion_event() {
+                Some(c) => ExecEvent::Completed(c),
+                None => ExecEvent::Idle,
+            }
+        }
+
+        fn events_pending(&self) -> bool {
+            self.inner.has_buffered_events()
+        }
+
+        fn advance_to(&mut self, until: f64) {
+            self.inner.advance_to(until);
+        }
+
+        fn poll_fault(&mut self) -> Option<crate::scheduler::FaultEvent> {
+            self.fault.take()
+        }
+    }
+
+    #[test]
+    fn recovery_policy_resubmits_a_lost_query() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut backend = LossyBackend {
+            inner: ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0),
+            fault: None,
+            killed: false,
+        };
+        let log = ScheduleSession::builder(&w)
+            .recovery(crate::scheduler::RecoveryPolicy::bounded())
+            .build(&mut backend)
+            .run(&mut FifoScheduler::new());
+        // Every query still completes exactly once, and the log records
+        // both the loss and the recovery.
+        assert_eq!(log.len(), w.len());
+        let mut seen = vec![false; w.len()];
+        for r in &log.records {
+            assert!(!seen[r.query.0], "query {:?} completed twice", r.query);
+            seen[r.query.0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(log.lost_queries(), 1);
+        assert_eq!(log.recovered_submissions(), 1);
+        // The resubmission waited out a backoff after the loss.
+        let lost = &log.faults[0];
+        let resub = &log.faults[1];
+        assert_eq!(lost.kind, "query_lost");
+        assert_eq!(resub.kind, "query_resubmitted");
+        assert!(resub.at >= lost.at);
+    }
+
+    #[test]
+    #[should_panic(expected = "no recovery policy")]
+    fn lost_query_without_recovery_policy_fails_loudly() {
+        let w = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+        let mut backend = LossyBackend {
+            inner: ExecutionEngine::new(DbmsProfile::dbms_x(), &w, 0),
+            fault: None,
+            killed: false,
+        };
+        ScheduleSession::builder(&w)
+            .build(&mut backend)
+            .run(&mut FifoScheduler::new());
     }
 
     #[test]

@@ -20,11 +20,11 @@
 
 use crate::frame::{frame, FrameReader};
 use crate::proto::{
-    Request, Response, ResponseHeader, WireEvent, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
+    seal, unseal, Request, Response, ResponseHeader, WireEvent, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
 };
 use crate::server::WireServer;
 use crate::transport::{InMemoryDuplex, TransportProfile, WireTransport};
-use bq_core::{ExecEvent, ExecutorBackend, ShardTopology};
+use bq_core::{ExecEvent, ExecutorBackend, FaultEvent, RecoveryPolicy, ShardTopology};
 use bq_dbms::{
     AdvanceStall, ConnectionSlot, DbmsProfile, ExecutionEngine, QueryCompletion, RunParams,
 };
@@ -78,6 +78,18 @@ pub struct WireBackend<B, T = InMemoryDuplex> {
     stall: Option<AdvanceStall>,
     topology: ShardTopology,
     known_queries: Option<usize>,
+    /// Exchange sequence number of the next request (see
+    /// [`crate::proto::seal`]).
+    seq: u64,
+    /// Connection epoch of the last delivery; a change resets the frame
+    /// reader (partial frames from a torn-down connection are dead).
+    epoch: u64,
+    /// Retransmission policy for exchanges the transport loses. `None`
+    /// keeps the strict contract: a missing response is a panic.
+    recovery: Option<RecoveryPolicy>,
+    /// Retransmissions performed, surfaced through
+    /// [`ExecutorBackend::poll_fault`].
+    faults: std::collections::VecDeque<FaultEvent>,
 }
 
 impl<B: ExecutorBackend> WireBackend<B, InMemoryDuplex> {
@@ -128,6 +140,10 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
             // (a topology cannot have zero-sized dimensions).
             topology: ShardTopology::single(1),
             known_queries: None,
+            seq: 0,
+            epoch: 0,
+            recovery: None,
+            faults: std::collections::VecDeque::new(),
         };
         match client.call(Request::Hello {
             magic: HANDSHAKE_MAGIC,
@@ -164,6 +180,19 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
         &self.server
     }
 
+    /// Survive transport losses: when an exchange's response never arrives
+    /// (a fault-injecting transport dropped or truncated it), retransmit the
+    /// request after a seeded backoff instead of panicking, up to
+    /// `policy.max_retries` times per exchange. The sequence prefix plus the
+    /// server's cached-response replay make retransmission safe for
+    /// non-idempotent requests (at-most-once execution). Each
+    /// retransmission surfaces as a [`FaultEvent::TransportRetransmit`]
+    /// through [`ExecutorBackend::poll_fault`].
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Tear the session down, returning the hosted backend.
     pub fn into_backend(self) -> B {
         self.server.into_backend()
@@ -172,35 +201,41 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
     /// One request/response round trip: encode, transmit, let the server
     /// service its inbound stream, receive and decode the response, and
     /// apply its state header (clock, mirror, flags).
+    ///
+    /// With a recovery policy configured, an exchange whose response never
+    /// arrives is retransmitted (same sequence number) after a seeded
+    /// backoff; without one, a missing response is a panic — the strict
+    /// contract every well-behaved transport satisfies.
     fn call(&mut self, request: Request) -> Response {
-        let payload = request.encode();
-        self.transport.send_to_server(&frame(&payload), self.now);
-        self.server.service(&mut self.transport);
-
-        let mut response = None;
-        while let Some((chunk, arrival)) = self.transport.recv_at_client() {
-            self.reader.feed(&chunk);
-            // The observable clock is the delivery instant of what we have
-            // actually received — never the send instant of something still
-            // in flight.
-            if arrival > self.now {
-                self.now = arrival;
+        let seq = self.seq;
+        self.seq += 1;
+        let message = request.encode();
+        let mut attempt = 0u32;
+        let response = loop {
+            self.transport
+                .send_to_server(&frame(&seal(seq, &message)), self.now);
+            self.server.service(&mut self.transport);
+            if let Some(response) = self.receive_matching(seq) {
+                break response;
             }
-            while let Some(payload) = self
-                .reader
-                .next_frame()
-                .unwrap_or_else(|e| panic!("response stream lost framing: {e}"))
-            {
-                let decoded = Response::decode(&payload)
-                    .unwrap_or_else(|e| panic!("malformed response frame: {e}"));
-                assert!(
-                    response.is_none(),
-                    "protocol violation: more than one response per request"
-                );
-                response = Some(decoded);
-            }
-        }
-        let response = response.expect("the server must answer every request");
+            // The exchange was lost in transit (request or response).
+            let Some(policy) = self.recovery else {
+                panic!("the server must answer every request");
+            };
+            attempt += 1;
+            assert!(
+                attempt <= policy.max_retries,
+                "retransmission budget exhausted: exchange {seq} lost {attempt} \
+                 times (max_retries = {})",
+                policy.max_retries
+            );
+            self.faults.push_back(FaultEvent::TransportRetransmit {
+                at: self.now,
+                attempt,
+            });
+            // Waiting out the backoff is observable time passing.
+            self.now += policy.backoff(attempt, seq);
+        };
         // A handshake ack is applied by `connect` once the mirror is sized;
         // every other header is applied here, so the caches are already
         // fresh when the caller looks at the decoded response.
@@ -210,6 +245,53 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
                 // only).
                 let header = header.clone();
                 self.apply_header(&header);
+            }
+        }
+        response
+    }
+
+    /// Drain every delivered chunk and extract the response to exchange
+    /// `seq`, if it arrived. Duplicates of earlier exchanges (replays whose
+    /// original also made it through) are discarded by sequence number.
+    fn receive_matching(&mut self, seq: u64) -> Option<Response> {
+        let mut response = None;
+        while let Some(delivery) = self.transport.recv_at_client() {
+            if delivery.epoch != self.epoch {
+                // The connection was torn down: drop any partial frame from
+                // the old stream rather than splicing streams together.
+                self.reader.reset();
+                self.epoch = delivery.epoch;
+            }
+            self.reader.feed(&delivery.bytes);
+            // The observable clock is the delivery instant of what we have
+            // actually received — never the send instant of something still
+            // in flight.
+            if delivery.at > self.now {
+                self.now = delivery.at;
+            }
+            while let Some(payload) = self
+                .reader
+                .next_frame()
+                .unwrap_or_else(|e| panic!("response stream lost framing: {e}"))
+            {
+                let (rseq, body) =
+                    unseal(&payload).unwrap_or_else(|e| panic!("unsealable response frame: {e}"));
+                let decoded = Response::decode(body)
+                    .unwrap_or_else(|e| panic!("malformed response frame: {e}"));
+                if rseq != seq {
+                    // An unsolicited error is a protocol violation; a stale
+                    // sequence number is a harmless duplicate of an exchange
+                    // we already completed.
+                    if let Response::Error { code, detail } = decoded {
+                        panic!("unsolicited server error ({code:?}): {detail}");
+                    }
+                    continue;
+                }
+                assert!(
+                    response.is_none(),
+                    "protocol violation: more than one response per request"
+                );
+                response = Some(decoded);
             }
         }
         response
@@ -313,6 +395,10 @@ impl<B: ExecutorBackend, T: WireTransport> ExecutorBackend for WireBackend<B, T>
 
     fn shard_topology(&self) -> ShardTopology {
         self.topology
+    }
+
+    fn poll_fault(&mut self) -> Option<FaultEvent> {
+        self.faults.pop_front()
     }
 
     fn known_query_count(&self) -> Option<usize> {

@@ -126,6 +126,14 @@ impl FrameReader {
     pub fn buffered(&self) -> usize {
         self.buf.len()
     }
+
+    /// Drop the stream buffer: the connection the buffered bytes came from
+    /// is gone (a delivery's epoch changed), so any partial frame is dead.
+    /// Splicing old-connection bytes onto a fresh stream would desync the
+    /// framing — resetting turns a truncated write into a clean loss.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
 }
 
 /// Bounds-checked reader over one frame's payload.

@@ -67,15 +67,20 @@ pub mod transport;
 
 pub use client::{WireBackend, WireError};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
-pub use proto::{Request, Response, WireErrorCode, HANDSHAKE_MAGIC, PROTOCOL_VERSION};
+pub use proto::{
+    seal, unseal, Request, Response, WireErrorCode, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
+    UNSOLICITED_SEQ,
+};
 pub use server::WireServer;
-pub use transport::{InMemoryDuplex, TransportProfile, WireTransport};
+pub use transport::{Delivery, Direction, InMemoryDuplex, TransportProfile, WireTransport};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::frame::frame;
-    use bq_core::{ExecEvent, ExecutorBackend, FifoScheduler, ScheduleSession};
+    use bq_core::{
+        ExecEvent, ExecutorBackend, FaultEvent, FifoScheduler, RecoveryPolicy, ScheduleSession,
+    };
     use bq_dbms::{ConnectionSlot, DbmsProfile, ExecutionEngine, RunParams, ShardedEngine};
     use bq_plan::{generate, Benchmark, QueryId, Workload, WorkloadSpec};
 
@@ -94,6 +99,7 @@ mod tests {
         link: InMemoryDuplex,
         reader: FrameReader,
         now: f64,
+        seq: u64,
     }
 
     impl RawClient {
@@ -103,25 +109,40 @@ mod tests {
                 link: InMemoryDuplex::lossless(),
                 reader: FrameReader::new(),
                 now: 0.0,
+                seq: 0,
             }
+        }
+
+        fn next_seq(&mut self) -> u64 {
+            let seq = self.seq;
+            self.seq += 1;
+            seq
         }
 
         fn send_bytes(&mut self, bytes: &[u8]) -> Vec<Response> {
             self.link.send_to_server(bytes, self.now);
             self.server.service(&mut self.link);
             let mut responses = Vec::new();
-            while let Some((chunk, arrival)) = self.link.recv_at_client() {
-                self.now = self.now.max(arrival);
-                self.reader.feed(&chunk);
+            while let Some(delivery) = self.link.recv_at_client() {
+                self.now = self.now.max(delivery.at);
+                self.reader.feed(&delivery.bytes);
                 while let Some(payload) = self.reader.next_frame().expect("framing") {
-                    responses.push(Response::decode(&payload).expect("decode"));
+                    let (_, body) = unseal(&payload).expect("sealed response");
+                    responses.push(Response::decode(body).expect("decode"));
                 }
             }
             responses
         }
 
+        /// Seal `message` with a fresh sequence number and transmit it as one
+        /// frame.
+        fn send_sealed(&mut self, message: &[u8]) -> Vec<Response> {
+            let seq = self.next_seq();
+            self.send_bytes(&frame(&seal(seq, message)))
+        }
+
         fn send(&mut self, request: Request) -> Response {
-            let mut responses = self.send_bytes(&frame(&request.encode()));
+            let mut responses = self.send_sealed(&request.encode());
             assert_eq!(responses.len(), 1, "one response per request");
             responses.remove(0)
         }
@@ -290,7 +311,7 @@ mod tests {
         let mut raw = RawClient::new(&w);
         raw.handshake();
         // A frame whose payload is an unknown tag.
-        let responses = raw.send_bytes(&frame(&[0x7F]));
+        let responses = raw.send_sealed(&[0x7F]);
         assert_eq!(responses.len(), 1);
         assert!(matches!(
             &responses[0],
@@ -306,7 +327,7 @@ mod tests {
             connection: 0,
         }
         .encode();
-        let responses = raw.send_bytes(&frame(&full[..full.len() - 2]));
+        let responses = raw.send_sealed(&full[..full.len() - 2]);
         assert!(matches!(
             &responses[0],
             Response::Error {
@@ -371,7 +392,8 @@ mod tests {
         let w = tpch();
         let mut raw = RawClient::new(&w);
         raw.handshake();
-        let bytes = frame(&Request::PollEvent.encode());
+        let seq = raw.next_seq();
+        let bytes = frame(&seal(seq, &Request::PollEvent.encode()));
         let (head, tail) = bytes.split_at(3);
         assert!(raw.send_bytes(head).is_empty(), "no complete frame yet");
         let responses = raw.send_bytes(tail);
@@ -450,6 +472,92 @@ mod tests {
         // reaching the backend's slot indexing (the learned simulator
         // indexes unchecked, so the server bound-checks, not the backend).
         assert!(backend.cancel(usize::MAX).is_none());
+    }
+
+    /// A transport that swallows selected server→client chunks (by send
+    /// index) — lost responses without the full chaos crate.
+    struct DropResponses {
+        inner: InMemoryDuplex,
+        drop_indices: Vec<u64>,
+        sent: u64,
+    }
+
+    impl DropResponses {
+        fn lossless(drop_indices: Vec<u64>) -> Self {
+            Self {
+                inner: InMemoryDuplex::lossless(),
+                drop_indices,
+                sent: 0,
+            }
+        }
+    }
+
+    impl WireTransport for DropResponses {
+        fn send_to_server(&mut self, bytes: &[u8], now: f64) -> f64 {
+            self.inner.send_to_server(bytes, now)
+        }
+        fn send_to_client(&mut self, bytes: &[u8], now: f64) -> f64 {
+            let index = self.sent;
+            self.sent += 1;
+            if self.drop_indices.contains(&index) {
+                now
+            } else {
+                self.inner.send_to_client(bytes, now)
+            }
+        }
+        fn recv_at_server(&mut self) -> Option<Delivery> {
+            self.inner.recv_at_server()
+        }
+        fn recv_at_client(&mut self) -> Option<Delivery> {
+            self.inner.recv_at_client()
+        }
+    }
+
+    #[test]
+    fn a_lost_response_is_retransmitted_and_executes_at_most_once() {
+        let w = tpch();
+        // Response 0 is the handshake ack; drop the submit's ack (index 1).
+        let transport = DropResponses::lossless(vec![1]);
+        let mut backend = WireBackend::connect(WireServer::new(engine(&w, 0)), transport)
+            .expect("handshake over a healthy link")
+            .with_recovery(RecoveryPolicy::bounded());
+        // The ack is lost in transit: the client retransmits the same
+        // exchange, and the server replays its cached response without
+        // re-submitting (at-most-once execution of a non-idempotent
+        // request).
+        backend.submit(QueryId(0), RunParams::default_config(), 0);
+        assert!(matches!(
+            backend.poll_fault(),
+            Some(FaultEvent::TransportRetransmit { attempt: 1, .. })
+        ));
+        assert!(backend.poll_fault().is_none());
+        assert!(
+            !backend.connections()[0].is_free(),
+            "exactly one submission took effect"
+        );
+        assert_eq!(
+            backend.poll_event(),
+            ExecEvent::Submitted {
+                query: QueryId(0),
+                connection: 0
+            }
+        );
+        match backend.poll_event() {
+            ExecEvent::Completed(c) => assert_eq!(c.query, QueryId(0)),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(backend.poll_event(), ExecEvent::Idle);
+        assert!(backend.connections()[0].is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "must answer every request")]
+    fn a_lost_response_without_a_recovery_policy_panics() {
+        let w = tpch();
+        let transport = DropResponses::lossless(vec![1]);
+        let mut backend = WireBackend::connect(WireServer::new(engine(&w, 0)), transport)
+            .expect("handshake over a healthy link");
+        backend.submit(QueryId(0), RunParams::default_config(), 0);
     }
 
     #[test]

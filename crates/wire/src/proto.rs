@@ -38,7 +38,39 @@ use bq_plan::QueryId;
 
 /// Version of the wire protocol. Bumped on any frame-layout change; the
 /// handshake rejects a peer speaking a different version.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the exchange-sequence prefix ([`seal`] / [`unseal`])
+/// that makes every request/response exchange at-most-once, so a client may
+/// safely retransmit a request whose response was lost by the transport.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Sequence number stamped on server frames that answer no request (e.g. an
+/// error for a frame whose sequence prefix itself was unreadable).
+pub const UNSOLICITED_SEQ: u64 = u64::MAX;
+
+/// Prefix `message` with its exchange sequence number. Every frame payload
+/// on a v2 connection is `seq: u64 LE ++ message`: requests carry the
+/// client's monotonically increasing exchange number, responses echo the
+/// number of the request they answer. The pairing is what makes lossy
+/// transports survivable — a client that retransmits after a loss can match
+/// the (single) response to its exchange and discard stale duplicates, and
+/// a server that sees an already-answered sequence number replays its cached
+/// response instead of re-executing a non-idempotent request.
+pub fn seal(seq: u64, message: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + message.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(message);
+    out
+}
+
+/// Split a sealed frame payload into its sequence number and message bytes.
+pub fn unseal(payload: &[u8]) -> Result<(u64, &[u8]), FrameError> {
+    if payload.len() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+    Ok((seq, &payload[8..]))
+}
 
 /// Magic constant opening every handshake (`"bqwp"`), so a stray peer that
 /// is not speaking this protocol at all fails before version comparison.
@@ -723,6 +755,16 @@ mod tests {
             let decoded = Response::decode(&resp.encode()).expect("round trip");
             assert_eq!(decoded, resp);
         }
+    }
+
+    #[test]
+    fn sealed_payloads_round_trip() {
+        let msg = Request::PollEvent.encode();
+        let sealed = seal(41, &msg);
+        let (seq, rest) = unseal(&sealed).unwrap();
+        assert_eq!(seq, 41);
+        assert_eq!(rest, &msg[..]);
+        assert_eq!(unseal(&sealed[..7]), Err(FrameError::Truncated));
     }
 
     #[test]

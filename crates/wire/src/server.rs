@@ -20,7 +20,8 @@
 
 use crate::frame::{frame, FrameReader};
 use crate::proto::{
-    Request, Response, ResponseHeader, WireErrorCode, WireEvent, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
+    seal, unseal, Request, Response, ResponseHeader, WireErrorCode, WireEvent, HANDSHAKE_MAGIC,
+    PROTOCOL_VERSION, UNSOLICITED_SEQ,
 };
 use crate::transport::WireTransport;
 use bq_core::{ExecEvent, ExecutorBackend};
@@ -38,6 +39,15 @@ pub struct WireServer<B> {
     /// response's slot updates.
     last_sent: Vec<ConnectionSlot>,
     handshaken: bool,
+    /// Connection epoch of the last delivery; a change means the link was
+    /// torn down and any partially buffered frame is dead.
+    epoch: u64,
+    /// Sequence number of the last answered exchange, with its sealed
+    /// response bytes: a duplicate sequence number is a retransmission
+    /// (the response was lost in transit), answered by replaying the cached
+    /// bytes without touching the backend — at-most-once execution.
+    last_seq: Option<u64>,
+    last_response: Vec<u8>,
 }
 
 impl<B: ExecutorBackend> WireServer<B> {
@@ -49,6 +59,9 @@ impl<B: ExecutorBackend> WireServer<B> {
             reader: FrameReader::new(),
             last_sent: Vec::new(),
             handshaken: false,
+            epoch: 0,
+            last_seq: None,
+            last_response: Vec::new(),
         }
     }
 
@@ -73,29 +86,68 @@ impl<B: ExecutorBackend> WireServer<B> {
     /// decode, validate, apply to the backend, and transmit one response
     /// frame per request.
     pub fn service<T: WireTransport>(&mut self, transport: &mut T) {
-        while let Some((chunk, arrival)) = transport.recv_at_server() {
-            self.reader.feed(&chunk);
+        while let Some(delivery) = transport.recv_at_server() {
+            if delivery.epoch != self.epoch {
+                // The link was torn down and re-established: whatever the
+                // old connection left half-delivered is dead, never spliced
+                // onto the new stream (a truncated write surfaces as a lost
+                // frame, not corruption).
+                self.reader.reset();
+                self.epoch = delivery.epoch;
+            }
+            self.reader.feed(&delivery.bytes);
+            let arrival = delivery.at;
             loop {
-                let response = match self.reader.next_frame() {
+                let sealed = match self.reader.next_frame() {
                     Ok(None) => break,
-                    Ok(Some(payload)) => match Request::decode(&payload) {
-                        Ok(request) => self.handle(request, arrival),
-                        Err(err) => Response::Error {
-                            code: WireErrorCode::Malformed,
-                            detail: err.to_string(),
-                        },
-                    },
+                    Ok(Some(payload)) => payload,
                     // Framing is lost (oversized length prefix): report and
                     // stop interpreting the stream.
+                    Err(err) => {
+                        self.send_error(transport, UNSOLICITED_SEQ, err.to_string());
+                        continue;
+                    }
+                };
+                let (seq, message) = match unseal(&sealed) {
+                    Ok(parts) => parts,
+                    Err(err) => {
+                        self.send_error(transport, UNSOLICITED_SEQ, err.to_string());
+                        continue;
+                    }
+                };
+                if self.last_seq == Some(seq) {
+                    // Retransmission of an already-executed exchange: the
+                    // response was lost, not the request. Replay the cached
+                    // response verbatim — the backend is not touched, so
+                    // even non-idempotent requests execute at most once.
+                    let bytes = frame(&self.last_response);
+                    transport.send_to_client(&bytes, self.backend.now());
+                    continue;
+                }
+                let response = match Request::decode(message) {
+                    Ok(request) => self.handle(request, arrival),
                     Err(err) => Response::Error {
                         code: WireErrorCode::Malformed,
                         detail: err.to_string(),
                     },
                 };
-                let payload = response.encode();
-                transport.send_to_client(&frame(&payload), self.backend.now());
+                let sealed_response = seal(seq, &response.encode());
+                self.last_seq = Some(seq);
+                self.last_response.clear();
+                self.last_response.extend_from_slice(&sealed_response);
+                transport.send_to_client(&frame(&sealed_response), self.backend.now());
             }
         }
+    }
+
+    /// Transmit an error frame outside any cached exchange.
+    fn send_error<T: WireTransport>(&mut self, transport: &mut T, seq: u64, detail: String) {
+        let response = Response::Error {
+            code: WireErrorCode::Malformed,
+            detail,
+        };
+        let sealed = seal(seq, &response.encode());
+        transport.send_to_client(&frame(&sealed), self.backend.now());
     }
 
     /// Handle one decoded request that arrived at `arrival`.

@@ -102,13 +102,44 @@ impl TransportProfile {
     }
 }
 
+/// One chunk delivered by a transport: its bytes, arrival instant, and the
+/// connection epoch it was carried on.
+///
+/// The epoch models connection identity: it starts at 0 and increments every
+/// time the link is torn down and re-established (a fault-injecting
+/// transport's disconnect, or — later — a real socket reconnect). Bytes from
+/// different epochs never form one stream, so a receiver must reset its
+/// [`crate::frame::FrameReader`] whenever the epoch changes — any partial
+/// frame from the old connection is dead, never silently spliced onto new
+/// bytes. Well-behaved transports stay on epoch 0 forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The delivered bytes (chunk boundaries carry no framing meaning).
+    pub bytes: Vec<u8>,
+    /// Virtual arrival instant.
+    pub at: f64,
+    /// Connection epoch the chunk belongs to (monotone, starts at 0).
+    pub epoch: u64,
+}
+
+impl Delivery {
+    /// A chunk on the initial connection (epoch 0).
+    pub fn initial(bytes: Vec<u8>, at: f64) -> Self {
+        Self {
+            bytes,
+            at,
+            epoch: 0,
+        }
+    }
+}
+
 /// An ordered, reliable, bidirectional byte stream with virtual-time
 /// delivery.
 ///
 /// `send_*` stamps the chunk with its (deterministic) arrival instant and
-/// returns it; `drain_*` hands delivered chunks to the receiving endpoint in
-/// transmission order, each with its arrival stamp. Chunk boundaries carry
-/// no meaning — receivers reassemble frames with
+/// returns it; `recv_*` hands delivered chunks to the receiving endpoint in
+/// transmission order, each with its arrival stamp and connection epoch.
+/// Chunk boundaries carry no meaning — receivers reassemble frames with
 /// [`crate::frame::FrameReader`], exactly as they would over a socket.
 pub trait WireTransport {
     /// Transmit `bytes` client → server at virtual instant `now`; returns
@@ -119,11 +150,11 @@ pub trait WireTransport {
     /// the arrival instant (≥ `now`, monotone across sends).
     fn send_to_client(&mut self, bytes: &[u8], now: f64) -> f64;
 
-    /// Pop the next chunk delivered to the server, with its arrival instant.
-    fn recv_at_server(&mut self) -> Option<(Vec<u8>, f64)>;
+    /// Pop the next chunk delivered to the server.
+    fn recv_at_server(&mut self) -> Option<Delivery>;
 
-    /// Pop the next chunk delivered to the client, with its arrival instant.
-    fn recv_at_client(&mut self) -> Option<(Vec<u8>, f64)>;
+    /// Pop the next chunk delivered to the client.
+    fn recv_at_client(&mut self) -> Option<Delivery>;
 }
 
 /// In-memory duplex link: delivers chunks verbatim, in order, with the
@@ -188,12 +219,14 @@ impl WireTransport for InMemoryDuplex {
         arrival
     }
 
-    fn recv_at_server(&mut self) -> Option<(Vec<u8>, f64)> {
-        self.to_server.pop_front()
+    fn recv_at_server(&mut self) -> Option<Delivery> {
+        let (bytes, at) = self.to_server.pop_front()?;
+        Some(Delivery::initial(bytes, at))
     }
 
-    fn recv_at_client(&mut self) -> Option<(Vec<u8>, f64)> {
-        self.to_client.pop_front()
+    fn recv_at_client(&mut self) -> Option<Delivery> {
+        let (bytes, at) = self.to_client.pop_front()?;
+        Some(Delivery::initial(bytes, at))
     }
 }
 
@@ -206,9 +239,26 @@ mod tests {
         let mut link = InMemoryDuplex::lossless();
         assert_eq!(link.send_to_server(b"abc", 1.5), 1.5);
         assert_eq!(link.send_to_client(b"xyz", 2.5), 2.5);
-        assert_eq!(link.recv_at_server(), Some((b"abc".to_vec(), 1.5)));
-        assert_eq!(link.recv_at_client(), Some((b"xyz".to_vec(), 2.5)));
+        assert_eq!(
+            link.recv_at_server(),
+            Some(Delivery::initial(b"abc".to_vec(), 1.5))
+        );
+        assert_eq!(
+            link.recv_at_client(),
+            Some(Delivery::initial(b"xyz".to_vec(), 2.5))
+        );
         assert_eq!(link.recv_at_server(), None);
+    }
+
+    #[test]
+    fn in_memory_links_never_leave_epoch_zero() {
+        let mut link = InMemoryDuplex::lossless();
+        for i in 0..8u8 {
+            link.send_to_server(&[i], f64::from(i));
+        }
+        while let Some(d) = link.recv_at_server() {
+            assert_eq!(d.epoch, 0);
+        }
     }
 
     #[test]
@@ -255,9 +305,9 @@ mod tests {
         }
         // Chunks pop in transmission order with their stamps.
         let mut prev = 0.0;
-        while let Some((_, at)) = link.recv_at_server() {
-            assert!(at >= prev);
-            prev = at;
+        while let Some(d) = link.recv_at_server() {
+            assert!(d.at >= prev);
+            prev = d.at;
         }
     }
 }

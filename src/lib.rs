@@ -13,6 +13,8 @@
 //!   batched dispatch, backpressure) over any executor backend,
 //! * [`wire`] — the framed wire protocol: a `WireServer`/`WireBackend`
 //!   pair putting real serialization between the session and any backend,
+//! * [`chaos`] — deterministic fault injection: replayable fault schedules
+//!   and chaos decorators for transports and backends,
 //! * [`encoder`] — plan encoder and attention-based state representation,
 //! * [`rl`] — PPO / PPG / IQ-PPO,
 //! * [`sched`] — the BQSched agent, masking, clustering and the learned
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub use bq_adapter as adapter;
+pub use bq_chaos as chaos;
 pub use bq_core as core;
 pub use bq_dbms as dbms;
 pub use bq_encoder as encoder;

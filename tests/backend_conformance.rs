@@ -3,10 +3,11 @@
 //! Every execution substrate — the simulated DBMS (`ExecutionEngine`), the
 //! learned incremental simulator (`LearnedSimulator`), the sharded
 //! multi-engine backend (`ShardedEngine`), the async submission adapter
-//! (`AsyncAdapter`, wrapped over each of the three), and the wire-protocol
-//! backend (`WireBackend`, alone and under the adapter) — must satisfy the
-//! same observable contract, because schedulers are non-intrusive and
-//! cannot tell backends apart. The contract, asserted here over every backend
+//! (`AsyncAdapter`, wrapped over each of the three), the wire-protocol
+//! backend (`WireBackend`, alone and under the adapter), and the chaos
+//! fault-injection decorator (`ChaosBackend`, a drop-in under the empty
+//! schedule) — must satisfy the same observable contract, because
+//! schedulers are non-intrusive and cannot tell backends apart. The contract, asserted here over every backend
 //! through one parametrized harness:
 //!
 //! 1. **Determinism** — fixed seeds reproduce episode logs byte for byte;
@@ -26,7 +27,11 @@
 mod common;
 
 use bqsched::adapter::{AsyncAdapter, DispatchProfile};
-use bqsched::core::{ExecutorBackend, FifoScheduler, ScheduleSession};
+use bqsched::chaos::{ChaosBackend, FaultSchedule, FaultSpec};
+use bqsched::core::{
+    ExecutorBackend, FaultAwareRouter, FifoScheduler, LeastLoadedRouter, RecoveryPolicy,
+    ScheduleSession,
+};
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, RunParams, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, Workload, WorkloadSpec};
 use bqsched::sched::LearnedSimulator;
@@ -571,6 +576,92 @@ fn async_adapter_over_a_latency_wire_completes_and_replays() {
         );
     }
     assert_eq!(log.to_json(), run().to_json(), "replay must be identical");
+}
+
+// --- The chaos fault-injection decorator (`bq-chaos`) ---------------------
+//
+// Under the EMPTY fault schedule the chaos decorator must be a drop-in for
+// the wrapped backend — so it runs the full conformance suite over the
+// engine and the sharded engine, and replays the engine's pinned golden
+// artifact. Under a fixed nonzero schedule the recovered episode must be
+// deterministic: replayed twice byte for byte and pinned on disk.
+
+#[test]
+fn chaos_backend_with_the_empty_schedule_passes_conformance() {
+    let w = tpch();
+    conformance_suite("chaos(engine)", &w, |seed| {
+        ChaosBackend::new(
+            ExecutionEngine::new(DbmsProfile::dbms_x(), &w, seed),
+            &FaultSchedule::empty(),
+        )
+    });
+    for shards in [1usize, 2] {
+        conformance_suite(&format!("chaos(sharded{shards})"), &w, |seed| {
+            ChaosBackend::new(
+                ShardedEngine::new(DbmsProfile::dbms_x(), &w, seed, shards),
+                &FaultSchedule::empty(),
+            )
+        });
+    }
+}
+
+/// The empty-schedule chaos decorator is not merely self-consistent: it
+/// replays the engine's pinned on-disk artifact byte for byte through the
+/// whole session stack.
+#[test]
+fn chaos_backend_with_the_empty_schedule_matches_the_engine_golden_artifact() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let mut chaotic = ChaosBackend::new(
+        ExecutionEngine::new(profile.clone(), &w, 0),
+        &FaultSchedule::empty(),
+    );
+    let json = ScheduleSession::builder(&w)
+        .dbms(profile.kind)
+        .round(0)
+        .build(&mut chaotic)
+        .run(&mut FifoScheduler::new())
+        .to_json();
+    common::assert_matches_golden("engine_fifo_tpch_seed0.json", &json);
+}
+
+/// A recovered chaos episode — a bounded stall on shard 0 and a permanent
+/// death of shard 1, absorbed by the fault-aware router and a bounded
+/// recovery policy — is deterministic: two cold runs replay byte for byte,
+/// faults and resubmissions included, and the log is pinned against an
+/// on-disk golden artifact. Re-bless deliberately with `BLESS=1`.
+#[test]
+fn chaos_episode_replays_identically_and_matches_golden_artifact() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let schedule = FaultSchedule::from_events(vec![
+        FaultSpec::ShardStall {
+            shard: 0,
+            at: 0.2,
+            resume_at: 0.4,
+        },
+        FaultSpec::ShardDeath { shard: 1, at: 0.5 },
+    ]);
+    let run = || {
+        let mut chaotic =
+            ChaosBackend::new(ShardedEngine::new(profile.clone(), &w, 0, 2), &schedule);
+        ScheduleSession::builder(&w)
+            .dbms(profile.kind)
+            .round(0)
+            .router(FaultAwareRouter::new(LeastLoadedRouter))
+            .recovery(RecoveryPolicy::bounded())
+            .build(&mut chaotic)
+            .run(&mut FifoScheduler::new())
+    };
+    let log = run();
+    assert_eq!(log.len(), w.len(), "recovery must complete the episode");
+    assert!(log.lost_queries() >= 1, "the death must cost something");
+    assert_eq!(
+        log.to_json(),
+        run().to_json(),
+        "a chaos episode must replay byte-identically"
+    );
+    common::assert_matches_golden("chaos_stall_death_tpch_seed0.json", &log.to_json());
 }
 
 /// Cross-version pin for a nonzero-latency adapter configuration: fixed

@@ -3,16 +3,23 @@
 //! is a byte-identical passthrough at zero latency and a pure function of its
 //! dispatch profile otherwise, the wire-protocol backend is a byte-identical
 //! passthrough over the zero-latency transport and a pure function of its
-//! transport profile otherwise, the gain matrix is symmetric, masking never
-//! removes every configuration, and clustering always yields a partition —
-//! for arbitrary workload subsets, seeds and parameters.
+//! transport profile otherwise, the chaos decorators are byte-identical
+//! passthroughs under the empty fault schedule and recovered chaos episodes
+//! are a pure function of the schedule otherwise, the gain matrix is
+//! symmetric, masking never removes every configuration, and clustering
+//! always yields a partition — for arbitrary workload subsets, seeds and
+//! parameters.
 
 use bqsched::adapter::{AsyncAdapter, DispatchProfile};
-use bqsched::core::{collect_history, FifoScheduler, RandomScheduler, ScheduleSession};
+use bqsched::chaos::{ChaosBackend, ChaosTransport, FaultSchedule, FaultSpec};
+use bqsched::core::{
+    collect_history, FaultAwareRouter, FifoScheduler, LeastLoadedRouter, RandomScheduler,
+    RecoveryPolicy, ScheduleSession,
+};
 use bqsched::dbms::{DbmsProfile, ExecutionEngine, ParamSpace, ShardedEngine};
 use bqsched::plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use bqsched::sched::{gains_from_history, AdaptiveMask, QueryClustering};
-use bqsched::wire::{TransportProfile, WireBackend};
+use bqsched::wire::{TransportProfile, WireBackend, WireServer};
 use proptest::prelude::*;
 
 fn workload_for(benchmark: Benchmark, n: usize) -> bqsched::plan::Workload {
@@ -267,6 +274,111 @@ proptest! {
                 r.started_at >= base_latency - 1e-9,
                 "no query can start before one wire transit"
             );
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(log.to_json(), run().to_json(), "replay must be byte-identical");
+    }
+
+    #[test]
+    fn empty_chaos_schedule_backend_is_byte_identical_for_any_subset(
+        seed in 0u64..200,
+        n in 4usize..22,
+        shard_idx in 0usize..3,
+    ) {
+        // For ANY workload subset, seed and shard count, decorating the
+        // sharded backend with a `ChaosBackend` carrying the EMPTY fault
+        // schedule changes NOTHING: the episode log is byte for byte the
+        // bare backend's, through the whole session stack. This is the
+        // chaos subsystem's load-bearing invariant — fault injection is
+        // strictly additive.
+        let shards = [1usize, 2, 4][shard_idx];
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut bare = ShardedEngine::new(profile.clone(), &workload, seed, shards);
+        let base = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut bare)
+            .run(&mut FifoScheduler::new());
+        let mut chaotic = ChaosBackend::new(
+            ShardedEngine::new(profile, &workload, seed, shards),
+            &FaultSchedule::empty(),
+        );
+        let quiet = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut chaotic)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(base.to_json(), quiet.to_json());
+    }
+
+    #[test]
+    fn empty_chaos_schedule_transport_is_byte_identical_for_any_subset(
+        seed in 0u64..200,
+        n in 4usize..22,
+    ) {
+        // Same invariant one layer down: a `ChaosTransport` carrying the
+        // empty schedule over the zero-latency duplex leaves the whole wire
+        // stack byte-identical to the bare engine.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let mut bare = ExecutionEngine::new(profile.clone(), &workload, seed);
+        let base = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut bare)
+            .run(&mut FifoScheduler::new());
+        let transport = ChaosTransport::lossless(&FaultSchedule::empty(), seed);
+        let server = WireServer::new(ExecutionEngine::new(profile, &workload, seed));
+        let mut wired = WireBackend::connect(server, transport).expect("clean handshake");
+        let quiet = ScheduleSession::builder(&workload)
+            .round(seed)
+            .build(&mut wired)
+            .run(&mut FifoScheduler::new());
+        prop_assert_eq!(base.to_json(), quiet.to_json());
+    }
+
+    #[test]
+    fn chaos_episodes_are_a_pure_function_of_the_fault_schedule(
+        seed in 0u64..100,
+        n in 6usize..22,
+        stall_deci in 1u32..6,
+        death_deci in 3u32..12,
+    ) {
+        // For ANY nonzero fault schedule drawn from this family (a bounded
+        // stall on shard 0 and a permanent death of shard 1), the recovered
+        // episode is a pure function of (workload, seed, schedule): every
+        // query still completes exactly once, and the replay — faults,
+        // resubmissions and all — is byte-identical.
+        let workload = workload_for(Benchmark::TpcH, n);
+        let profile = DbmsProfile::dbms_x();
+        let stall_at = stall_deci as f64 / 10.0;
+        let schedule = FaultSchedule::from_events(vec![
+            FaultSpec::ShardStall {
+                shard: 0,
+                at: stall_at,
+                resume_at: stall_at + 0.2,
+            },
+            FaultSpec::ShardDeath {
+                shard: 1,
+                at: death_deci as f64 / 10.0,
+            },
+        ]);
+        let run = || {
+            let mut chaotic = ChaosBackend::new(
+                ShardedEngine::new(profile.clone(), &workload, seed, 2),
+                &schedule,
+            );
+            ScheduleSession::builder(&workload)
+                .round(seed)
+                .router(FaultAwareRouter::new(LeastLoadedRouter))
+                .recovery(RecoveryPolicy::bounded())
+                .build(&mut chaotic)
+                .run(&mut FifoScheduler::new())
+        };
+        let log = run();
+        prop_assert_eq!(log.len(), workload.len(), "recovery must complete the episode");
+        let mut seen = vec![false; workload.len()];
+        for r in &log.records {
+            prop_assert!(!seen[r.query.0], "duplicate completion");
+            seen[r.query.0] = true;
         }
         prop_assert!(seen.iter().all(|&s| s));
         prop_assert_eq!(log.to_json(), run().to_json(), "replay must be byte-identical");
