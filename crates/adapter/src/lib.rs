@@ -71,10 +71,18 @@
 
 #![warn(missing_docs)]
 
-use bq_core::{seeded_unit, ExecEvent, ExecutorBackend, FaultEvent, ShardTopology};
+use bq_core::{rng, ExecEvent, ExecutorBackend, FaultEvent, ShardTopology};
 use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
 use bq_plan::QueryId;
 use std::collections::VecDeque;
+
+/// Stride decorrelating admission-jitter draws by connection id. An
+/// arbitrary odd constant (not a generator constant — the mixing happens in
+/// [`rng::unit`]); paired with [`DISPATCH_STRIDE`] it keys the
+/// `(connection, dispatch)` lattice into one 64-bit draw.
+const CONNECTION_STRIDE: u64 = 0xA076_1D64_78BD_642F;
+/// Stride decorrelating admission-jitter draws by dispatch index.
+const DISPATCH_STRIDE: u64 = 0xE703_7ED1_A0B4_28DB;
 
 /// One dispatched-but-not-admitted submission: `(query, params, connection)`.
 type Entry = (QueryId, RunParams, usize);
@@ -178,10 +186,10 @@ impl DispatchProfile {
         if self.jitter <= 0.0 {
             return self.base_latency.max(0.0);
         }
-        let unit = seeded_unit(
+        let unit = rng::unit(
             self.seed
-                ^ (connection as u64).wrapping_mul(0xA076_1D64_78BD_642F)
-                ^ dispatch_index.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+                ^ (connection as u64).wrapping_mul(CONNECTION_STRIDE)
+                ^ dispatch_index.wrapping_mul(DISPATCH_STRIDE),
         );
         (self.base_latency + self.jitter * unit).max(0.0)
     }
@@ -365,6 +373,7 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
         let admission = self
             .admissions
             .remove(idx)
+            // bq-lint: allow(panic-surface): idx comes from earliest_admission over the same deque; locally provable
             .expect("earliest_admission returned a valid index");
         self.in_flight -= 1;
         for &(query, params, connection) in &admission.entries {
@@ -405,6 +414,7 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
                 return;
             }
         }
+        // bq-lint: allow(panic-surface): revoke is only called for slots the adapter itself marked pending; reaching here is state corruption worth a loud stop
         unreachable!("a pending slot is always queued or awaiting admission");
     }
 

@@ -625,6 +625,7 @@ pub fn throughput_metrics(setup: &Setup, scale: RunScale) -> Vec<(String, f64)> 
     let rounds = scale.eval_rounds();
     let mut decisions = 0usize;
     let mut events = 0usize;
+    // bq-lint: allow(wall-clock): throughput cells measure real decisions/events per second by design — the one gate metric where the host clock IS the instrument
     let started = std::time::Instant::now();
     for seed in 0..rounds {
         let mut backend = CountingBackend {

@@ -4,7 +4,7 @@
 //! byte-identically, which is what lets the bench gate pin degraded-mode
 //! performance the same way it pins the healthy cells.
 
-use bq_core::seeded_unit;
+use bq_core::rng;
 
 /// Salt of the disconnect-instant stream.
 const DISCONNECT_SALT: u64 = 0x9D8A_4F2C_6E1B_3057;
@@ -16,11 +16,9 @@ const SPIKE_SALT: u64 = 0x7B3F_E08D_24C6_91A5;
 const STALL_SALT: u64 = 0xC65A_12F8_D94E_703B;
 /// Salt of the shard-death stream (instants and shard picks).
 const DEATH_SALT: u64 = 0x1E97_B350_6A8C_F4D2;
-/// Decorrelates draws of the same stream by event index.
-const INDEX_MIX: u64 = 0x9E6C_63D0_876A_9A69;
 
 fn draw(seed: u64, salt: u64, index: usize, lane: u64) -> f64 {
-    seeded_unit(seed ^ salt ^ (index as u64).wrapping_mul(INDEX_MIX) ^ lane)
+    rng::stream_unit(seed, salt, index as u64, lane)
 }
 
 /// One planned fault, placed in virtual time.
@@ -205,11 +203,7 @@ impl FaultSchedule {
     /// targeted episodes where the seeded generator's placement is too
     /// coarse.
     pub fn from_events(mut events: Vec<FaultSpec>) -> Self {
-        events.sort_by(|a, b| {
-            a.at()
-                .partial_cmp(&b.at())
-                .expect("fault instants are finite")
-        });
+        events.sort_by(|a, b| a.at().total_cmp(&b.at()));
         Self { events }
     }
 
@@ -268,11 +262,7 @@ impl FaultSchedule {
                 at: profile.horizon * draw(seed, DEATH_SALT, i, 0),
             });
         }
-        events.sort_by(|a, b| {
-            a.at()
-                .partial_cmp(&b.at())
-                .expect("fault instants are finite")
-        });
+        events.sort_by(|a, b| a.at().total_cmp(&b.at()));
         Self { events }
     }
 

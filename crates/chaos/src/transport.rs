@@ -12,14 +12,12 @@
 //! exchange.
 
 use crate::schedule::{FaultSchedule, FaultSpec};
-use bq_core::seeded_unit;
+use bq_core::rng;
 use bq_wire::{Delivery, InMemoryDuplex, TransportProfile, WireTransport};
 use std::collections::VecDeque;
 
 /// Salt of the truncation-length stream.
 const TRUNCATE_SALT: u64 = 0x5F20_C4B9_8E67_D1A3;
-/// Decorrelates draws by truncation index.
-const INDEX_MIX: u64 = 0x9E6C_63D0_876A_9A69;
 
 /// Injects a [`FaultSchedule`]'s transport faults over any inner
 /// [`WireTransport`] (see the [module docs](self)).
@@ -76,6 +74,7 @@ impl<T: WireTransport> ChaosTransport<T> {
                     duration,
                     extra,
                 } => spikes.push((at, at + duration, extra)),
+                // bq-lint: allow(panic-surface): transport_events() yields only transport faults; locally provable
                 other => unreachable!("transport_events filtered: {other:?}"),
             }
         }
@@ -132,7 +131,7 @@ impl<T: WireTransport> ChaosTransport<T> {
     /// least one byte and drops at least one, so the cut is always mid-chunk.
     fn truncated_len(&self, index: usize, len: usize) -> usize {
         debug_assert!(len >= 2);
-        let unit = seeded_unit(self.seed ^ TRUNCATE_SALT ^ (index as u64).wrapping_mul(INDEX_MIX));
+        let unit = rng::stream_unit(self.seed, TRUNCATE_SALT, index as u64, 0);
         1 + ((unit * (len - 1) as f64) as usize).min(len - 2)
     }
 }
@@ -191,6 +190,7 @@ impl<T: WireTransport> WireTransport for ChaosTransport<T> {
         delivery.epoch += self
             .epochs_to_server
             .pop_front()
+            // bq-lint: allow(panic-surface): send_to_server queues exactly one epoch per forwarded chunk; locally provable pairing
             .expect("every forwarded chunk queued its epoch");
         Some(delivery)
     }
@@ -200,6 +200,7 @@ impl<T: WireTransport> WireTransport for ChaosTransport<T> {
         delivery.epoch += self
             .epochs_to_client
             .pop_front()
+            // bq-lint: allow(panic-surface): send_to_client queues exactly one epoch per forwarded chunk; locally provable pairing
             .expect("every forwarded chunk queued its epoch");
         Some(delivery)
     }

@@ -52,7 +52,7 @@ impl GanttChart {
             });
         }
         for row in &mut rows {
-            row.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            row.sort_by(|a, b| a.start.total_cmp(&b.start));
         }
         Self {
             rows,

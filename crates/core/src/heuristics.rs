@@ -59,11 +59,12 @@ impl SchedulerPolicy for FifoScheduler {
     }
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
-        let pick = *state
-            .pending_queries()
-            .first()
-            .expect("select() called with no pending queries");
-        Action::with_default_params(pick)
+        let pending = state.pending_queries();
+        assert!(
+            !pending.is_empty(),
+            "select() called with no pending queries"
+        );
+        Action::with_default_params(pending[0])
     }
 }
 
@@ -115,14 +116,14 @@ impl SchedulerPolicy for McfScheduler {
             !pending.is_empty(),
             "select() called with no pending queries"
         );
-        let pick = pending
-            .into_iter()
-            .max_by(|&a, &b| {
-                self.cost_of(state.workload, state, a)
-                    .partial_cmp(&self.cost_of(state.workload, state, b))
-                    .unwrap()
-            })
-            .unwrap();
+        // Manual max scan with `>=` so ties keep the *last* maximal query,
+        // exactly like `Iterator::max_by` — the goldens pin that order.
+        let mut pick = pending[0];
+        for &q in &pending[1..] {
+            if self.cost_of(state.workload, state, q) >= self.cost_of(state.workload, state, pick) {
+                pick = q;
+            }
+        }
         Action::with_default_params(pick)
     }
 }

@@ -43,6 +43,10 @@
 //! * [`routing`] — shard-aware placement over a partitioned slot space:
 //!   the [`ShardRouter`] policies and the [`ShardTopology`] every backend
 //!   reports (monolithic backends are the single-shard degenerate case);
+//! * [`rng`] — the one blessed home of seeded randomness: the SplitMix64
+//!   finalizer ([`rng::mix`]), keyed uniform draws ([`rng::unit`] /
+//!   [`rng::stream_unit`]) and the sequential [`rng::SplitMix64`] generator
+//!   every deterministic stream must flow through (enforced by `bq-lint`);
 //! * [`log`] — per-round execution logs and the accumulated
 //!   [`ExecutionHistory`] that feeds MCF, adaptive masking, gain clustering
 //!   and the incremental simulator;
@@ -56,6 +60,7 @@ pub mod gantt;
 pub mod heuristics;
 pub mod log;
 pub mod metrics;
+pub mod rng;
 pub mod routing;
 pub mod scheduler;
 pub mod session;
@@ -69,8 +74,7 @@ pub use metrics::{
     StrategyEvaluation,
 };
 pub use routing::{
-    seeded_unit, splitmix64, FaultAwareRouter, FirstFreeRouter, HashRouter, LeastLoadedRouter,
-    ShardRouter, ShardTopology,
+    FaultAwareRouter, FirstFreeRouter, HashRouter, LeastLoadedRouter, ShardRouter, ShardTopology,
 };
 pub use scheduler::{
     AdvanceStall, ConnectionSlot, ExecEvent, ExecutorBackend, FaultEvent, RecoveryPolicy,

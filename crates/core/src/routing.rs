@@ -169,27 +169,6 @@ impl ShardRouter for FirstFreeRouter {
     }
 }
 
-/// SplitMix64 finalizer — the deterministic 64-bit mix behind every seeded
-/// stream in the scheduling stack (shard selection here; admission jitter
-/// in `bq-adapter`; transport latency in `bq-wire`). One definition, so the
-/// replay-determinism guarantees of all three can never silently diverge.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// One deterministic uniform draw in `[0, 1)` from a mixed key: the 53
-/// mantissa bits of [`splitmix64`]'s output. The shared primitive behind
-/// every seeded latency-jitter stream (`bq-adapter` admissions, `bq-wire`
-/// transits), so a precision change can never silently diverge between
-/// them.
-pub fn seeded_unit(key: u64) -> f64 {
-    (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// Hash placement: a deterministic hash of the routing counter picks the
 /// starting shard; shards are probed in order from there until one has a
 /// free slot (then its lowest free connection is used). Spreads submissions
@@ -214,7 +193,8 @@ impl ShardRouter for HashRouter {
     }
 
     fn route(&mut self, topology: &ShardTopology, slots: &[ConnectionSlot]) -> Option<usize> {
-        let start = (splitmix64(self.salt ^ self.next) % topology.shard_count() as u64) as usize;
+        let start =
+            (crate::rng::mix(self.salt ^ self.next) % topology.shard_count() as u64) as usize;
         for probe in 0..topology.shard_count() {
             let shard = (start + probe) % topology.shard_count();
             if let Some(conn) = topology.first_free_in(shard, slots) {
@@ -403,7 +383,7 @@ mod tests {
             (0..6).map(|_| r.route(&t, &free).unwrap()).collect()
         };
         assert_eq!(picks(7), picks(7), "same salt must route identically");
-        let shards: std::collections::HashSet<usize> =
+        let shards: std::collections::BTreeSet<usize> =
             picks(7).iter().map(|&c| t.shard_of(c)).collect();
         assert!(shards.len() > 1, "hash routing should hit several shards");
     }

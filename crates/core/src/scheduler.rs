@@ -152,7 +152,7 @@ impl FaultEvent {
 }
 
 /// Stream salt decorrelating recovery backoff draws from the admission and
-/// transit jitter streams that share [`crate::routing::seeded_unit`].
+/// transit jitter streams that share [`crate::rng::stream_unit`].
 const BACKOFF_SALT: u64 = 0x8C90_FC18_6C35_BF11;
 
 /// Bounded-retry policy applied when a fault loses work: how many times to
@@ -213,9 +213,7 @@ impl RecoveryPolicy {
         if self.backoff_jitter <= 0.0 {
             return exp;
         }
-        let unit = crate::routing::seeded_unit(
-            self.seed ^ BACKOFF_SALT ^ key.wrapping_mul(0x9E6C_63D0_876A_9A69) ^ attempt as u64,
-        );
+        let unit = crate::rng::stream_unit(self.seed, BACKOFF_SALT, key, attempt as u64);
         exp * (1.0 + self.backoff_jitter * unit)
     }
 }

@@ -350,6 +350,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                         continue;
                     }
                     self.check_stall(n);
+                    // bq-lint: allow(panic-surface): a wedged executor must fail the round loudly — logging partial state as healthy would poison the goldens
                     panic!(
                         "executor stalled with {}/{} queries finished",
                         self.finished, n
@@ -373,6 +374,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
     /// continuing would log partially-advanced state as if it were healthy.
     fn check_stall(&self, n: usize) {
         if let Some(stall) = self.backend.stall_diagnostic() {
+            // bq-lint: allow(panic-surface): documented contract — a mid-round advance stall invalidates every logged timestamp, so the round must die loudly
             panic!(
                 "executor advance stalled mid-round with {}/{} queries \
                  finished: {stall:?}",
@@ -394,6 +396,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             }
             if let FaultEvent::QueryLost { query, at, .. } = event {
                 let policy = self.recovery.unwrap_or_else(|| {
+                    // bq-lint: allow(panic-surface): documented contract (pinned by a should_panic test) — losing work with no recovery policy must fail the round loudly
                     panic!(
                         "query {query:?} lost to a fault at t={at} but the \
                          session has no recovery policy; configure one with \
@@ -440,13 +443,15 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
     /// Release the earliest cooling entry regardless of the clock — used
     /// when an idle backend cannot advance to the eligibility instant.
     fn force_release_earliest(&mut self, log: &mut EpisodeLog) {
-        let i = self
+        let Some(i) = self
             .cooling
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("finite backoff"))
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
             .map(|(i, _)| i)
-            .expect("checked by caller");
+        else {
+            return; // nothing cooling — the caller's guard already held
+        };
         let (_, query) = self.cooling.swap_remove(i);
         let now = self.backend.now();
         self.release_lost_query(query, now, log);
@@ -496,7 +501,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             .connections()
             .iter()
             .filter_map(|slot| Some(slot.started_at()? + timeout))
-            .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Decide a query for every free connection while pending queries
@@ -511,6 +516,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
     /// routes over the scratch occupancy in which earlier decisions of this
     /// instant are already marked [`ConnectionSlot::Pending`], so no slot is
     /// handed out twice before the batch reaches the backend.
+    // bq-lint: hot-path
     fn fill_free_connections(&mut self, policy: &mut dyn SchedulerPolicy) {
         self.batch.clear();
         self.slot_scratch.clear();
@@ -585,6 +591,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             self.backend.submit_batch(&self.batch);
         }
     }
+    // bq-lint: hot-path-end
 
     fn apply_completion(
         &mut self,
@@ -611,7 +618,9 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         policy: &mut dyn SchedulerPolicy,
         log: &mut EpisodeLog,
     ) -> usize {
-        let timeout = self.query_timeout.expect("checked by caller");
+        let Some(timeout) = self.query_timeout else {
+            return 0; // no timeout configured — nothing can time out
+        };
         let now = self.backend.now();
         let mut cancelled = 0;
         for conn in 0..self.backend.connection_count() {

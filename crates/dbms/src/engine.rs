@@ -476,6 +476,7 @@ impl ExecutionEngine {
     /// `self.scratch.rates`, indexed by connection id (free slots read as
     /// zero); every buffer is reused across calls so the event loop performs
     /// no per-iteration allocations once warm.
+    // bq-lint: hot-path
     fn compute_rates(&mut self) {
         let mut s = std::mem::take(&mut self.scratch);
         s.rates.clear();
@@ -717,6 +718,7 @@ impl ExecutionEngine {
         );
         self.last_stall = Some(stall);
     }
+    // bq-lint: hot-path-end
 
     /// Advance virtual time until at least one running query completes and
     /// return all completions that occurred at that instant. Returns an empty

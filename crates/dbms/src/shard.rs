@@ -68,6 +68,7 @@ const TIME_EPS: f64 = 1e-9;
 
 /// Spacing of per-shard RNG seeds; shard 0 keeps the caller's seed verbatim
 /// so a single-shard deployment replays the monolithic engine byte for byte.
+// bq-lint: allow(unseeded-rng): golden-ratio seed spacing, not a generator — bq-dbms sits below bq-core in the dependency order and cannot import bq_core::rng
 const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// `N` independent [`ExecutionEngine`]s behind one executor surface.

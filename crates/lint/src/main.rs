@@ -1,0 +1,79 @@
+//! CLI for the determinism auditor.
+//!
+//! ```text
+//! cargo run -p bq-lint --release [-- --root <workspace-root>]
+//! ```
+//!
+//! Human-readable `file:line: [rule] message` diagnostics go to stderr; the
+//! single-line machine-readable JSON summary goes to stdout last (the same
+//! `tail -n 1` contract the bench bins honor). Exit status is nonzero iff
+//! any violation was found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut explicit_root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(root) => explicit_root = Some(PathBuf::from(root)),
+                None => {
+                    eprintln!("bq-lint: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bq-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bq-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(cwd) => cwd,
+        Err(err) => {
+            eprintln!("bq-lint: cannot read current directory: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = bq_lint::find_root(&cwd, explicit_root.as_deref()) else {
+        eprintln!(
+            "bq-lint: no workspace root found above {} (looked for Cargo.toml + crates/); \
+             pass --root",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = match bq_lint::run_workspace(&root, &bq_lint::rules::Config::default()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("bq-lint: scan failed under {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for line in report.human_lines() {
+        eprintln!("{line}");
+    }
+    if !report.is_clean() {
+        eprintln!(
+            "bq-lint: {} violation(s) across {} file(s); suppress only with \
+             `// bq-lint: allow(<rule>): <justification>`",
+            report.violations.len(),
+            report.files
+        );
+    }
+    println!("{}", report.json_summary());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

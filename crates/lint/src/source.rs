@@ -1,0 +1,597 @@
+//! Comment/string-aware scrubbing of Rust sources.
+//!
+//! The rules in [`crate::rules`] are token-level pattern checks; running them
+//! on raw text would trip on pattern names inside string literals, doc
+//! comments, or `#[cfg(test)]` fixtures. [`scrub`] therefore produces a
+//! per-line *code view* of a source file in which
+//!
+//! * string/char/byte-string literals (including raw strings with any number
+//!   of `#`s) are blanked to spaces,
+//! * `//` line comments and (nested) `/* */` block comments are removed,
+//! * lines that belong to `#[cfg(test)]` / `#[test]` items are flagged so
+//!   rules skip them, and
+//! * `bq-lint` control comments are parsed into structured directives:
+//!   `// bq-lint: allow(<rule>): <justification>` suppressions and
+//!   `// bq-lint: hot-path` / `// bq-lint: hot-path-end` region markers.
+//!
+//! Line numbers are 1-based throughout, matching compiler diagnostics.
+
+/// One `// bq-lint: allow(...)` suppression, resolved to the code line it
+/// governs (its own line for trailing comments; the next code line when the
+/// directive sits on a comment-only line above the violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule identifier inside `allow(...)`.
+    pub rule: String,
+    /// Line the directive was written on.
+    pub line: usize,
+}
+
+/// A malformed or unclosed `bq-lint` control comment — itself a diagnostic,
+/// so a typoed suppression can never silently disable nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError {
+    /// Line the broken directive was written on.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The scrubbed view of one source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with literals blanked and comments removed.
+    pub code: String,
+    /// Inside a `#[cfg(test)]` / `#[test]` item (rules skip these lines).
+    pub is_test: bool,
+    /// Inside a `// bq-lint: hot-path` region.
+    pub hot_path: bool,
+    /// Rule ids suppressed on this line (trailing directive, or directives
+    /// on comment-only lines directly above).
+    pub allows: Vec<String>,
+}
+
+/// The scrubbed view of a whole file.
+#[derive(Debug, Default)]
+pub struct Scrubbed {
+    /// Per-line views; index 0 is source line 1.
+    pub lines: Vec<Line>,
+    /// Broken control comments found while scrubbing.
+    pub directive_errors: Vec<DirectiveError>,
+}
+
+/// Scrub `source` into its code view (see the [module docs](self)).
+pub fn scrub(source: &str) -> Scrubbed {
+    let (mut lines, raw_allows, markers, mut directive_errors) = strip(source);
+    apply_hot_path_regions(&mut lines, &markers, &mut directive_errors);
+    mark_test_items(&mut lines);
+    attach_allows(&mut lines, &raw_allows);
+    Scrubbed {
+        lines,
+        directive_errors,
+    }
+}
+
+/// A `hot-path` / `hot-path-end` marker and the line it sits on.
+#[derive(Debug)]
+enum Marker {
+    Start(usize),
+    End(usize),
+}
+
+/// Pass 1: blank literals, strip comments, collect `bq-lint` directives.
+#[allow(clippy::type_complexity)]
+fn strip(source: &str) -> (Vec<Line>, Vec<Allow>, Vec<Marker>, Vec<DirectiveError>) {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut markers: Vec<Marker> = Vec::new();
+    let mut errors: Vec<DirectiveError> = Vec::new();
+
+    let mut code = String::new();
+    let mut line_no = 1usize;
+    let mut chars = source.chars().peekable();
+    // Block comments nest in Rust; 0 = not inside one.
+    let mut block_depth = 0usize;
+
+    let mut push_line = |code: &mut String, lines: &mut Vec<Line>| {
+        lines.push(Line {
+            code: std::mem::take(code),
+            ..Line::default()
+        });
+    };
+
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            push_line(&mut code, &mut lines);
+            line_no += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                block_depth -= 1;
+            } else if c == '/' && chars.peek() == Some(&'*') {
+                chars.next();
+                block_depth += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => {
+                // Line comment: consume to EOL, parse any directive.
+                chars.next();
+                let mut text = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    text.push(n);
+                    chars.next();
+                }
+                parse_directive(&text, line_no, &mut allows, &mut markers, &mut errors);
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                block_depth += 1;
+            }
+            '"' => {
+                code.push('"');
+                consume_string(
+                    &mut chars,
+                    &mut code,
+                    &mut line_no,
+                    &mut lines,
+                    &mut push_line,
+                );
+                code.push('"');
+            }
+            'r' | 'b' if starts_raw_or_byte_string(c, &mut chars, &code) => {
+                // `consume_raw_or_byte` saw the prefix via peeking and eats
+                // the literal (it pushed nothing; we blank it entirely).
+                consume_raw_or_byte(
+                    c,
+                    &mut chars,
+                    &mut code,
+                    &mut line_no,
+                    &mut lines,
+                    &mut push_line,
+                );
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal is `'\...'` or `'x'`
+                // (possibly multi-byte x); a lifetime has no closing quote
+                // right after one element.
+                let mut clone = chars.clone();
+                let is_char_literal = match clone.next() {
+                    Some('\\') => true,
+                    Some(_) => clone.next() == Some('\''),
+                    None => false,
+                };
+                if is_char_literal {
+                    code.push('\'');
+                    consume_char_literal(&mut chars, &mut code);
+                    code.push('\'');
+                } else {
+                    code.push('\'');
+                }
+            }
+            other => code.push(other),
+        }
+    }
+    push_line(&mut code, &mut lines);
+    (lines, allows, markers, errors)
+}
+
+/// After consuming `first` (`r` or `b`), decide whether the upcoming chars
+/// form a raw/byte string prefix (`r"`, `r#"`, `b"`, `br"`, `br#"`, ...).
+/// Identifiers ending in `r`/`b` (e.g. `for`, `ptr`) are excluded by
+/// checking the previous code char is not part of an identifier.
+fn starts_raw_or_byte_string(
+    first: char,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    code: &str,
+) -> bool {
+    if code
+        .chars()
+        .last()
+        .is_some_and(|p| p.is_alphanumeric() || p == '_')
+    {
+        return false;
+    }
+    let mut clone = chars.clone();
+    let mut next = clone.next();
+    if first == 'b' && next == Some('r') {
+        next = clone.next();
+    }
+    loop {
+        match next {
+            Some('#') => next = clone.next(),
+            Some('"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// Consume a raw or byte string literal whose first char (`r`/`b`) was
+/// already taken; blanks the contents (pushes only the prefix char so
+/// identifier boundaries stay intact).
+fn consume_raw_or_byte(
+    first: char,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    code: &mut String,
+    line_no: &mut usize,
+    lines: &mut Vec<Line>,
+    push_line: &mut impl FnMut(&mut String, &mut Vec<Line>),
+) {
+    code.push(' '); // keep column-ish spacing without creating an ident char
+    let mut raw = first == 'r';
+    if !raw && chars.peek() == Some(&'r') {
+        chars.next();
+        raw = true;
+    }
+    let mut hashes = 0usize;
+    while chars.peek() == Some(&'#') {
+        chars.next();
+        hashes += 1;
+    }
+    // Opening quote.
+    chars.next();
+    if !raw {
+        // Plain byte string `b"..."`: escape-aware like a normal string.
+        consume_string(chars, code, line_no, lines, push_line);
+        return;
+    }
+    // Raw (byte) string: ends at `"` followed by `hashes` `#`s.
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            push_line(code, lines);
+            *line_no += 1;
+            continue;
+        }
+        if c == '"' {
+            let mut clone = chars.clone();
+            if (0..hashes).all(|_| clone.next() == Some('#')) {
+                for _ in 0..hashes {
+                    chars.next();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Consume an escape-aware `"..."` body (opening quote already taken; the
+/// caller pushes the delimiting quotes so boundaries survive in the code
+/// view).
+fn consume_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    _code: &mut String,
+    line_no: &mut usize,
+    lines: &mut Vec<Line>,
+    push_line: &mut impl FnMut(&mut String, &mut Vec<Line>),
+) {
+    let mut blank = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                chars.next();
+            }
+            '\n' => {
+                push_line(&mut blank, lines);
+                *line_no += 1;
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a `'...'` char literal body (opening quote already taken).
+fn consume_char_literal(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, _code: &mut String) {
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                chars.next();
+            }
+            '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Parse one line comment's text for `bq-lint` control syntax.
+///
+/// The directive must be the *start* of the comment (after doc-comment
+/// markers and whitespace): `// bq-lint: ...`. Comments that merely mention
+/// the syntax mid-sentence — e.g. rustdoc prose describing the directives —
+/// are ignored rather than misparsed.
+fn parse_directive(
+    text: &str,
+    line: usize,
+    allows: &mut Vec<Allow>,
+    markers: &mut Vec<Marker>,
+    errors: &mut Vec<DirectiveError>,
+) {
+    let trimmed = text.trim_start_matches(|c: char| c == '/' || c == '!' || c.is_whitespace());
+    let Some(body) = trimmed.strip_prefix("bq-lint:") else {
+        return;
+    };
+    let body = body.trim();
+    if body == "hot-path" {
+        markers.push(Marker::Start(line));
+        return;
+    }
+    if body == "hot-path-end" {
+        markers.push(Marker::End(line));
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            errors.push(DirectiveError {
+                line,
+                message: "unclosed `allow(` in bq-lint directive".to_string(),
+            });
+            return;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !crate::rules::KNOWN_RULES.contains(&rule.as_str()) {
+            errors.push(DirectiveError {
+                line,
+                message: format!(
+                    "allow names unknown rule `{rule}` (known: {})",
+                    crate::rules::KNOWN_RULES.join(", ")
+                ),
+            });
+            return;
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            errors.push(DirectiveError {
+                line,
+                message: format!(
+                    "allow({rule}) needs a justification: \
+                     `// bq-lint: allow({rule}): <why this is sound>`"
+                ),
+            });
+            return;
+        }
+        allows.push(Allow { rule, line });
+        return;
+    }
+    errors.push(DirectiveError {
+        line,
+        message: format!(
+            "unrecognized bq-lint directive `{body}` \
+             (expected `allow(<rule>): <why>`, `hot-path`, or `hot-path-end`)"
+        ),
+    });
+}
+
+/// Flag the lines between `hot-path` / `hot-path-end` markers; an unclosed
+/// region is a directive error (it would silently extend to EOF).
+fn apply_hot_path_regions(
+    lines: &mut [Line],
+    markers: &[Marker],
+    errors: &mut Vec<DirectiveError>,
+) {
+    let mut open: Option<usize> = None;
+    for marker in markers {
+        match (marker, open) {
+            (Marker::Start(line), None) => open = Some(*line),
+            (Marker::Start(line), Some(_)) => errors.push(DirectiveError {
+                line: *line,
+                message: "nested `bq-lint: hot-path` region".to_string(),
+            }),
+            (Marker::End(line), Some(start)) => {
+                for l in lines.iter_mut().take(*line).skip(start.saturating_sub(1)) {
+                    l.hot_path = true;
+                }
+                open = None;
+            }
+            (Marker::End(line), None) => errors.push(DirectiveError {
+                line: *line,
+                message: "`bq-lint: hot-path-end` without an open region".to_string(),
+            }),
+        }
+    }
+    if let Some(start) = open {
+        errors.push(DirectiveError {
+            line: start,
+            message: "unclosed `bq-lint: hot-path` region (add `// bq-lint: hot-path-end`)"
+                .to_string(),
+        });
+    }
+}
+
+/// Flag lines that belong to `#[cfg(test)]` / `#[test]` items by walking the
+/// code view's tokens with brace tracking: a test attribute arms a skip that
+/// covers the attribute itself and the next item (through its `{...}` body,
+/// or to the terminating `;` for body-less items).
+fn mark_test_items(lines: &mut [Line]) {
+    #[derive(PartialEq)]
+    enum Pending {
+        No,
+        /// Saw a test attribute; waiting for the item's `{` or `;`.
+        Armed,
+    }
+    let mut depth = 0usize;
+    let mut pending = Pending::No;
+    // Depth above which every line is test code (the armed item's body).
+    let mut skip_above: Option<usize> = None;
+    let mut armed_from_line = 0usize;
+
+    let n = lines.len();
+    for i in 0..n {
+        let code = lines[i].code.clone();
+        let mut mark_this_line = skip_above.is_some() || pending == Pending::Armed;
+        let bytes = code.as_bytes();
+        let mut j = 0usize;
+        while j < bytes.len() {
+            let c = bytes[j] as char;
+            match c {
+                '#' => {
+                    // Possible attribute: capture bracket-balanced text, which
+                    // may span lines — handled by a simple lookahead within
+                    // this line plus continuation via `attr_spans`.
+                    if let Some((attr, end)) = capture_attr(lines, i, j) {
+                        if is_test_attr(&attr) && skip_above.is_none() {
+                            pending = Pending::Armed;
+                            armed_from_line = i;
+                            mark_this_line = true;
+                        }
+                        // Skip past the attribute on this line (the capture
+                        // may extend to later lines; those are handled when
+                        // reached — attrs contain no braces that matter
+                        // because we skip their text here only on this line).
+                        if end.0 == i {
+                            j = end.1;
+                            continue;
+                        } else {
+                            // Attribute continues on a later line: nothing
+                            // else on this line.
+                            break;
+                        }
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    if pending == Pending::Armed && skip_above.is_none() {
+                        skip_above = Some(depth);
+                        pending = Pending::No;
+                        for l in lines.iter_mut().take(i).skip(armed_from_line) {
+                            l.is_test = true;
+                        }
+                        mark_this_line = true;
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if skip_above.is_some_and(|d| depth < d) {
+                        skip_above = None;
+                        // The closing brace itself still belongs to the item.
+                        mark_this_line = true;
+                    }
+                }
+                ';' if pending == Pending::Armed => {
+                    // Body-less item (e.g. `#[cfg(test)] use ...;`).
+                    pending = Pending::No;
+                    for l in lines.iter_mut().take(i + 1).skip(armed_from_line) {
+                        l.is_test = true;
+                    }
+                    mark_this_line = true;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if mark_this_line || skip_above.is_some() {
+            lines[i].is_test = true;
+        }
+    }
+}
+
+/// Starting at `#` on `lines[line].code[pos..]`, capture the attribute text
+/// inside the outermost `[...]` (bracket-balanced, possibly spanning lines).
+/// Returns the text and the (line, byte) position just past the closing `]`.
+fn capture_attr(lines: &[Line], line: usize, pos: usize) -> Option<(String, (usize, usize))> {
+    let mut text = String::new();
+    let mut bracket_depth = 0usize;
+    let mut started = false;
+    let mut li = line;
+    let mut j = pos + 1; // past '#'
+    while li < lines.len() {
+        let bytes = lines[li].code.as_bytes();
+        while j < bytes.len() {
+            let c = bytes[j] as char;
+            match c {
+                '!' if !started && text.is_empty() => {} // inner attr `#![...]`
+                '[' => {
+                    started = true;
+                    bracket_depth += 1;
+                    if bracket_depth > 1 {
+                        text.push('[');
+                    }
+                }
+                ']' => {
+                    bracket_depth = bracket_depth.saturating_sub(1);
+                    if bracket_depth == 0 {
+                        return Some((text, (li, j + 1)));
+                    }
+                    text.push(']');
+                }
+                ' ' | '\t' => {
+                    if started {
+                        text.push(' ');
+                    }
+                }
+                other => {
+                    if started {
+                        text.push(other);
+                    } else if other != ' ' && other != '\t' {
+                        // `#` not followed by `[`: not an attribute.
+                        return None;
+                    }
+                }
+            }
+            j += 1;
+        }
+        li += 1;
+        j = 0;
+        if !started && li > line {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether attribute text (inside the brackets) marks a test-only item.
+/// `cfg(not(test))` is *non*-test code and must not arm the skip.
+fn is_test_attr(attr: &str) -> bool {
+    let compact: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    if compact == "test" || compact.starts_with("test(") {
+        return true;
+    }
+    if !compact.starts_with("cfg(") && !compact.starts_with("cfg_attr(") {
+        return false;
+    }
+    if compact.contains("not(test)") {
+        return false;
+    }
+    // `test` as a standalone token anywhere inside the cfg predicate.
+    let bytes = compact.as_bytes();
+    let needle = b"test";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+            let after = i + needle.len();
+            let after_ok = after == bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Resolve raw allow directives to the code lines they govern: a directive
+/// on a code line governs that line; a directive on a comment-only line
+/// governs the next line that carries code (chains of comment lines stack).
+fn attach_allows(lines: &mut [Line], raw: &[Allow]) {
+    for allow in raw {
+        let mut target = allow.line - 1; // to 0-based
+                                         // Walk forward past comment-only (now empty) lines.
+        while target < lines.len() && lines[target].code.trim().is_empty() {
+            target += 1;
+        }
+        if target < lines.len() {
+            lines[target].allows.push(allow.rule.clone());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The workspace must pass its own determinism audit.
+//!
+//! This is the acceptance test for the whole lint gate: every rule enabled,
+//! default scope config, zero violations. If a PR introduces a wall clock, a
+//! hash map, an inline SplitMix64, or an unjustified panic in a boundary
+//! crate, this test fails with the exact `file:line: [rule]` diagnostics.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_default_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = bq_lint::run_workspace(&root, &bq_lint::rules::Config::default())
+        .expect("workspace sources are readable");
+    assert!(
+        report.files > 30,
+        "walker found only {} files — scan roots are wrong",
+        report.files
+    );
+    assert!(
+        report.is_clean(),
+        "workspace violates its own determinism contract:\n{}",
+        report.human_lines().join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let config = bq_lint::rules::Config::default();
+    let a = bq_lint::run_workspace(&root, &config).expect("first scan");
+    let b = bq_lint::run_workspace(&root, &config).expect("second scan");
+    assert_eq!(a.json_summary(), b.json_summary());
+}

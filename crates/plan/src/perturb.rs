@@ -24,6 +24,7 @@ pub fn perturb_query_set(workload: &Workload, factor: f64, seed: u64) -> Workloa
     assert!(factor > 0.0, "perturbation factor must be positive");
     let n = workload.len();
     let mut rng = StdRng::seed_from_u64(
+        // bq-lint: allow(unseeded-rng): golden-ratio seed spacing, not a generator — bq-plan sits below bq-core in the dependency order and cannot import bq_core::rng
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(0xB05C),
     );

@@ -206,6 +206,7 @@ fn template_rng(spec: &WorkloadSpec, template: usize, replica: usize) -> StdRng 
     // plan structure; replicas only jitter predicates.
     let mix = spec
         .seed
+        // bq-lint: allow(unseeded-rng): golden-ratio seed spacing, not a generator — bq-plan sits below bq-core in the dependency order and cannot import bq_core::rng
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((template as u64) << 16)
         .wrapping_add((replica as u64) << 40)

@@ -97,6 +97,7 @@ impl<B: ExecutorBackend> WireBackend<B, InMemoryDuplex> {
     /// byte-identical configuration.
     pub fn lossless(backend: B) -> Self {
         Self::connect(WireServer::new(backend), InMemoryDuplex::lossless())
+            // bq-lint: allow(panic-surface): same-version in-process handshake is infallible by construction
             .expect("zero-latency handshake against a same-version server cannot fail")
     }
 
@@ -104,6 +105,7 @@ impl<B: ExecutorBackend> WireBackend<B, InMemoryDuplex> {
     /// model.
     pub fn with_profile(backend: B, profile: TransportProfile) -> Self {
         Self::connect(WireServer::new(backend), InMemoryDuplex::new(profile))
+            // bq-lint: allow(panic-surface): same-version in-process handshake is infallible by construction
             .expect("handshake against a same-version server cannot fail")
     }
 }
@@ -220,6 +222,7 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
             }
             // The exchange was lost in transit (request or response).
             let Some(policy) = self.recovery else {
+                // bq-lint: allow(panic-surface): ExecutorBackend's surface is infallible; an unanswered exchange without a recovery policy is a documented fatal contract breach
                 panic!("the server must answer every request");
             };
             attempt += 1;
@@ -272,17 +275,21 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
             while let Some(payload) = self
                 .reader
                 .next_frame()
+                // bq-lint: allow(panic-surface): a desynced response stream is a documented fatal protocol violation (client contract, see module docs)
                 .unwrap_or_else(|e| panic!("response stream lost framing: {e}"))
             {
                 let (rseq, body) =
+                    // bq-lint: allow(panic-surface): documented fatal protocol violation (client contract)
                     unseal(&payload).unwrap_or_else(|e| panic!("unsealable response frame: {e}"));
                 let decoded = Response::decode(body)
+                    // bq-lint: allow(panic-surface): documented fatal protocol violation (client contract)
                     .unwrap_or_else(|e| panic!("malformed response frame: {e}"));
                 if rseq != seq {
                     // An unsolicited error is a protocol violation; a stale
                     // sequence number is a harmless duplicate of an exchange
                     // we already completed.
                     if let Response::Error { code, detail } = decoded {
+                        // bq-lint: allow(panic-surface): documented fatal protocol violation (client contract)
                         panic!("unsolicited server error ({code:?}): {detail}");
                     }
                     continue;
@@ -315,8 +322,10 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
     fn reject(response: Response, action: &str) -> ! {
         match response {
             Response::Error { code, detail } => {
+                // bq-lint: allow(panic-surface): mirrors the local ExecutorBackend contract — invalid submissions panic, rejection just arrives as an error frame
                 panic!("wire {action} rejected ({code:?}): {detail}")
             }
+            // bq-lint: allow(panic-surface): documented fatal protocol violation (client contract)
             other => panic!("protocol violation: {action} answered with {other:?}"),
         }
     }

@@ -105,11 +105,9 @@ impl FrameReader {
         if self.buf.len() < FRAME_HEADER_LEN {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(
-            self.buf[..FRAME_HEADER_LEN]
-                .try_into()
-                .expect("header length checked"),
-        ) as usize;
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&self.buf[..FRAME_HEADER_LEN]);
+        let len = u32::from_le_bytes(header) as usize;
         if len > MAX_FRAME_LEN {
             self.buf.clear();
             return Err(FrameError::Oversized { len });
@@ -158,6 +156,14 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// [`Cursor::take`] into a fixed-size array, so integer decoding needs
+    /// no fallible-conversion unwrap.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], FrameError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
@@ -165,25 +171,23 @@ impl<'a> Cursor<'a> {
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `f64` transported as its IEEE-754 bit pattern (little-endian),
     /// so virtual-time instants round-trip bit-exactly.
     pub fn f64(&mut self) -> Result<f64, FrameError> {
-        Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().unwrap(),
-        )))
+        Ok(f64::from_bits(u64::from_le_bytes(self.take_array()?)))
     }
 
     /// Read a boolean encoded as a single `0`/`1` byte.

@@ -68,8 +68,9 @@ pub fn unseal(payload: &[u8]) -> Result<(u64, &[u8]), FrameError> {
     if payload.len() < 8 {
         return Err(FrameError::Truncated);
     }
-    let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
-    Ok((seq, &payload[8..]))
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&payload[..8]);
+    Ok((u64::from_le_bytes(seq_bytes), &payload[8..]))
 }
 
 /// Magic constant opening every handshake (`"bqwp"`), so a stray peer that

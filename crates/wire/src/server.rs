@@ -199,6 +199,7 @@ impl<B: ExecutorBackend> WireServer<B> {
         }
 
         match request {
+            // bq-lint: allow(panic-surface): Hello is intercepted before this match; locally provable
             Request::Hello { .. } => unreachable!("handled above"),
             Request::Submit {
                 query,

@@ -13,7 +13,7 @@
 //! A future TCP/UDS transport implements the same trait over real sockets;
 //! nothing above the trait changes.
 
-use bq_core::seeded_unit;
+use bq_core::rng;
 
 /// Direction of one transmission, used to decorrelate the two latency
 /// streams of a duplex link.
@@ -96,8 +96,7 @@ impl TransportProfile {
         if self.jitter <= 0.0 {
             return self.base_latency.max(0.0);
         }
-        let unit =
-            seeded_unit(self.seed ^ direction.salt() ^ index.wrapping_mul(0x9E6C_63D0_876A_9A69));
+        let unit = rng::stream_unit(self.seed, direction.salt(), index, 0);
         (self.base_latency + self.jitter * unit).max(0.0)
     }
 }
