@@ -4,6 +4,7 @@
 //! ```text
 //! gate [--baseline-dir bench/baselines] [--tolerance 0.10] BENCH_table3.json ...
 //! gate --bless-baseline [--baseline-dir bench/baselines] BENCH_table3.json ...
+//! gate --append-history bench/history [...] BENCH_table3.json ...
 //! ```
 //!
 //! Each input file holds one single-line JSON summary as emitted by a bench
@@ -12,6 +13,12 @@
 //! when every metric is within tolerance (or after a bless), 1 on any
 //! regression, missing baseline, missing metric, or metric that has no
 //! baseline entry yet (bless to admit it).
+//!
+//! `--append-history <dir>` additionally appends each summary line verbatim
+//! to `<dir>/<bench>_<scale>.jsonl` — the committed, append-only perf
+//! trajectory under `bench/history/`. Provenance (commit, date) comes from
+//! the git history of the log itself, so the lines stay byte-identical to
+//! what the bench binaries emitted.
 
 use bq_bench::gate::{compare, parse_summary};
 use std::path::PathBuf;
@@ -21,6 +28,7 @@ struct Args {
     baseline_dir: PathBuf,
     tolerance: f64,
     bless: bool,
+    history_dir: Option<PathBuf>,
     summaries: Vec<PathBuf>,
 }
 
@@ -29,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         baseline_dir: PathBuf::from("bench/baselines"),
         tolerance: 0.10,
         bless: false,
+        history_dir: None,
         summaries: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
@@ -48,6 +57,11 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--bless-baseline" => args.bless = true,
+            "--append-history" => {
+                args.history_dir = Some(PathBuf::from(
+                    iter.next().ok_or("--append-history needs a path")?,
+                ))
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             file => args.summaries.push(PathBuf::from(file)),
         }
@@ -56,6 +70,22 @@ fn parse_args() -> Result<Args, String> {
         return Err("no summary files given".into());
     }
     Ok(args)
+}
+
+/// Append one summary line to the append-only trajectory log
+/// `<dir>/<stem>.jsonl`.
+fn append_history(dir: &std::path::Path, stem: &str, line: &str) -> Result<(), String> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create history dir: {e}"))?;
+    let path = dir.join(format!("{stem}.jsonl"));
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    file.write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+    Ok(())
 }
 
 fn run() -> Result<bool, String> {
@@ -73,6 +103,10 @@ fn run() -> Result<bool, String> {
                 "{}: summary carries no metrics — nothing to gate",
                 path.display()
             ));
+        }
+
+        if let Some(dir) = &args.history_dir {
+            append_history(dir, &current.baseline_stem(), json.trim())?;
         }
 
         if args.bless {

@@ -111,7 +111,7 @@ impl Regression {
     /// or `None` for a near-zero baseline, where no finite ratio exists
     /// (report the absolute delta instead).
     pub fn severity(&self) -> Option<f64> {
-        if self.baseline.abs() < 1e-9 {
+        if !self.baseline.is_finite() || !self.current.is_finite() || self.baseline.abs() < 1e-9 {
             return None;
         }
         let relative = (self.current - self.baseline) / self.baseline.abs();
@@ -175,7 +175,9 @@ impl GateOutcome {
 ///
 /// Near-zero baselines (|v| < 1e-9) are compared absolutely against the
 /// tolerance instead of relatively, so a 0.0-baseline metric cannot divide
-/// by zero or fail on femtosecond noise.
+/// by zero or fail on femtosecond noise. Non-finite values (NaN, ±inf) on
+/// either side always fail: they can never attest health, and NaN would
+/// otherwise pass every directional check by comparing false.
 pub fn compare(
     current: &Summary,
     baseline: &Summary,
@@ -200,7 +202,13 @@ pub fn compare(
             continue;
         };
         let tolerance = tolerance_for(&key, tolerance);
-        let regressed = if base.abs() < 1e-9 {
+        let regressed = if !now.is_finite() || !base.is_finite() {
+            // NaN compares false against every threshold, so without this
+            // arm a metric that collapsed to NaN (or a poisoned baseline)
+            // would sail through both the relative and the absolute check.
+            // A non-finite value on either side can never attest health.
+            true
+        } else if base.abs() < 1e-9 {
             // Absolute comparison around a zero baseline.
             if higher_is_better(&key) {
                 now < base - tolerance
@@ -366,6 +374,45 @@ mod tests {
             "{}",
             r.describe()
         );
+    }
+
+    #[test]
+    fn non_finite_values_always_fail() {
+        let base = summary(&[("makespan_a", 100.0), ("acc_b", 0.8)]);
+        // NaN compares false in every direction; without the explicit arm it
+        // would pass both the relative and the absolute check.
+        let nan_now = summary(&[("makespan_a", f64::NAN), ("acc_b", 0.8)]);
+        let outcome = compare(&nan_now, &base, 0.10).expect("comparable");
+        assert!(!outcome.ok(), "a NaN metric must fail the gate");
+        assert_eq!(outcome.regressions[0].severity(), None);
+        let inf_now = summary(&[("makespan_a", f64::INFINITY), ("acc_b", 0.8)]);
+        assert!(!compare(&inf_now, &base, 0.10).expect("comparable").ok());
+        // A poisoned baseline demands a re-bless, not a silent pass.
+        let nan_base = summary(&[("makespan_a", f64::NAN), ("acc_b", 0.8)]);
+        let healthy = summary(&[("makespan_a", 100.0), ("acc_b", 0.8)]);
+        assert!(!compare(&healthy, &nan_base, 0.10).expect("comparable").ok());
+    }
+
+    #[test]
+    fn severity_sign_means_worse_regardless_of_direction() {
+        let sev = |key: &str, baseline: f64, current: f64| {
+            Regression {
+                key: key.into(),
+                baseline,
+                current,
+            }
+            .severity()
+            .expect("finite nonzero baseline")
+        };
+        // Lower-is-better: growth is worse, shrinkage is better.
+        assert!(sev("makespan_a", 100.0, 120.0) > 0.0);
+        assert!(sev("makespan_a", 100.0, 80.0) < 0.0);
+        // Higher-is-better: the sign flips with the direction key.
+        assert!(sev("acc_b", 0.8, 0.6) > 0.0);
+        assert!(sev("throughput_x", 1000.0, 1500.0) < 0.0);
+        // A negative baseline must not flip the sign: the relative change
+        // is taken against |baseline|.
+        assert!(sev("makespan_a", -100.0, -80.0) > 0.0);
     }
 
     #[test]

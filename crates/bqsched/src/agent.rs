@@ -18,7 +18,7 @@ use bq_core::{
 use bq_dbms::{DbmsProfile, ExecutionEngine, MemoryGrant, ParamSpace, RunParams, WORKER_OPTIONS};
 use bq_encoder::{
     EncodedObservation, FeatureScale, PlanEncoder, PlanEncoderConfig, StateEncoder,
-    StateEncoderConfig, STATE_FEATURE_DIM,
+    StateEncoderConfig, StateEncoderInferCache, STATE_FEATURE_DIM,
 };
 use bq_nn::{Activation, Graph, Mlp, NodeId, ParamStore, Tensor};
 use bq_plan::{QueryId, Workload};
@@ -238,6 +238,47 @@ impl BqSchedModel {
             (per_query, global)
         }
     }
+
+    /// Build the fused-attention inference cache for [`Self::infer_policy`].
+    /// Valid for the [`ParamStore::version`] it was built at.
+    pub fn build_infer_cache(&self, store: &ParamStore) -> StateEncoderInferCache {
+        self.state_encoder.build_infer_cache(store)
+    }
+
+    /// Tape-free policy evaluation for the decision loop.
+    ///
+    /// Returns the masked flat logits `[1, n·K]` and the state value. Bitwise
+    /// identical to [`ActorCritic::evaluate`] on the same observation: every
+    /// step runs the same tensor arithmetic, without recording a graph. When
+    /// `want_value` is false (greedy inference — the value is never read) the
+    /// value head is skipped and `0.0` returned.
+    pub fn infer_policy(
+        &self,
+        store: &ParamStore,
+        obs: &BqObs,
+        cache: &StateEncoderInferCache,
+        want_value: bool,
+    ) -> (Tensor, f32) {
+        let (per_query, global) = if self.use_attention {
+            self.state_encoder.infer(store, &obs.encoded, cache)
+        } else {
+            let x = obs.encoded.plan_embs.concat_cols(&obs.encoded.features);
+            let per_query = self.plain_proj.infer(store, &x);
+            let global = per_query.mean_pool_rows();
+            (per_query, global)
+        };
+        let n = obs.encoded.len();
+        let per_entity_logits = self.policy_head.infer(store, &per_query); // [n, K]
+        let flat = Tensor::from_vec(1, n * self.num_configs, per_entity_logits.data().to_vec());
+        let mask = Tensor::from_vec(1, obs.mask.len(), obs.mask.clone());
+        let logits = flat.add(&mask);
+        let value = if want_value {
+            self.value_head.infer(store, &global).item()
+        } else {
+            0.0
+        };
+        (logits, value)
+    }
 }
 
 impl ActorCritic for BqSchedModel {
@@ -279,6 +320,48 @@ struct PendingDecision {
     time: f64,
 }
 
+/// Round-invariant observation data, computed once per clustering instead of
+/// on every scheduling decision.
+///
+/// The cluster member lists, the sum-pooled per-entity plan embeddings and
+/// the per-entity historical-time sums depend only on the (fixed) clustering,
+/// the (frozen) plan embeddings and the (fixed) history — never on the
+/// execution state — so rebuilding them per decision is pure waste. Everything
+/// that *does* vary with the state (statuses, elapsed times, running/pending
+/// sets, the selectable mask) is still derived fresh from the observable
+/// state on every decision.
+struct EntityCache {
+    member_lists: Vec<Vec<QueryId>>,
+    /// `[n, plan_dim]` sum-pooled member plan embeddings (paper §IV-B).
+    entity_embs: Tensor,
+    /// Sum of historical average times over each entity's members.
+    avg_sums: Vec<f64>,
+}
+
+impl EntityCache {
+    fn build(clustering: &QueryClustering, plan_embs: &Tensor, avg_times: &[f64]) -> Self {
+        let member_lists = clustering.clusters();
+        let plan_dim = plan_embs.cols();
+        let n = member_lists.len();
+        let mut emb_data = vec![0.0f32; n * plan_dim];
+        let mut avg_sums = vec![0.0f64; n];
+        for (e, members) in member_lists.iter().enumerate() {
+            let row = &mut emb_data[e * plan_dim..(e + 1) * plan_dim];
+            for q in members {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += plan_embs.get(q.0, c);
+                }
+                avg_sums[e] += avg_times[q.0];
+            }
+        }
+        Self {
+            member_lists,
+            entity_embs: Tensor::from_vec(n, plan_dim, emb_data),
+            avg_sums,
+        }
+    }
+}
+
 /// The BQSched scheduling agent.
 pub struct BqSchedAgent {
     /// Agent configuration.
@@ -293,6 +376,16 @@ pub struct BqSchedAgent {
     mask: AdaptiveMask,
     clustering: QueryClustering,
     space: ParamSpace,
+    entity_cache: EntityCache,
+    /// When false, the round-invariant observation data is recomputed from
+    /// scratch on every decision instead of served from the entity cache.
+    /// Exists so tests and benchmarks can prove cache-on and cache-off
+    /// episodes are identical; leave it on everywhere else.
+    pub obs_cache_enabled: bool,
+    /// Fused-attention weights for the tape-free decision path, tagged with
+    /// the [`ParamStore::version`] they were built at and rebuilt lazily
+    /// whenever training (or a checkpoint load) bumps the version.
+    infer_cache: Option<(u64, StateEncoderInferCache)>,
     rng: StdRng,
     /// When true, actions are sampled and transitions are recorded; when
     /// false the agent acts greedily (inference mode).
@@ -373,6 +466,7 @@ impl BqSchedAgent {
 
         let mut store = ParamStore::new();
         let model = BqSchedModel::new(&config, space.len(), &mut store);
+        let entity_cache = EntityCache::build(&clustering, &plan_embs, &avg_times);
         Self {
             config,
             model,
@@ -383,6 +477,9 @@ impl BqSchedAgent {
             mask,
             clustering,
             space,
+            entity_cache,
+            obs_cache_enabled: true,
+            infer_cache: None,
             rng,
             explore: true,
             commit_queue: VecDeque::new(),
@@ -413,39 +510,49 @@ impl BqSchedAgent {
     }
 
     /// Build the entity-level observation and mask for a scheduling state.
+    ///
+    /// Round-invariant data (member lists, sum-pooled plan embeddings,
+    /// historical-time sums) is served from [`EntityCache`]; everything
+    /// derived from the execution state is recomputed fresh every decision.
     fn build_obs(&self, state: &SchedulingState<'_>) -> BqObs {
-        let clusters = self.clustering.clusters();
-        let n = clusters.len();
-        let plan_dim = self.plan_embs.cols();
-        let mut entity_embs = Vec::with_capacity(n);
-        let mut entity_feats = Vec::with_capacity(n);
+        let rebuilt;
+        let cache = if self.obs_cache_enabled {
+            &self.entity_cache
+        } else {
+            rebuilt = EntityCache::build(&self.clustering, &self.plan_embs, &self.avg_times);
+            &rebuilt
+        };
+        let n = cache.member_lists.len();
         let mut running = Vec::new();
         let mut pending = Vec::new();
         let mut selectable = vec![false; n];
-        for (e, members) in clusters.iter().enumerate() {
-            // Sum-pool the member plan embeddings (paper §IV-B).
-            let mut emb = vec![0.0f32; plan_dim];
+        let mut feat_data = vec![0.0f32; n * STATE_FEATURE_DIM];
+        for (e, members) in cache.member_lists.iter().enumerate() {
+            let mut any_pending = false;
+            let mut first_running: Option<QueryId> = None;
+            let mut running_count = 0usize;
+            let mut elapsed_sum = 0.0f64;
             for q in members {
-                for (c, v) in emb.iter_mut().enumerate() {
-                    *v += self.plan_embs.get(q.0, c);
+                match state.queries[q.0].status {
+                    QueryStatus::Pending => any_pending = true,
+                    QueryStatus::Running => {
+                        if first_running.is_none() {
+                            first_running = Some(*q);
+                        }
+                        running_count += 1;
+                        elapsed_sum += state.queries[q.0].elapsed;
+                    }
+                    _ => {}
                 }
             }
-            entity_embs.push(emb);
-
-            let any_pending = members
-                .iter()
-                .any(|q| state.queries[q.0].status == QueryStatus::Pending);
-            let any_running = members
-                .iter()
-                .any(|q| state.queries[q.0].status == QueryStatus::Running);
             let status = if any_pending {
                 QueryStatus::Pending
-            } else if any_running {
+            } else if running_count > 0 {
                 QueryStatus::Running
             } else {
                 QueryStatus::Finished
             };
-            if any_running {
+            if running_count > 0 {
                 running.push(e);
             }
             if any_pending {
@@ -453,13 +560,9 @@ impl BqSchedAgent {
                 selectable[e] = true;
             }
             // Entity feature vector with the same layout as per-query features.
-            let mut f = vec![0.0f32; STATE_FEATURE_DIM];
+            let f = &mut feat_data[e * STATE_FEATURE_DIM..(e + 1) * STATE_FEATURE_DIM];
             f[status.index()] = 1.0;
-            let running_members: Vec<&QueryId> = members
-                .iter()
-                .filter(|q| state.queries[q.0].status == QueryStatus::Running)
-                .collect();
-            if let Some(first_running) = running_members.first() {
+            if let Some(first_running) = first_running {
                 if let Some(params) = state.queries[first_running.0].params {
                     if let Some(widx) = WORKER_OPTIONS.iter().position(|&w| w == params.workers) {
                         f[3 + widx] = 1.0;
@@ -471,38 +574,44 @@ impl BqSchedAgent {
                     f[3 + WORKER_OPTIONS.len() + midx] = 1.0;
                 }
             }
-            let elapsed: f64 = if running_members.is_empty() {
+            let elapsed = if running_count == 0 {
                 0.0
             } else {
-                running_members
-                    .iter()
-                    .map(|q| state.queries[q.0].elapsed)
-                    .sum::<f64>()
-                    / running_members.len() as f64
+                elapsed_sum / running_count as f64
             };
-            let avg: f64 = members.iter().map(|q| self.avg_times[q.0]).sum();
             f[STATE_FEATURE_DIM - 2] = (elapsed / self.scale.time_scale) as f32;
-            f[STATE_FEATURE_DIM - 1] = (avg / self.scale.time_scale) as f32;
-            entity_feats.push(f);
+            f[STATE_FEATURE_DIM - 1] = (cache.avg_sums[e] / self.scale.time_scale) as f32;
         }
         let encoded = EncodedObservation {
-            plan_embs: Tensor::from_rows(&entity_embs),
-            features: Tensor::from_rows(&entity_feats),
+            plan_embs: cache.entity_embs.clone(),
+            features: Tensor::from_vec(n, STATE_FEATURE_DIM, feat_data),
             running,
             pending,
         };
-        let member_lists: Vec<Vec<QueryId>> = clusters;
-        let mask = self.mask.logit_mask(&member_lists, &selectable);
+        let mask = self.mask.logit_mask(&cache.member_lists, &selectable);
         BqObs { encoded, mask }
     }
 
     /// Evaluate the policy on an observation and pick an action (sampling
     /// when exploring, argmax otherwise).
+    ///
+    /// Runs the tape-free [`BqSchedModel::infer_policy`] path — bitwise
+    /// identical logits to the recorded [`ActorCritic::evaluate`] pass the
+    /// trainers use, without building a graph per decision. The fused-weight
+    /// cache is rebuilt whenever the parameter-store version moved (training
+    /// update, checkpoint load).
     fn decide(&mut self, obs: &BqObs) -> (usize, f32, f32, Vec<f32>) {
-        let mut g = Graph::new();
-        let (logits, value) = self.model.evaluate(&mut g, &self.store, obs);
-        let probs = g.value(logits).softmax_rows();
-        let value = g.value(value).item();
+        let version = self.store.version();
+        if self.infer_cache.as_ref().map(|(v, _)| *v) != Some(version) {
+            self.infer_cache = Some((version, self.model.build_infer_cache(&self.store)));
+        }
+        let cache = &self.infer_cache.as_ref().expect("cache ensured above").1;
+        // Greedy mode never reads the value estimate, so the value head is
+        // skipped there (`want_value = explore`).
+        let (logits, value) = self
+            .model
+            .infer_policy(&self.store, obs, cache, self.explore);
+        let probs = logits.softmax_rows();
         let p = probs.data();
         let action = if self.explore {
             let r: f32 = self.rng.gen();
@@ -596,7 +705,9 @@ impl SchedulerPolicy for BqSchedAgent {
         }
         // Fallback: the policy selected an entity with no pending members
         // (only possible under a pathological mask); submit any pending query.
-        let q = state.pending_queries()[0];
+        let q = state
+            .first_pending()
+            .expect("select() called with no pending queries");
         Action {
             query: q,
             params: RunParams::default_config(),
@@ -1058,5 +1169,119 @@ mod tests {
         agent.explore = false;
         let log = run_once(&mut agent, &w, &profile, None, 0);
         assert_eq!(log.len(), w.len());
+    }
+
+    /// Observations captured at a few hand-built execution states with varying
+    /// running/pending splits.
+    fn sample_states(agent: &BqSchedAgent, w: &Workload) -> Vec<BqObs> {
+        use bq_core::QueryRuntime;
+        let mut out = Vec::new();
+        for n_running in [0usize, 3, 9] {
+            let mut queries: Vec<QueryRuntime> =
+                (0..w.len()).map(|_| QueryRuntime::pending(1.0)).collect();
+            for q in queries.iter_mut().take(n_running) {
+                q.status = QueryStatus::Running;
+                q.params = Some(RunParams::default_config());
+                q.elapsed = 0.25 * n_running as f64;
+            }
+            let state = SchedulingState {
+                workload: w,
+                now: 0.5,
+                queries: &queries,
+                free_connection: 0,
+            };
+            out.push(agent.build_obs(&state));
+        }
+        out
+    }
+
+    #[test]
+    fn infer_policy_matches_graph_evaluate_bitwise() {
+        // The tape-free decision path must produce bit-identical logits,
+        // values and therefore actions to the recorded graph pass the
+        // trainers replay — on both the attention and the plain backend.
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        for config in [fast_config(), fast_config().without_attention()] {
+            let agent = BqSchedAgent::new(&w, &profile, None, config);
+            let cache = agent.model.build_infer_cache(&agent.store);
+            for obs in sample_states(&agent, &w) {
+                let mut g = Graph::new();
+                let (logits_g, value_g) = agent.model.evaluate(&mut g, &agent.store, &obs);
+                let (logits_i, value_i) =
+                    agent.model.infer_policy(&agent.store, &obs, &cache, true);
+                assert_eq!(g.value(logits_g).shape(), logits_i.shape());
+                for (a, b) in g.value(logits_g).data().iter().zip(logits_i.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "logits drifted");
+                }
+                assert_eq!(
+                    g.value(value_g).item().to_bits(),
+                    value_i.to_bits(),
+                    "value drifted"
+                );
+                // Identical logits imply identical greedy actions.
+                assert_eq!(
+                    g.value(logits_g).softmax_rows().argmax(),
+                    logits_i.softmax_rows().argmax()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infer_cache_survives_version_bump() {
+        // A no-op parameter-store mutation bumps the version; the rebuilt
+        // fused-weight cache must still produce identical logits.
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let mut agent = BqSchedAgent::new(&w, &profile, None, fast_config());
+        let obs = sample_states(&agent, &w).remove(1);
+        let before = agent.model.build_infer_cache(&agent.store);
+        let (logits_before, _) = agent.model.infer_policy(&agent.store, &obs, &before, false);
+        let v = agent.store.version();
+        let id = agent.store.iter().next().unwrap().0;
+        let val = agent.store.get_mut(id).value.get(0, 0);
+        agent.store.get_mut(id).value.set(0, 0, val);
+        assert!(
+            agent.store.version() > v,
+            "mutable access must bump version"
+        );
+        let after = agent.model.build_infer_cache(&agent.store);
+        let (logits_after, _) = agent.model.infer_policy(&agent.store, &obs, &after, false);
+        for (a, b) in logits_before.data().iter().zip(logits_after.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn obs_cache_on_and_off_episodes_are_identical() {
+        // The round-invariant entity cache must not change a single decision:
+        // greedy and exploring episode logs are byte-identical with the cache
+        // enabled and disabled, on both representation backends, including
+        // cluster-level scheduling (where the cache actually pools members).
+        let w = tiny_workload();
+        let profile = DbmsProfile::dbms_x();
+        let history = collect_history(&mut FifoScheduler::new(), &w, &profile, 2, 0);
+        let configs = [
+            fast_config(),
+            fast_config().without_attention(),
+            fast_config().with_clusters(6),
+        ];
+        for config in configs {
+            for explore in [false, true] {
+                let mut on = BqSchedAgent::new(&w, &profile, Some(&history), config.clone());
+                let mut off = BqSchedAgent::new(&w, &profile, Some(&history), config.clone());
+                off.obs_cache_enabled = false;
+                on.explore = explore;
+                off.explore = explore;
+                let log_on = run_once(&mut on, &w, &profile, Some(&history), 7);
+                let log_off = run_once(&mut off, &w, &profile, Some(&history), 7);
+                assert_eq!(
+                    log_on.to_json(),
+                    log_off.to_json(),
+                    "entity cache changed the schedule (explore={explore})"
+                );
+            }
+        }
     }
 }

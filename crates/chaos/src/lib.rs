@@ -232,6 +232,53 @@ mod tests {
         assert_eq!(log.lost_queries(), 0, "a stall loses nothing");
     }
 
+    /// Build the regression scenario for an *engine-level* advance stall
+    /// underneath the chaos decorator: shard 0's advance budget is forced to
+    /// zero (it stalls on the first integration), while the fault schedule
+    /// stalls shard 1 at the chaos layer. The decorator must never mask the
+    /// engine diagnostic — the merge loop used to re-advance the broken
+    /// shard with a fresh budget on every poll, spinning instead of failing.
+    fn engine_stall_under_chaos(w: &Workload) -> ChaosBackend<ShardedEngine> {
+        let profile = DbmsProfile::dbms_x();
+        let schedule = FaultSchedule::from_events(vec![FaultSpec::ShardStall {
+            shard: 1,
+            at: 0.2,
+            resume_at: 0.4,
+        }]);
+        let mut sharded = ShardedEngine::new(profile, w, 0, 2);
+        sharded.force_shard_advance_budget(0, 0);
+        ChaosBackend::new(sharded, &schedule)
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "advance budget exhausted")]
+    fn an_engine_stall_under_chaos_asserts_in_debug() {
+        let w = tpch();
+        let mut backend = engine_stall_under_chaos(&w);
+        ScheduleSession::builder(&w)
+            .dbms(DbmsProfile::dbms_x().kind)
+            .recovery(RecoveryPolicy::bounded())
+            .build(&mut backend)
+            .run(&mut FifoScheduler::new());
+    }
+
+    // Release-only: in debug the shard's own stall assert fires first (the
+    // test above). Here the stall is recorded instead, and the session must
+    // fail the round loudly via `stall_diagnostic` — never spin.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    #[should_panic(expected = "stalled mid-round")]
+    fn an_engine_stall_under_chaos_fails_the_round_loudly() {
+        let w = tpch();
+        let mut backend = engine_stall_under_chaos(&w);
+        ScheduleSession::builder(&w)
+            .dbms(DbmsProfile::dbms_x().kind)
+            .recovery(RecoveryPolicy::bounded())
+            .build(&mut backend)
+            .run(&mut FifoScheduler::new());
+    }
+
     #[test]
     fn transport_chaos_retransmits_and_replays_identically() {
         let w = tpch();

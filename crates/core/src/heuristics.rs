@@ -32,12 +32,15 @@ impl SchedulerPolicy for RandomScheduler {
     }
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
-        let pending = state.pending_queries();
-        assert!(
-            !pending.is_empty(),
-            "select() called with no pending queries"
-        );
-        let pick = pending[self.rng.gen_range(0..pending.len())];
+        let n = state.pending_count();
+        assert!(n > 0, "select() called with no pending queries");
+        // Same draw as indexing a collected Vec (the count matches its
+        // length), but without allocating it.
+        let pick = state
+            .pending_iter()
+            .nth(self.rng.gen_range(0..n))
+            // bq-lint: allow(panic-surface): locally provable — the index is drawn from 0..pending_count(), the iterator's exact length
+            .expect("index is within the pending count");
         Action::with_default_params(pick)
     }
 }
@@ -59,12 +62,11 @@ impl SchedulerPolicy for FifoScheduler {
     }
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
-        let pending = state.pending_queries();
-        assert!(
-            !pending.is_empty(),
-            "select() called with no pending queries"
-        );
-        Action::with_default_params(pending[0])
+        let pick = state
+            .first_pending()
+            // bq-lint: allow(panic-surface): documented contract — the session only calls select() with pending queries, as the former assert spelled out
+            .expect("select() called with no pending queries");
+        Action::with_default_params(pick)
     }
 }
 
@@ -111,17 +113,19 @@ impl SchedulerPolicy for McfScheduler {
     }
 
     fn select(&mut self, state: &SchedulingState<'_>) -> Action {
-        let pending = state.pending_queries();
-        assert!(
-            !pending.is_empty(),
-            "select() called with no pending queries"
-        );
+        let mut pending = state.pending_iter();
+        let mut pick = pending
+            .next()
+            // bq-lint: allow(panic-surface): documented contract — the session only calls select() with pending queries, as the former assert spelled out
+            .expect("select() called with no pending queries");
         // Manual max scan with `>=` so ties keep the *last* maximal query,
         // exactly like `Iterator::max_by` — the goldens pin that order.
-        let mut pick = pending[0];
-        for &q in &pending[1..] {
-            if self.cost_of(state.workload, state, q) >= self.cost_of(state.workload, state, pick) {
+        let mut pick_cost = self.cost_of(state.workload, state, pick);
+        for q in pending {
+            let cost = self.cost_of(state.workload, state, q);
+            if cost >= pick_cost {
                 pick = q;
+                pick_cost = cost;
             }
         }
         Action::with_default_params(pick)

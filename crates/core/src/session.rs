@@ -199,6 +199,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
             idle_spins: 0,
             finished: 0,
             decisions: 0,
+            pending_count: n,
         }
     }
 }
@@ -239,6 +240,10 @@ pub struct ScheduleSession<'a, E> {
     idle_spins: usize,
     finished: usize,
     decisions: usize,
+    /// Number of arena entries currently [`QueryStatus::Pending`], maintained
+    /// at every status transition so the fill loop's "work left?" check is
+    /// O(1) instead of an O(queries) scan per decision.
+    pending_count: usize,
 }
 
 impl<'a> ScheduleSession<'a, ()> {
@@ -330,11 +335,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                         }
                         continue;
                     }
-                    if self
-                        .runtimes
-                        .iter()
-                        .any(|q| q.status == QueryStatus::Pending)
-                    {
+                    if self.pending_count > 0 {
                         // Lost queries were just released (or never started):
                         // go back around and refill. Bounded, so a cluster
                         // with no routable shard left fails loudly instead
@@ -466,6 +467,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         rt.status = QueryStatus::Pending;
         rt.params = None;
         rt.elapsed = 0.0;
+        self.pending_count += 1;
         self.idle_spins = 0;
         log.push_fault(&FaultEvent::QueryResubmitted {
             query,
@@ -522,14 +524,21 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         self.slot_scratch.clear();
         self.slot_scratch
             .extend_from_slice(self.backend.connections());
-        loop {
-            let pending_left = self
-                .runtimes
-                .iter()
-                .any(|q| q.status == QueryStatus::Pending);
-            if !pending_left {
-                break;
+        // Refresh elapsed times for running queries, once per fill: the
+        // backend's clock and occupancy cannot change while decisions are
+        // being collected (the batch is dispatched only at the end), so a
+        // per-decision refresh would rewrite the same values.
+        let now = self.backend.now();
+        for (q, params, elapsed, _conn) in self.backend.running_view() {
+            let rt = &mut self.runtimes[q.0];
+            if rt.status == QueryStatus::Pending {
+                self.pending_count -= 1;
             }
+            rt.status = QueryStatus::Running;
+            rt.params = Some(params);
+            rt.elapsed = elapsed;
+        }
+        while self.pending_count > 0 {
             let routed = match &mut self.router {
                 Some(router) => router.route(&self.topology, &self.slot_scratch),
                 None => self.slot_scratch.iter().position(ConnectionSlot::is_free),
@@ -543,15 +552,6 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                     .is_some_and(ConnectionSlot::is_free),
                 "router returned non-free connection {free}"
             );
-
-            // Refresh elapsed times for running queries.
-            let now = self.backend.now();
-            for (q, params, elapsed, _conn) in self.backend.running_view() {
-                let rt = &mut self.runtimes[q.0];
-                rt.status = QueryStatus::Running;
-                rt.params = Some(params);
-                rt.elapsed = elapsed;
-            }
 
             let state = SchedulingState {
                 workload: self.workload,
@@ -586,6 +586,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             self.batch.push((action.query, action.params, free));
             self.runtimes[action.query.0].status = QueryStatus::Running;
             self.runtimes[action.query.0].params = Some(action.params);
+            self.pending_count -= 1;
         }
         if !self.batch.is_empty() {
             self.backend.submit_batch(&self.batch);

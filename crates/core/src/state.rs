@@ -80,13 +80,36 @@ pub struct SchedulingState<'a> {
 
 impl<'a> SchedulingState<'a> {
     /// Ids of queries that have not been submitted yet.
+    ///
+    /// Allocates the returned `Vec`; per-decision hot paths should prefer
+    /// [`SchedulingState::pending_iter`] / [`SchedulingState::first_pending`],
+    /// which walk the same arena in the same ascending-id order without
+    /// allocating.
     pub fn pending_queries(&self) -> Vec<QueryId> {
+        self.pending_iter().collect()
+    }
+
+    /// Ids of queries that have not been submitted yet, ascending, without
+    /// allocating.
+    pub fn pending_iter(&self) -> impl Iterator<Item = QueryId> + '_ {
         self.queries
             .iter()
             .enumerate()
             .filter(|(_, q)| q.status == QueryStatus::Pending)
             .map(|(i, _)| QueryId(i))
-            .collect()
+    }
+
+    /// Lowest-id pending query, if any — what FIFO order submits next.
+    pub fn first_pending(&self) -> Option<QueryId> {
+        self.pending_iter().next()
+    }
+
+    /// Number of pending queries, without allocating.
+    pub fn pending_count(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| q.status == QueryStatus::Pending)
+            .count()
     }
 
     /// Ids of queries currently running.

@@ -43,6 +43,9 @@ struct SlotProgress {
     cpu_remaining: f64,
     io_remaining: f64,
     parallel_fraction: f64,
+    /// Requested degree of parallelism (`params.workers as f64`), cached at
+    /// submission so the rate loop never re-derives it from the slot enum.
+    workers_cap: f64,
 }
 
 /// Diagnostic recorded when a bounded advance exhausts its iteration budget
@@ -206,7 +209,6 @@ pub struct ExecutionEngine {
 #[derive(Debug, Default)]
 struct RateScratch {
     rates: Vec<(f64, f64)>,
-    node_members: Vec<usize>,
     cpu_active: Vec<usize>,
     caps: Vec<f64>,
     granted: Vec<f64>,
@@ -364,26 +366,33 @@ impl ExecutionEngine {
         );
         assert!(query.0 < self.demands.len(), "query {query:?} out of range");
         let node = self.profile.node_of_connection(connection);
-        let demand = self.demands[query.0].clone();
+        // Split borrows: the demand row is read in place (no per-submission
+        // clone of its table list) while the node's buffer pool is updated.
+        let Self {
+            profile,
+            demands,
+            buffers,
+            slots,
+            progress,
+            rng,
+            ..
+        } = self;
+        let demand = &demands[query.0];
 
         // Execution noise: every run of the same query differs slightly, which
         // is what produces the σ_ov the paper reports.
-        let noise =
-            1.0 + self.profile.noise_std * (self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0);
+        let noise = 1.0 + profile.noise_std * (rng.gen::<f64>() + rng.gen::<f64>() - 1.0);
         let noise = noise.clamp(0.7, 1.4);
 
         // Effective I/O after buffer hits and concurrent-scan sharing.
         let mut io_pages = 0.0;
         for &(table, pages) in &demand.table_pages {
-            let mut hit = self.buffers[node].hit_fraction(table, pages);
-            let concurrent_scan = self.slots.iter().enumerate().any(|(c, s)| match s.query() {
+            let mut hit = buffers[node].hit_fraction(table, pages);
+            let concurrent_scan = slots.iter().enumerate().any(|(c, s)| match s.query() {
                 Some(q) => {
-                    self.profile.node_of_connection(c) == node
-                        && self.progress[c].io_remaining > 0.0
-                        && self.demands[q.0]
-                            .table_pages
-                            .iter()
-                            .any(|(t, _)| *t == table)
+                    profile.node_of_connection(c) == node
+                        && progress[c].io_remaining > 0.0
+                        && demands[q.0].table_pages.iter().any(|(t, _)| *t == table)
                 }
                 None => false,
             });
@@ -391,14 +400,16 @@ impl ExecutionEngine {
                 hit = hit.max(CONCURRENT_SCAN_HIT);
             }
             io_pages += pages * (1.0 - hit);
-            self.buffers[node].touch(table, pages);
+            buffers[node].touch(table, pages);
         }
 
         // Spill I/O when the memory demand exceeds the grant.
-        let grant = self.profile.memory_grant(params.memory);
+        let grant = profile.memory_grant(params.memory);
         if demand.memory_pages > grant {
             io_pages += (demand.memory_pages - grant) * SPILL_IO_FACTOR;
         }
+        let cpu_work = demand.cpu_work;
+        let parallel_fraction = demand.parallel_fraction;
 
         // Requesting additional parallel workers carries a coordination
         // overhead: the total CPU work grows slightly with the degree of
@@ -411,9 +422,10 @@ impl ExecutionEngine {
             started_at: self.now,
         };
         self.progress[connection] = SlotProgress {
-            cpu_remaining: demand.cpu_work * noise * parallel_overhead,
+            cpu_remaining: cpu_work * noise * parallel_overhead,
             io_remaining: io_pages * noise,
-            parallel_fraction: demand.parallel_fraction,
+            parallel_fraction,
+            workers_cap: params.workers as f64,
         };
         self.submitted_events.push_back((query, connection));
     }
@@ -482,38 +494,31 @@ impl ExecutionEngine {
         s.rates.clear();
         s.rates.resize(self.slots.len(), (0.0, 0.0));
         for node in 0..self.profile.nodes {
-            s.node_members.clear();
-            s.node_members.extend(
-                self.slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(c, slot)| {
-                        !slot.is_free() && self.profile.node_of_connection(*c) == node
-                    })
-                    .map(|(c, _)| c),
-            );
-            if s.node_members.is_empty() {
-                continue;
+            // One pass over the slots collects this node's CPU-active and
+            // I/O-active members (ascending connection order, exactly like
+            // the separate filter passes it replaces) together with their
+            // cached parallelism caps.
+            s.cpu_active.clear();
+            s.caps.clear();
+            s.io_active.clear();
+            for (c, slot) in self.slots.iter().enumerate() {
+                if slot.is_free() || self.profile.node_of_connection(c) != node {
+                    continue;
+                }
+                let p = &self.progress[c];
+                if p.cpu_remaining > 0.0 {
+                    s.cpu_active.push(c);
+                    s.caps.push(p.workers_cap);
+                }
+                if p.io_remaining > 0.0 {
+                    s.io_active.push(c);
+                }
             }
             // --- CPU: water-filling allocation of the node's cores over the
             // queries that still have CPU work, capped by each query's
             // requested degree of parallelism.
             let cores = self.profile.cores_per_node as f64;
-            s.cpu_active.clear();
-            s.cpu_active.extend(
-                s.node_members
-                    .iter()
-                    .copied()
-                    .filter(|&c| self.progress[c].cpu_remaining > 0.0),
-            );
             if !s.cpu_active.is_empty() {
-                s.caps.clear();
-                s.caps.extend(s.cpu_active.iter().map(|&c| {
-                    self.slots[c]
-                        .params()
-                        .expect("cpu-active slot is busy")
-                        .workers as f64
-                }));
                 s.granted.clear();
                 s.granted.resize(s.cpu_active.len(), 0.0);
                 let mut remaining = cores;
@@ -556,13 +561,6 @@ impl ExecutionEngine {
                 }
             }
             // --- I/O: share the node's bandwidth over queries still reading.
-            s.io_active.clear();
-            s.io_active.extend(
-                s.node_members
-                    .iter()
-                    .copied()
-                    .filter(|&c| self.progress[c].io_remaining > 0.0),
-            );
             if !s.io_active.is_empty() {
                 let bw = self.profile.io_pages_per_sec;
                 let fair = bw / s.io_active.len() as f64;
@@ -666,16 +664,12 @@ impl ExecutionEngine {
             }
             let dt = dt.max(MIN_DT).min((until - self.now).max(0.0));
             self.now += dt;
-            for (c, p) in self.progress.iter_mut().enumerate() {
-                if self.slots[c].is_free() {
-                    continue;
-                }
-                let (cpu_rate, io_rate) = self.scratch.rates[c];
-                p.cpu_remaining = (p.cpu_remaining - cpu_rate * dt).max(0.0);
-                p.io_remaining = (p.io_remaining - io_rate * dt).max(0.0);
-            }
-            // Emit completions in ascending connection order: the batch an
-            // instant produces is deterministic by construction.
+            // Integrate progress and emit completions in one ascending pass
+            // over the connections: same update arithmetic and same emission
+            // order as the separate passes it replaces, so the batch an
+            // instant produces stays deterministic by construction. (The
+            // engine's own slots are only ever Free or Busy; the Pending
+            // phase exists for async adapters layered above it.)
             let now = self.now;
             let mut emitted = false;
             for c in 0..self.slots.len() {
@@ -687,7 +681,11 @@ impl ExecutionEngine {
                 else {
                     continue;
                 };
-                if self.progress[c].cpu_remaining <= 1e-9 && self.progress[c].io_remaining <= 1e-9 {
+                let (cpu_rate, io_rate) = self.scratch.rates[c];
+                let p = &mut self.progress[c];
+                p.cpu_remaining = (p.cpu_remaining - cpu_rate * dt).max(0.0);
+                p.io_remaining = (p.io_remaining - io_rate * dt).max(0.0);
+                if p.cpu_remaining <= 1e-9 && p.io_remaining <= 1e-9 {
                     self.slots[c] = ConnectionSlot::Free;
                     self.completion_events.push_back(QueryCompletion {
                         query,

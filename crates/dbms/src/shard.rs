@@ -24,9 +24,13 @@
 //! # Deterministic event merge
 //!
 //! Shards advance independently, so their clocks drift apart between
-//! deliveries. Harvested completions are merged **by `(finished_at, global
-//! connection id)`** — never by shard polling order — which makes episode
-//! logs a pure function of (workload, profile, seed, shard count): shard 0
+//! deliveries — and because a shard's advance touches nothing but
+//! shard-local state (own noise stream, own buffer pool, own stall
+//! diagnostic), busy shards integrate **concurrently** on a scoped worker
+//! pool whenever an advance selects more than one. Harvested completions
+//! are merged **by `(finished_at, global connection id)`** — never by shard
+//! polling order or thread timing — which makes episode logs a pure
+//! function of (workload, profile, seed, shard count): shard 0
 //! with the same seed replays the monolithic engine exactly, and cross-shard
 //! ties (two shards completing at the same instant) always resolve toward
 //! the lower global connection id. Before delivering a candidate event the
@@ -96,6 +100,10 @@ pub struct ShardedEngine {
     /// partitioned running views.
     id_index: Vec<usize>,
     delivered: usize,
+    /// Reusable scratch for the shard ids selected by one advance — the
+    /// merge loop runs once per delivered completion, so the selection must
+    /// not allocate per poll.
+    advance_ids: Vec<usize>,
 }
 
 impl ShardedEngine {
@@ -127,7 +135,47 @@ impl ShardedEngine {
             submitted: VecDeque::with_capacity(total),
             id_index: (0..total).collect(),
             delivered: 0,
+            advance_ids: Vec::with_capacity(shards),
         }
+    }
+
+    /// Integrate the selected shards up to `bound`, concurrently when more
+    /// than one is selected.
+    ///
+    /// Safe to parallelise because a shard's advance touches nothing but
+    /// shard-local state — its own progress vectors, noise stream (seeded per
+    /// shard at construction), buffer pool and stall diagnostic — so the
+    /// post-advance state of every shard is a pure function of its own
+    /// pre-advance state and `bound`, independent of thread interleaving.
+    /// Harvesting (which mutates the shared merge set) stays with the caller,
+    /// serial in ascending shard id, and delivery ordering is decided solely
+    /// by the `(finished_at, global connection id)` merge key — so episode
+    /// logs are byte-identical to the former serial advance.
+    ///
+    /// Worker panics are re-raised on the caller with their *original*
+    /// payload (joined in ascending shard order, first failure wins), so a
+    /// debug-build stall assert inside a shard surfaces verbatim instead of
+    /// as `std::thread::scope`'s generic "a scoped thread panicked".
+    fn advance_shards(shards: &mut [ExecutionEngine], ids: &[usize], bound: f64) {
+        if ids.len() < 2 {
+            for &s in ids {
+                shards[s].advance_to(bound);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ids.len());
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if ids.contains(&s) {
+                    handles.push(scope.spawn(move || shard.advance_to(bound)));
+                }
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
     }
 
     /// Number of shards.
@@ -335,14 +383,27 @@ impl ShardedEngine {
             match self.min_pending() {
                 None => {
                     // No harvested candidate: advance every busy shard to
-                    // its own next completion and try again.
+                    // its own next completion and try again. Shards that
+                    // already stalled are skipped, exactly as in the
+                    // candidate branch below — re-advancing one would burn a
+                    // fresh budget on every poll (and re-trip the debug
+                    // stall assert) without ever surfacing an event; the
+                    // recorded `AdvanceStall` is the loud signal instead.
                     let mut any_busy = false;
+                    self.advance_ids.clear();
                     for s in 0..self.shards.len() {
-                        if self.shards[s].busy_count() > 0 {
-                            any_busy = true;
-                            self.shards[s].advance_to(f64::INFINITY);
-                            self.harvest(s);
+                        if self.shards[s].busy_count() == 0 {
+                            continue;
                         }
+                        any_busy = true;
+                        if self.shards[s].stall_diagnostic().is_none() {
+                            self.advance_ids.push(s);
+                        }
+                    }
+                    Self::advance_shards(&mut self.shards, &self.advance_ids, f64::INFINITY);
+                    for i in 0..self.advance_ids.len() {
+                        let s = self.advance_ids[i];
+                        self.harvest(s);
                     }
                     if !any_busy || self.min_pending().is_none() {
                         // Idle, or every busy shard stalled mid-advance
@@ -356,19 +417,22 @@ impl ShardedEngine {
                     // still complete before `t`: integrate it to `t` before
                     // committing to the candidate. Stalled shards are
                     // skipped — they cannot make progress and would loop.
-                    let mut advanced = false;
+                    self.advance_ids.clear();
                     for s in 0..self.shards.len() {
                         if self.shards[s].busy_count() > 0
                             && self.shards[s].now() + TIME_EPS < t
                             && !self.shard_has_pending(s)
                             && self.shards[s].stall_diagnostic().is_none()
                         {
-                            advanced = true;
-                            self.shards[s].advance_to(t);
-                            self.harvest(s);
+                            self.advance_ids.push(s);
                         }
                     }
-                    if advanced {
+                    if !self.advance_ids.is_empty() {
+                        Self::advance_shards(&mut self.shards, &self.advance_ids, t);
+                        for i in 0..self.advance_ids.len() {
+                            let s = self.advance_ids[i];
+                            self.harvest(s);
+                        }
                         continue; // an earlier candidate may have surfaced
                     }
                     let completion = self.pending.remove(idx);
@@ -413,8 +477,19 @@ impl ShardedEngine {
         if bound <= self.clock {
             return;
         }
+        // Busy shards integrate concurrently; idle shards only need their
+        // clocks synced to a finite bound, which is a field write, so they
+        // advance inline. Harvesting stays serial in ascending shard id.
+        self.advance_ids.clear();
         for s in 0..self.shards.len() {
-            self.shards[s].advance_to(bound);
+            if self.shards[s].busy_count() > 0 {
+                self.advance_ids.push(s);
+            } else {
+                self.shards[s].advance_to(bound);
+            }
+        }
+        Self::advance_shards(&mut self.shards, &self.advance_ids, bound);
+        for s in 0..self.shards.len() {
             self.harvest(s);
         }
         if let Some(idx) = self.min_pending() {
@@ -470,6 +545,14 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             shard.force_advance_budget(budget);
         }
+    }
+
+    /// Shrink a single shard's advance-loop iteration budget (tests only) so
+    /// a partial stall — one broken shard among healthy siblings — is
+    /// reachable without broken dynamics.
+    #[doc(hidden)]
+    pub fn force_shard_advance_budget(&mut self, shard: usize, budget: usize) {
+        self.shards[shard].force_advance_budget(budget);
     }
 
     /// Translate and collect shard `s`'s buffered completions into the merge
@@ -912,6 +995,61 @@ mod tests {
         let second = e.pop_completion_event().expect("pending completion");
         assert_eq!(second.connection, 0);
         assert_eq!(second.finished_at, pending_instant);
+    }
+
+    #[test]
+    fn parallel_shard_advance_is_deterministic() {
+        // The concurrent advance must leave no trace of thread timing: two
+        // identical runs produce bit-identical completion sequences, and the
+        // delivery order obeys the (finished_at, connection) merge key.
+        let w = tpch_workload();
+        for shards in [2usize, 3] {
+            let run = || {
+                let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 33, shards);
+                fifo_round(&mut e, w.len())
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "{shards} shards: runs diverged");
+            for pair in a.windows(2) {
+                assert!(
+                    pair[0].finished_at < pair[1].finished_at
+                        || (pair[0].finished_at == pair[1].finished_at
+                            && pair[0].connection < pair[1].connection),
+                    "{shards} shards: merge order violated"
+                );
+            }
+        }
+    }
+
+    // Release-only like the aggregate-stall test: in debug the stalled
+    // shard's debug_assert fires (covered by `shard_stalls_assert_in_debug`).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn a_stalled_shard_does_not_spin_while_healthy_shards_deliver() {
+        // Regression: the merge loop's "no candidate" branch used to
+        // re-advance every busy shard unconditionally, so a stalled shard
+        // burned a fresh advance budget on every poll without ever producing
+        // an event. Now it is skipped: healthy siblings keep delivering, the
+        // poll after the last healthy completion returns None, and the
+        // AdvanceStall diagnostic stays readable.
+        let w = tpch_workload();
+        let mut e = ShardedEngine::new(DbmsProfile::dbms_x(), &w, 3, 2);
+        let shard1 = e.global_of(1, 0);
+        e.submit_to(QueryId(0), default_params(), 0);
+        e.submit_to(QueryId(1), default_params(), shard1);
+        while e.pop_submitted_event().is_some() {}
+        // Break shard 0 only; shard 1 keeps its generous default budget.
+        e.force_shard_advance_budget(0, 0);
+        let healthy = e.pop_completion_event().expect("shard 1 still delivers");
+        assert_eq!(healthy.connection, shard1);
+        assert!(
+            e.pop_completion_event().is_none(),
+            "the stalled shard must surface as None, not spin or deliver"
+        );
+        let stall = e.stall_diagnostic().expect("stall must be diagnosed");
+        assert_eq!(stall.busy, 1);
+        assert_eq!(e.busy_count(), 1, "the stuck query still occupies its slot");
     }
 
     #[test]

@@ -29,4 +29,6 @@ pub use features::{
 pub use plan_encoder::{
     pretrain_on_cost, seeded_rng, PlanEncoder, PlanEncoderConfig, PretrainReport,
 };
-pub use state_encoder::{EncodedObservation, StateEncoder, StateEncoderConfig, StateRepr};
+pub use state_encoder::{
+    EncodedObservation, StateEncoder, StateEncoderConfig, StateEncoderInferCache, StateRepr,
+};

@@ -14,7 +14,10 @@
 
 use crate::features::{mean_features, state_feature_matrix, FeatureScale, STATE_FEATURE_DIM};
 use bq_core::{QueryStatus, SchedulingState};
-use bq_nn::{Activation, AttentionBlock, Graph, Mlp, NodeId, ParamId, ParamStore, Tensor};
+use bq_nn::{
+    Activation, AttentionBlock, AttentionInferCache, Graph, Mlp, NodeId, ParamId, ParamStore,
+    Tensor,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +116,15 @@ pub struct StateRepr {
     pub per_query: NodeId,
     /// `x''_s`, `[1, dim]`.
     pub global: NodeId,
+}
+
+/// Per-block fused attention weights for [`StateEncoder::infer`], derived
+/// from a [`ParamStore`] at a specific [`ParamStore::version`]. Holders are
+/// responsible for rebuilding when the version changes (training updates,
+/// checkpoint loads).
+#[derive(Debug, Clone)]
+pub struct StateEncoderInferCache {
+    blocks: Vec<AttentionInferCache>,
 }
 
 /// The attention-based state encoder.
@@ -237,6 +249,74 @@ impl StateEncoder {
 
         StateRepr { per_query, global }
     }
+
+    /// Build the fused-attention cache for [`Self::infer`] from the current
+    /// parameter values.
+    pub fn build_infer_cache(&self, store: &ParamStore) -> StateEncoderInferCache {
+        StateEncoderInferCache {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| b.build_infer_cache(store))
+                .collect(),
+        }
+    }
+
+    /// Tape-free encoding of `obs`, bitwise identical to [`Self::forward`].
+    ///
+    /// Every step mirrors the recorded pass — including the `ones · x'_s`
+    /// broadcast matmuls — but no graph nodes are allocated and parameter
+    /// values are read by reference instead of being cloned into leaves.
+    /// Returns `(per_query, global)` as plain tensors.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        obs: &EncodedObservation,
+        cache: &StateEncoderInferCache,
+    ) -> (Tensor, Tensor) {
+        let n = obs.len();
+        assert!(n > 0, "cannot encode an empty observation");
+        assert_eq!(
+            obs.plan_embs.cols(),
+            self.config.plan_dim,
+            "plan embedding width mismatch"
+        );
+        assert_eq!(
+            cache.blocks.len(),
+            self.blocks.len(),
+            "infer cache built for a different encoder"
+        );
+
+        // x_i = MLP(e_i ∥ f_i)
+        let x_in = obs.plan_embs.concat_cols(&obs.features);
+        let x = self.input_proj.infer(store, &x_in);
+
+        // Append the super query and run the attention blocks.
+        let mut h = x.concat_rows(store.value(self.super_query));
+        for (block, bcache) in self.blocks.iter().zip(&cache.blocks) {
+            h = block.infer(store, &h, None, bcache);
+        }
+        let x_q = h.slice_rows(0, n);
+        let x_s = h.slice_rows(n, 1);
+
+        // Global representation x''_s = MLP(x'_s ∥ pooled features of all queries).
+        let all_indices: Vec<usize> = (0..n).collect();
+        let pooled_all = mean_features(&obs.features, &all_indices);
+        let global_in = x_s.concat_cols(&pooled_all);
+        let global = self.global_head.infer(store, &global_in);
+
+        // Per-query representation x''_i = MLP(x'_i ∥ x'_s ∥ pooled features of
+        // the concurrently running queries).
+        let ones = Tensor::full(n, 1, 1.0);
+        let x_s_bcast = ones.matmul(&x_s);
+        let pooled_running_row = mean_features(&obs.features, &obs.running);
+        let pooled_running = ones.matmul(&pooled_running_row);
+        let per_query_in = x_q.concat_cols(&x_s_bcast);
+        let per_query_in = per_query_in.concat_cols(&pooled_running);
+        let per_query = self.query_head.infer(store, &per_query_in);
+
+        (per_query, global)
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +420,27 @@ mod tests {
         let r2 = enc.forward(&mut g2, &store, &obs_small);
         assert_eq!(g1.value(r1.per_query).rows(), obs_full.len());
         assert_eq!(g2.value(r2.per_query).rows(), 5);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        for (seed, n_running) in [(11_u64, 0_usize), (12, 3), (13, 8)] {
+            let (_, obs) = obs_for(n_running);
+            let mut store = ParamStore::new();
+            let mut rng = seeded_rng(seed);
+            let enc = StateEncoder::new(&mut store, StateEncoderConfig::default(), &mut rng);
+            let mut g = Graph::new();
+            let repr = enc.forward(&mut g, &store, &obs);
+            let cache = enc.build_infer_cache(&store);
+            let (per_query, global) = enc.infer(&store, &obs, &cache);
+            assert_eq!(g.value(repr.per_query).shape(), per_query.shape());
+            for (a, b) in g.value(repr.per_query).data().iter().zip(per_query.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "per-query repr drifted");
+            }
+            for (a, b) in g.value(repr.global).data().iter().zip(global.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "global repr drifted");
+            }
+        }
     }
 
     #[test]

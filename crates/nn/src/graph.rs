@@ -174,16 +174,9 @@ impl Graph {
 
     /// Broadcast addition of a `1 x d` row (bias) to every row of `a`.
     pub fn add_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
-        let x = &self.nodes[a].value;
-        let b = &self.nodes[bias].value;
-        assert_eq!(b.rows(), 1, "add_row bias must have a single row");
-        assert_eq!(b.cols(), x.cols(), "add_row bias width mismatch");
-        let mut v = x.clone();
-        for r in 0..v.rows() {
-            for c in 0..v.cols() {
-                v.set(r, c, v.get(r, c) + b.get(0, c));
-            }
-        }
+        let v = self.nodes[a]
+            .value
+            .add_row_broadcast(&self.nodes[bias].value);
         let ng = self.needs(a) || self.needs(bias);
         self.push(v, Op::AddRow(a, bias), ng, None)
     }
@@ -314,14 +307,7 @@ impl Graph {
 
     /// Column means over all rows: `[n, d] -> [1, d]`.
     pub fn mean_pool_rows(&mut self, a: NodeId) -> NodeId {
-        let x = &self.nodes[a].value;
-        let n = x.rows().max(1) as f32;
-        let mut v = Tensor::zeros(1, x.cols());
-        for r in 0..x.rows() {
-            for c in 0..x.cols() {
-                v.set(0, c, v.get(0, c) + x.get(r, c) / n);
-            }
-        }
+        let v = self.nodes[a].value.mean_pool_rows();
         let ng = self.needs(a);
         self.push(v, Op::MeanPoolRows(a), ng, None)
     }
@@ -388,18 +374,7 @@ impl Graph {
 
     /// Row-wise normalisation: `(x - mean) / sqrt(var + eps)` per row.
     pub fn row_norm(&mut self, a: NodeId, eps: f32) -> NodeId {
-        let x = &self.nodes[a].value;
-        let d = x.cols() as f32;
-        let mut v = x.clone();
-        for r in 0..x.rows() {
-            let row = x.row_slice(r);
-            let mean = row.iter().sum::<f32>() / d;
-            let var = row.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / d;
-            let std = (var + eps).sqrt();
-            for c in 0..x.cols() {
-                v.set(r, c, (x.get(r, c) - mean) / std);
-            }
-        }
+        let v = self.nodes[a].value.row_norm(eps);
         let ng = self.needs(a);
         self.push(v, Op::RowNorm(a, eps), ng, None)
     }

@@ -6,6 +6,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,18 @@ impl Activation {
             Activation::Tanh => g.tanh(x),
             Activation::Relu => g.relu(x),
             Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+
+    /// Tape-free counterpart of [`Activation::apply`]. The closures are the
+    /// same expressions the graph ops use, so both paths produce bitwise
+    /// identical values.
+    fn apply_tensor(self, x: Tensor) -> Tensor {
+        match self {
+            Activation::None => x,
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
         }
     }
 }
@@ -88,6 +101,18 @@ impl Linear {
         let h = g.matmul(x, w);
         let h = g.add_row(h, b);
         self.activation.apply(g, h)
+    }
+
+    /// Tape-free forward pass reading weights by reference from the store.
+    ///
+    /// Bitwise identical to [`Linear::forward`]: both paths run the same
+    /// [`Tensor`] arithmetic, this one just skips recording graph nodes (and
+    /// the per-use parameter clone that `Graph::param` makes).
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        debug_assert_eq!(x.cols(), self.in_dim, "Linear infer width mismatch");
+        let h = x.matmul(store.value(self.weight));
+        let h = h.add_row_broadcast(store.value(self.bias));
+        self.activation.apply_tensor(h)
     }
 }
 
@@ -154,6 +179,15 @@ impl Mlp {
         }
         h
     }
+
+    /// Tape-free forward pass; see [`Linear::infer`].
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut h = self.layers[0].infer(store, x);
+        for layer in &self.layers[1..] {
+            h = layer.infer(store, &h);
+        }
+        h
+    }
 }
 
 /// Row-wise layer normalisation with learnable scale and shift.
@@ -207,6 +241,36 @@ impl LayerNorm {
         let scaled = g.mul(normed, gamma_full);
         g.add_row(scaled, beta)
     }
+
+    /// Tape-free forward pass, replicating [`LayerNorm::forward`] exactly —
+    /// including the `ones · gamma` broadcast construction, so the scaled
+    /// values round identically.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        debug_assert_eq!(x.cols(), self.dim, "LayerNorm infer width mismatch");
+        let normed = x.row_norm(self.eps);
+        let ones = Tensor::full(x.rows(), 1, 1.0);
+        let gamma_full = ones.matmul(store.value(self.gamma));
+        let scaled = normed.mul(&gamma_full);
+        scaled.add_row_broadcast(store.value(self.beta))
+    }
+}
+
+/// Precomputed fused projection weights for the tape-free attention path.
+///
+/// The per-head `[dim, head_dim]` Q/K/V weights are column-concatenated into
+/// three `[dim, dim]` matrices so one matmul per projection replaces `3·heads`
+/// small ones. Because [`Tensor::matmul`] accumulates each output column over
+/// `k` in the same ascending order regardless of which other columns share the
+/// right-hand matrix, slicing the fused product back into head blocks yields
+/// bitwise the same values as the per-head matmuls.
+///
+/// The cache is derived purely from parameter values; holders compare
+/// [`ParamStore::version`] to decide when to rebuild it.
+#[derive(Debug, Clone)]
+pub struct AttentionInferCache {
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
 }
 
 /// Multi-head self-attention over a set of row vectors.
@@ -321,6 +385,62 @@ impl MultiHeadAttention {
         let projected = g.matmul(concat, wo);
         g.add_row(projected, bo)
     }
+
+    /// Fuse the per-head Q/K/V projection weights for [`Self::infer`].
+    pub fn build_infer_cache(&self, store: &ParamStore) -> AttentionInferCache {
+        let fuse = |ids: &[ParamId]| {
+            let mut fused = store.value(ids[0]).clone();
+            for id in &ids[1..] {
+                fused = fused.concat_cols(store.value(*id));
+            }
+            fused
+        };
+        AttentionInferCache {
+            wq: fuse(&self.wq),
+            wk: fuse(&self.wk),
+            wv: fuse(&self.wv),
+        }
+    }
+
+    /// Tape-free forward pass using fused Q/K/V projections.
+    ///
+    /// Bitwise identical to [`Self::forward`]: the fused matmul computes each
+    /// head's projection columns with the same per-column accumulation order,
+    /// and everything after the slice reuses the exact per-head arithmetic.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        bias: Option<&Tensor>,
+        cache: &AttentionInferCache,
+    ) -> Tensor {
+        debug_assert_eq!(x.cols(), self.dim, "attention infer width mismatch");
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let q_all = x.matmul(&cache.wq);
+        let k_all = x.matmul(&cache.wk);
+        let v_all = x.matmul(&cache.wv);
+        let mut head_outputs: Option<Tensor> = None;
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let q = q_all.slice_cols(lo, self.head_dim);
+            let k = k_all.slice_cols(lo, self.head_dim);
+            let v = v_all.slice_cols(lo, self.head_dim);
+            let kt = k.transpose();
+            let mut scores = q.matmul(&kt).scale(scale);
+            if let Some(b) = bias {
+                scores = scores.add(b);
+            }
+            let attn = scores.softmax_rows();
+            let out = attn.matmul(&v);
+            head_outputs = Some(match head_outputs {
+                None => out,
+                Some(prev) => prev.concat_cols(&out),
+            });
+        }
+        let concat = head_outputs.expect("at least one attention head");
+        let projected = concat.matmul(store.value(self.wo));
+        projected.add_row_broadcast(store.value(self.bo))
+    }
 }
 
 /// A Transformer-style encoder block: attention + feed-forward, each with a
@@ -384,6 +504,28 @@ impl AttentionBlock {
         let h = self.ff2.forward(g, store, h);
         let residual2 = g.add(x1, h);
         self.norm2.forward(g, store, residual2)
+    }
+
+    /// Fuse this block's attention projections for [`Self::infer`].
+    pub fn build_infer_cache(&self, store: &ParamStore) -> AttentionInferCache {
+        self.attention.build_infer_cache(store)
+    }
+
+    /// Tape-free forward pass of the block; see [`MultiHeadAttention::infer`].
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        bias: Option<&Tensor>,
+        cache: &AttentionInferCache,
+    ) -> Tensor {
+        let attn = self.attention.infer(store, x, bias, cache);
+        let residual = x.add(&attn);
+        let x1 = self.norm1.infer(store, &residual);
+        let h = self.ff1.infer(store, &x1);
+        let h = self.ff2.infer(store, &h);
+        let residual2 = x1.add(&h);
+        self.norm2.infer(store, &residual2)
     }
 
     /// Model dimensionality handled by this block.
@@ -526,6 +668,67 @@ mod tests {
         let y = block.forward(&mut g, &store, x, None);
         assert_eq!(g.value(y).shape(), (6, 8));
         assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn infer_paths_match_graph_bitwise() {
+        // The tape-free infer path (fused QKV, no graph nodes) must produce
+        // bit-for-bit the same floats as the recorded forward pass for every
+        // layer kind, across activations and head counts.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let block = AttentionBlock::new(&mut store, "blk", 8, 4, 16, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[8, 16, 3],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let x = Tensor::from_vec(
+            6,
+            8,
+            (0..48).map(|i| ((i % 11) as f32) * 0.13 - 0.5).collect(),
+        );
+        let mut bias = Tensor::zeros(6, 6);
+        bias.set(0, 5, -1e8);
+        bias.set(3, 1, -1e8);
+
+        for b in [None, Some(&bias)] {
+            let mut g = Graph::new();
+            let xi = g.input(x.clone());
+            let y_graph = block.forward(&mut g, &store, xi, b);
+            let cache = block.build_infer_cache(&store);
+            let y_infer = block.infer(&store, &x, b, &cache);
+            assert_eq!(g.value(y_graph).shape(), y_infer.shape());
+            for (a, c) in g.value(y_graph).data().iter().zip(y_infer.data()) {
+                assert_eq!(a.to_bits(), c.to_bits(), "attention block drifted");
+            }
+        }
+
+        let mut g = Graph::new();
+        let xi = g.input(x.clone());
+        let y_graph = mlp.forward(&mut g, &store, xi);
+        let y_infer = mlp.infer(&store, &x);
+        for (a, c) in g.value(y_graph).data().iter().zip(y_infer.data()) {
+            assert_eq!(a.to_bits(), c.to_bits(), "mlp drifted");
+        }
+    }
+
+    #[test]
+    fn param_store_version_tracks_value_mutation() {
+        let mut store = ParamStore::new();
+        let v0 = store.version();
+        let id = store.add("w", Tensor::row(&[1.0]));
+        assert!(store.version() > v0);
+        let v1 = store.version();
+        store.accumulate_grad(id, &Tensor::row(&[1.0]));
+        store.zero_grads();
+        store.clip_grad_norm(1.0);
+        assert_eq!(store.version(), v1, "grad-only ops must not bump version");
+        store.get_mut(id).value.set(0, 0, 2.0);
+        assert!(store.version() > v1);
     }
 
     #[test]

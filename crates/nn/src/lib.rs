@@ -47,7 +47,9 @@ pub mod params;
 pub mod tensor;
 
 pub use graph::{Graph, NodeId};
-pub use layers::{Activation, AttentionBlock, LayerNorm, Linear, Mlp, MultiHeadAttention};
+pub use layers::{
+    Activation, AttentionBlock, AttentionInferCache, LayerNorm, Linear, Mlp, MultiHeadAttention,
+};
 pub use optim::{Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};
 pub use tensor::Tensor;

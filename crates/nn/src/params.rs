@@ -9,7 +9,7 @@
 
 use crate::tensor::Tensor;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,9 +45,35 @@ impl Param {
 }
 
 /// Container for every learnable parameter of a model.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
+    /// Monotonic counter bumped on every mutable access to parameter values.
+    /// Inference-side caches of derived weights (e.g. fused attention
+    /// projections) compare it to decide whether they are stale. Not part of
+    /// checkpoints: a freshly deserialized store restarts at zero, and caches
+    /// are rebuilt against whatever store instance they are first used with.
+    version: u64,
+}
+
+// Manual (de)serialization keeps `version` out of checkpoints, so the on-disk
+// format is unchanged from the former derive (a map with a `params` entry).
+impl Serialize for ParamStore {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("params".to_string(), self.params.to_value())])
+    }
+}
+
+impl Deserialize for ParamStore {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("ParamStore: expected a map"))?;
+        Ok(Self {
+            params: Deserialize::from_value(Value::map_get(m, "params"))?,
+            version: 0,
+        })
+    }
 }
 
 impl ParamStore {
@@ -56,10 +82,19 @@ impl ParamStore {
         Self::default()
     }
 
+    /// Monotonic version of the parameter values: any call that could have
+    /// mutated a value (registration, `get_mut`, `iter_mut`,
+    /// `copy_values_from`) bumps it. Caches derived from parameter values
+    /// are valid exactly as long as the version they were built at matches.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register a parameter with an explicit initial value.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let id = ParamId(self.params.len());
         self.params.push(Param::new(name, value));
+        self.version += 1;
         id
     }
 
@@ -106,6 +141,7 @@ impl ParamStore {
 
     /// Mutable access to a parameter.
     pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        self.version += 1;
         &mut self.params[id.0]
     }
 
@@ -138,6 +174,7 @@ impl ParamStore {
 
     /// Iterate mutably over all parameters.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
+        self.version += 1;
         self.params
             .iter_mut()
             .enumerate()
@@ -171,6 +208,7 @@ impl ParamStore {
     /// Used to snapshot the "old" policy before a PPO update and to load
     /// checkpoints saved during simulator pre-training.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
+        self.version += 1;
         assert_eq!(
             self.params.len(),
             other.params.len(),

@@ -325,6 +325,54 @@ impl Tensor {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Broadcast addition of a `1 x d` row (bias) to every row.
+    ///
+    /// This is the single definition of the bias-broadcast arithmetic: both
+    /// the autodiff tape ([`crate::Graph::add_row`]) and the tape-free
+    /// inference path call it, so the two can never drift apart bitwise.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rows, 1, "add_row bias must have a single row");
+        assert_eq!(bias.cols, self.cols, "add_row bias width mismatch");
+        let mut v = self.clone();
+        for r in 0..v.rows {
+            for c in 0..v.cols {
+                let x = v.get(r, c) + bias.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        v
+    }
+
+    /// Row-wise normalisation `(x - mean) / sqrt(var + eps)`, shared between
+    /// the tape ([`crate::Graph::row_norm`]) and tape-free inference.
+    pub fn row_norm(&self, eps: f32) -> Tensor {
+        let d = self.cols as f32;
+        let mut v = self.clone();
+        for r in 0..self.rows {
+            let row = self.row_slice(r);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|&y| (y - mean) * (y - mean)).sum::<f32>() / d;
+            let std = (var + eps).sqrt();
+            for c in 0..self.cols {
+                v.set(r, c, (self.get(r, c) - mean) / std);
+            }
+        }
+        v
+    }
+
+    /// Column means over all rows: `[n, d] -> [1, d]`, shared between the
+    /// tape ([`crate::Graph::mean_pool_rows`]) and tape-free inference.
+    pub fn mean_pool_rows(&self) -> Tensor {
+        let n = self.rows.max(1) as f32;
+        let mut v = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                v.set(0, c, v.get(0, c) + self.get(r, c) / n);
+            }
+        }
+        v
+    }
+
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
