@@ -73,6 +73,7 @@
 
 use bq_core::{rng, ExecEvent, ExecutorBackend, FaultEvent, ShardTopology};
 use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::QueryId;
 use std::collections::VecDeque;
 
@@ -241,6 +242,9 @@ pub struct AsyncAdapter<B> {
     /// Faults the adapter synthesized itself (submissions it still held for
     /// a shard that died), delivered after the inner fault that caused them.
     faults: VecDeque<FaultEvent>,
+    /// Observability handle; [`Obs::off`] unless
+    /// [`AsyncAdapter::set_obs`] installed one.
+    obs: Obs,
 }
 
 impl<B: ExecutorBackend> AsyncAdapter<B> {
@@ -256,7 +260,23 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
             in_flight: 0,
             dispatches: 0,
             faults: VecDeque::new(),
+            obs: Obs::off(),
         }
+    }
+
+    /// Observe the dispatch boundary through `obs`: dispatches and
+    /// admissions are counted, every admission records its queue wait
+    /// (admission instant minus the instant the session claimed the slot)
+    /// in the `adapter_adm_wait` histogram, and the in-flight window
+    /// occupancy is sampled into `adapter_in_flight` at each dispatch.
+    /// Observation is read-only — latencies, ordering and backpressure are
+    /// untouched, so episodes stay byte-identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.preregister(
+            &["adapter_dispatches", "adapter_admissions"],
+            &["adapter_adm_wait", "adapter_in_flight"],
+        );
+        self.obs = obs;
     }
 
     /// The wrapped backend.
@@ -331,6 +351,14 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
         let index = self.dispatches;
         self.dispatches += 1;
         let latency = self.profile.latency_for(entries[0].2, index);
+        self.obs.inc("adapter_dispatches");
+        self.obs.observe("adapter_in_flight", self.in_flight as f64);
+        self.obs.emit(
+            TraceEvent::new(TraceKind::Dispatch, self.inner.now())
+                .with_connection(entries[0].2)
+                .with_seq(index)
+                .with_value(entries.len() as f64),
+        );
         if latency <= 0.0 {
             for &(query, params, connection) in &entries {
                 self.admit_one(query, params, connection);
@@ -349,8 +377,19 @@ impl<B: ExecutorBackend> AsyncAdapter<B> {
     /// executor's own stamp.
     fn admit_one(&mut self, query: QueryId, params: RunParams, connection: usize) {
         debug_assert!(self.mirror[connection].is_pending() || self.mirror[connection].is_free());
+        let queued_at = self.mirror[connection].queued_at();
         self.inner.submit(query, params, connection);
         self.mirror[connection] = self.inner.connections()[connection];
+        self.obs.inc("adapter_admissions");
+        let now = self.inner.now();
+        let wait = queued_at.map_or(0.0, |q| (now - q).max(0.0));
+        self.obs.observe("adapter_adm_wait", wait);
+        self.obs.emit(
+            TraceEvent::new(TraceKind::Admission, now)
+                .with_connection(connection)
+                .with_query(query.0)
+                .with_value(wait),
+        );
     }
 
     /// Index of the next admission to deliver: earliest `due`, ties broken

@@ -3,9 +3,17 @@
 //!
 //! ```text
 //! gate [--baseline-dir bench/baselines] [--tolerance 0.10] BENCH_table3.json ...
+//! gate --tolerance-override '*_p99=0.25' [--tolerance-override ...] BENCH_fig5.json ...
 //! gate --bless-baseline [--baseline-dir bench/baselines] BENCH_table3.json ...
 //! gate --append-history bench/history [...] BENCH_table3.json ...
 //! ```
+//!
+//! `--tolerance-override <pattern>=<tolerance>` (repeatable) gives the
+//! matching metrics their own band instead of the gate-wide one — the knob
+//! that lets tail percentiles (`*_p99`, `*_max`) breathe wider than means
+//! without loosening the whole gate. Patterns are exact keys or carry one
+//! `*` wildcard; precedence is exact > most-literal wildcard > the built-in
+//! throughput widening > `--tolerance`.
 //!
 //! Each input file holds one single-line JSON summary as emitted by a bench
 //! binary (`... | tail -n 1 | tee BENCH_<bench>.json`). The baseline for a
@@ -20,13 +28,14 @@
 //! the git history of the log itself, so the lines stay byte-identical to
 //! what the bench binaries emitted.
 
-use bq_bench::gate::{compare, parse_summary};
+use bq_bench::gate::{compare_with_overrides, parse_summary};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     baseline_dir: PathBuf,
     tolerance: f64,
+    overrides: Vec<(String, f64)>,
     bless: bool,
     history_dir: Option<PathBuf>,
     summaries: Vec<PathBuf>,
@@ -36,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         baseline_dir: PathBuf::from("bench/baselines"),
         tolerance: 0.10,
+        overrides: Vec::new(),
         bless: false,
         history_dir: None,
         summaries: Vec::new(),
@@ -55,6 +65,26 @@ fn parse_args() -> Result<Args, String> {
                 if !(0.0..1.0).contains(&args.tolerance) {
                     return Err("tolerance must be in [0, 1)".into());
                 }
+            }
+            "--tolerance-override" => {
+                let spec = iter
+                    .next()
+                    .ok_or("--tolerance-override needs <pattern>=<tolerance>")?;
+                let (pattern, value) = spec.split_once('=').ok_or_else(|| {
+                    format!("bad override `{spec}`: expected <pattern>=<tolerance>")
+                })?;
+                let value = value
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad override tolerance in `{spec}`: {e}"))?;
+                if !(0.0..1.0).contains(&value) {
+                    return Err(format!("override tolerance in `{spec}` must be in [0, 1)"));
+                }
+                if pattern.is_empty() || pattern.matches('*').count() > 1 {
+                    return Err(format!(
+                        "bad override pattern `{pattern}`: exact key or a single `*` wildcard"
+                    ));
+                }
+                args.overrides.push((pattern.to_string(), value));
             }
             "--bless-baseline" => args.bless = true,
             "--append-history" => {
@@ -132,7 +162,7 @@ fn run() -> Result<bool, String> {
         })?;
         let baseline = parse_summary(&baseline_json)
             .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
-        let outcome = compare(&current, &baseline, args.tolerance)?;
+        let outcome = compare_with_overrides(&current, &baseline, args.tolerance, &args.overrides)?;
         println!(
             "{}: {} metrics within {:.0}% tolerance, {} regressed, {} missing, {} not yet baselined",
             current.baseline_stem(),

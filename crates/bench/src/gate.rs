@@ -94,6 +94,49 @@ pub fn tolerance_for(key: &str, tolerance: f64) -> f64 {
     }
 }
 
+/// Whether the override `pattern` matches the metric `key`. A pattern is
+/// either an exact key or carries a single `*` wildcard matching any
+/// (possibly empty) run of characters: `*_p99` matches every p99 metric,
+/// `recovery_*` every recovery metric, `adm_wait_p99` exactly one.
+pub fn pattern_matches(pattern: &str, key: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == key,
+        Some((prefix, suffix)) => {
+            key.len() >= prefix.len() + suffix.len()
+                && key.starts_with(prefix)
+                && key.ends_with(suffix)
+        }
+    }
+}
+
+/// [`tolerance_for`] with per-metric overrides, the hook that lets tail
+/// percentiles (`*_p99`, `*_max`) carry wider bands than means without
+/// loosening the whole gate. Precedence, most to least specific:
+///
+/// 1. an exact-key override,
+/// 2. the *most specific* matching wildcard override (most literal, i.e.
+///    non-`*`, characters; first listed wins ties),
+/// 3. the built-in `throughput` widening,
+/// 4. the gate-wide default.
+pub fn tolerance_with_overrides(key: &str, tolerance: f64, overrides: &[(String, f64)]) -> f64 {
+    if let Some((_, t)) = overrides.iter().find(|(p, _)| p == key) {
+        return *t;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (pattern, t) in overrides {
+        if pattern.contains('*') && pattern_matches(pattern, key) {
+            let literal = pattern.len() - 1;
+            if best.is_none_or(|(l, _)| literal > l) {
+                best = Some((literal, *t));
+            }
+        }
+    }
+    match best {
+        Some((_, t)) => t,
+        None => tolerance_for(key, tolerance),
+    }
+}
+
 /// One metric that moved past the tolerance in the regressing direction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -183,6 +226,17 @@ pub fn compare(
     baseline: &Summary,
     tolerance: f64,
 ) -> Result<GateOutcome, String> {
+    compare_with_overrides(current, baseline, tolerance, &[])
+}
+
+/// [`compare`] with per-metric tolerance overrides `(pattern, tolerance)` —
+/// see [`tolerance_with_overrides`] for the pattern language and precedence.
+pub fn compare_with_overrides(
+    current: &Summary,
+    baseline: &Summary,
+    tolerance: f64,
+    overrides: &[(String, f64)],
+) -> Result<GateOutcome, String> {
     if current.bench != baseline.bench || current.scale != baseline.scale {
         return Err(format!(
             "summary mismatch: current is {}/{}, baseline is {}/{}",
@@ -201,7 +255,7 @@ pub fn compare(
             outcome.missing.push(key);
             continue;
         };
-        let tolerance = tolerance_for(&key, tolerance);
+        let tolerance = tolerance_with_overrides(&key, tolerance, overrides);
         let regressed = if !now.is_finite() || !base.is_finite() {
             // NaN compares false against every threshold, so without this
             // arm a metric that collapsed to NaN (or a poisoned baseline)
@@ -355,6 +409,79 @@ mod tests {
             compare(&faster, &base, 0.10).expect("comparable").ok(),
             "a throughput gain never fails"
         );
+    }
+
+    #[test]
+    fn override_patterns_match_exact_prefix_suffix_and_infix() {
+        assert!(pattern_matches("adm_wait_p99", "adm_wait_p99"));
+        assert!(!pattern_matches("adm_wait_p99", "adm_wait_p50"));
+        assert!(pattern_matches("*_p99", "wire_transit_p99"));
+        assert!(pattern_matches("recovery_*", "recovery_latency_max"));
+        assert!(pattern_matches("adm_*_p50", "adm_wait_p50"));
+        assert!(pattern_matches("*", "anything"));
+        // The wildcard may match empty, but prefix and suffix must not
+        // overlap inside the key.
+        assert!(pattern_matches("ab*", "ab"));
+        assert!(!pattern_matches("abc*bcd", "abcd"));
+    }
+
+    #[test]
+    fn tolerance_override_precedence_is_exact_then_most_literal_wildcard() {
+        let overrides = vec![
+            ("*_p99".to_string(), 0.25),
+            ("adm_wait_*".to_string(), 0.40),
+            ("adm_wait_p99".to_string(), 0.15),
+        ];
+        // An exact key beats every wildcard, regardless of listing order.
+        assert_eq!(
+            tolerance_with_overrides("adm_wait_p99", 0.10, &overrides),
+            0.15
+        );
+        // Among wildcards the most literal characters win: `adm_wait_*`
+        // (9 literals) is more specific than `*_p99` (4).
+        assert_eq!(
+            tolerance_with_overrides("adm_wait_p50", 0.10, &overrides),
+            0.40
+        );
+        assert_eq!(
+            tolerance_with_overrides("wire_transit_p99", 0.10, &overrides),
+            0.25
+        );
+        // Equally-literal patterns: the first listed wins.
+        let tied = vec![("a_*".to_string(), 0.3), ("*_b".to_string(), 0.4)];
+        assert_eq!(tolerance_with_overrides("a_b", 0.10, &tied), 0.3);
+        // No override: the built-in behavior is untouched.
+        assert_eq!(
+            tolerance_with_overrides("makespan_a", 0.10, &overrides),
+            0.10
+        );
+        assert_eq!(
+            tolerance_with_overrides("throughput_x", 0.10, &overrides),
+            0.75,
+            "builtin throughput widening still applies when nothing matches"
+        );
+        // ...but an override on a throughput metric beats the widening.
+        let tight = vec![("throughput_*".to_string(), 0.20)];
+        assert_eq!(tolerance_with_overrides("throughput_x", 0.10, &tight), 0.20);
+    }
+
+    #[test]
+    fn overrides_widen_only_the_matching_metrics_in_compare() {
+        let base = summary(&[("adm_wait_p99", 1.0), ("makespan_a", 100.0)]);
+        let now = summary(&[("adm_wait_p99", 1.2), ("makespan_a", 112.0)]);
+        // Both moved +12%: without overrides both fail at 10%...
+        assert_eq!(
+            compare(&now, &base, 0.10)
+                .expect("comparable")
+                .regressions
+                .len(),
+            2
+        );
+        // ...with a `*_p99` band of 25% only the makespan still fails.
+        let overrides = vec![("*_p99".to_string(), 0.25)];
+        let outcome = compare_with_overrides(&now, &base, 0.10, &overrides).expect("comparable");
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].key, "makespan_a");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use bq_dbms::{
     RunParams, ShardedEngine,
 };
 use bq_encoder::{PlanEncoderConfig, StateEncoderConfig};
+use bq_obs::Obs;
 use bq_plan::{generate, perturb_query_set, Benchmark, QueryId, Workload, WorkloadSpec};
 use bq_sched::{
     pretrain_on_simulator, samples_from_history, train_on_dbms, Algorithm, BqSchedAgent,
@@ -549,6 +550,27 @@ pub fn table3_report(scale: RunScale) -> BenchReport {
         out.push_str(&format!("{:<24} {:>12.0}/s\n", key, value));
     }
     gate_metrics.extend(throughput);
+    // Per-query duration distribution of the FIFO episodes the table's
+    // workload produces — virtual-time, deterministic per seed, and the
+    // first tail-latency signal the gate carries for the session itself.
+    let obs = Obs::enabled();
+    for seed in 0..scale.eval_rounds() {
+        let mut engine = ExecutionEngine::new(setup.profile.clone(), &setup.workload, seed);
+        bq_core::ScheduleSession::builder(&setup.workload)
+            .dbms(setup.profile.kind)
+            .round(seed)
+            .obs(obs.clone())
+            .build(&mut engine)
+            .run(&mut FifoScheduler::new());
+    }
+    let dur_p50 = obs.quantile("session_query_duration", 0.5);
+    let dur_p99 = obs.quantile("session_query_duration", 0.99);
+    gate_metrics.push(("query_dur_p50".to_string(), dur_p50));
+    gate_metrics.push(("query_dur_p99".to_string(), dur_p99));
+    out.push_str(&format!(
+        "{:<24} {:>9.2}s {:>11.2}s\n",
+        "query duration p50/p99", dur_p50, dur_p99,
+    ));
     BenchReport {
         text: out,
         metrics: gate_metrics,
@@ -827,6 +849,10 @@ pub fn fig5_dispatch_sweep(scale: RunScale) -> BenchReport {
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     let rounds = scale.eval_rounds();
+    // One registry across the whole sweep: the admission-wait tail is a
+    // property of the dispatch boundary as a whole, and the aggregate is
+    // still deterministic per seed set (virtual-time observations only).
+    let obs = Obs::enabled();
     for &latency in latencies {
         let sweep = |batch: usize| -> f64 {
             let makespans: Vec<f64> = (0..rounds)
@@ -839,6 +865,7 @@ pub fn fig5_dispatch_sweep(scale: RunScale) -> BenchReport {
                         ExecutionEngine::new(profile.clone(), &workload, seed),
                         dispatch,
                     );
+                    adapter.set_obs(obs.clone());
                     bq_core::ScheduleSession::builder(&workload)
                         .dbms(profile.kind)
                         .round(seed)
@@ -867,6 +894,14 @@ pub fn fig5_dispatch_sweep(scale: RunScale) -> BenchReport {
             cells[2],
         ));
     }
+    let adm_p50 = obs.quantile("adapter_adm_wait", 0.5);
+    let adm_p99 = obs.quantile("adapter_adm_wait", 0.99);
+    gate_metrics.push(("adm_wait_p50".to_string(), adm_p50));
+    gate_metrics.push(("adm_wait_p99".to_string(), adm_p99));
+    out.push_str(&format!(
+        "{:<28} {:>15.4}  {:>15.4}\n",
+        "adm wait p50 / p99 (s)", adm_p50, adm_p99,
+    ));
     BenchReport {
         text: out,
         metrics: gate_metrics,
@@ -896,11 +931,15 @@ pub fn fig5_wire_sweep(scale: RunScale) -> BenchReport {
     let workload = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
     let profile = DbmsProfile::dbms_x();
     let rounds = scale.eval_rounds();
+    // One registry across the sweep: the transit histograms aggregate every
+    // frame both directions pay, deterministic per seed set.
+    let obs = Obs::enabled();
     for &latency in latencies {
         let makespans: Vec<f64> = (0..rounds)
             .map(|seed| {
                 let transport = TransportProfile::fixed(latency).with_seed(seed);
                 let mut wired = WireBackend::over_engine(&profile, &workload, seed, transport);
+                wired.set_obs(obs.clone());
                 bq_core::ScheduleSession::builder(&workload)
                     .dbms(profile.kind)
                     .round(seed)
@@ -920,6 +959,15 @@ pub fn fig5_wire_sweep(scale: RunScale) -> BenchReport {
             mean_makespan,
         ));
     }
+    let transit = obs.merged_histogram(&["wire_transit_to_server", "wire_transit_to_client"]);
+    let transit_p50 = transit.quantile(0.5);
+    let transit_p99 = transit.quantile(0.99);
+    gate_metrics.push(("wire_transit_p50".to_string(), transit_p50));
+    gate_metrics.push(("wire_transit_p99".to_string(), transit_p99));
+    out.push_str(&format!(
+        "{:<28} {:>15.4}  {:>15.4}\n",
+        "transit p50 / p99 (s)", transit_p50, transit_p99,
+    ));
     BenchReport {
         text: out,
         metrics: gate_metrics,
@@ -962,6 +1010,9 @@ pub fn fig5_chaos_sweep(scale: RunScale) -> BenchReport {
     let mut healthy_sum = 0.0;
     let mut degraded_sum = 0.0;
     let mut recovered_sum = 0.0;
+    // One registry across the rounds: how long a lost query waits between
+    // the fault and its resubmission landing, tail and worst case.
+    let obs = Obs::enabled();
     for seed in 0..rounds {
         let mut healthy_backend = ShardedEngine::new(profile.clone(), &workload, seed, 2);
         let healthy = bq_core::ScheduleSession::builder(&workload)
@@ -975,11 +1026,13 @@ pub fn fig5_chaos_sweep(scale: RunScale) -> BenchReport {
             ShardedEngine::new(profile.clone(), &workload, seed, 2),
             &schedule,
         );
+        chaotic.set_obs(obs.clone());
         let log = bq_core::ScheduleSession::builder(&workload)
             .dbms(profile.kind)
             .round(seed)
             .router(FaultAwareRouter::new(LeastLoadedRouter))
             .recovery(RecoveryPolicy::bounded())
+            .obs(obs.clone())
             .build(&mut chaotic)
             .run(&mut FifoScheduler::new());
         assert_eq!(
@@ -996,9 +1049,19 @@ pub fn fig5_chaos_sweep(scale: RunScale) -> BenchReport {
     gate_metrics.push(("makespan_chaos_baseline".to_string(), healthy));
     gate_metrics.push(("makespan_chaos_degraded".to_string(), degraded));
     gate_metrics.push(("recovered_chaos_degraded".to_string(), recovered));
+    let recovery_p99 = obs.quantile("session_recovery_latency", 0.99);
+    let recovery_max = obs
+        .histogram("session_recovery_latency")
+        .map_or(0.0, |h| h.max());
+    gate_metrics.push(("recovery_latency_p99".to_string(), recovery_p99));
+    gate_metrics.push(("recovery_latency_max".to_string(), recovery_max));
     out.push_str(&format!(
         "{:<28} {:>15.2}  {:>15.2}  {:>15.2}\n",
         "tpch X shards=2 stall+death", healthy, degraded, recovered,
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>15.4}  {:>15.4}\n",
+        "recovery latency p99 / max", recovery_p99, recovery_max,
     ));
     BenchReport {
         text: out,
@@ -1319,6 +1382,39 @@ pub fn emit_summary_with_metrics(
         serde_json::to_string(&serde::Value::Map(entries))
             .expect("summary serialization cannot fail")
     );
+}
+
+/// Parse a `--trace-out <path>` argument: where the experiment binary should
+/// dump the canonical per-episode trace artifact (see [`trace_artifact`])
+/// after its run, so CI can upload it alongside the JSON summary.
+pub fn trace_out_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// The canonical trace artifact: one recording FIFO episode over a plain
+/// [`ExecutionEngine`] on TPC-H ×1, seed 0 — the exact episode the golden
+/// `tests/golden/trace_engine_tpch_seed0.jsonl` pins. Pure virtual time,
+/// so two calls return byte-identical JSONL; the conformance suite replays
+/// it twice to prove that.
+pub fn trace_artifact() -> String {
+    let workload = generate(&WorkloadSpec::new(Benchmark::TpcH, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let obs = Obs::recording();
+    let mut engine = ExecutionEngine::new(profile.clone(), &workload, 0);
+    engine.set_obs(obs.clone());
+    bq_core::ScheduleSession::builder(&workload)
+        .dbms(profile.kind)
+        .round(0)
+        .obs(obs.clone())
+        .build(&mut engine)
+        .run(&mut FifoScheduler::new());
+    obs.trace_jsonl()
 }
 
 /// Run one scheduling round through the session facade on a fresh engine —

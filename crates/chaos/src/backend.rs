@@ -29,6 +29,7 @@
 use crate::schedule::{FaultSchedule, FaultSpec};
 use bq_core::{ExecEvent, ExecutorBackend, FaultEvent, ShardTopology};
 use bq_dbms::{AdvanceStall, ConnectionSlot, QueryCompletion, RunParams};
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::QueryId;
 use std::collections::VecDeque;
 
@@ -60,6 +61,31 @@ pub struct ChaosBackend<B> {
     /// to its release instant even when the idle inner backend refuses to
     /// advance that far.
     now_floor: f64,
+    /// Observability handle; [`Obs::off`] unless
+    /// [`ChaosBackend::set_obs`] installed one.
+    obs: Obs,
+}
+
+/// Per-kind counter name for an observed fault event.
+fn fault_counter(event: &FaultEvent) -> &'static str {
+    match event {
+        FaultEvent::TransportRetransmit { .. } => "chaos_transport_retransmit",
+        FaultEvent::ShardStalled { .. } => "chaos_shard_stalled",
+        FaultEvent::ShardResumed { .. } => "chaos_shard_resumed",
+        FaultEvent::ShardDied { .. } => "chaos_shard_died",
+        FaultEvent::QueryLost { .. } => "chaos_query_lost",
+        FaultEvent::QueryResubmitted { .. } => "chaos_query_resubmitted",
+    }
+}
+
+/// Shard coordinate of a fault event, if it has one.
+fn fault_shard(event: &FaultEvent) -> Option<usize> {
+    match event {
+        FaultEvent::ShardStalled { shard, .. }
+        | FaultEvent::ShardResumed { shard, .. }
+        | FaultEvent::ShardDied { shard, .. } => Some(*shard),
+        _ => None,
+    }
 }
 
 impl<B: ExecutorBackend> ChaosBackend<B> {
@@ -107,7 +133,30 @@ impl<B: ExecutorBackend> ChaosBackend<B> {
             held_slots: Vec::new(),
             mirror,
             now_floor: 0.0,
+            obs: Obs::off(),
         }
+    }
+
+    /// Observe the fault stream through `obs`: every fault surfaced by
+    /// [`ExecutorBackend::poll_fault`] (injected by this decorator or
+    /// bubbled up from the inner backend) increments a per-kind
+    /// `chaos_*` counter and emits a [`TraceKind::FaultInjected`] event
+    /// stamped with the fault's virtual instant and shard, when it has
+    /// one. Observation is read-only — the schedule, classification and
+    /// clock floor are untouched, so episodes stay byte-identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.preregister(
+            &[
+                "chaos_transport_retransmit",
+                "chaos_shard_stalled",
+                "chaos_shard_resumed",
+                "chaos_shard_died",
+                "chaos_query_lost",
+                "chaos_query_resubmitted",
+            ],
+            &[],
+        );
+        self.obs = obs;
     }
 
     /// The decorated backend.
@@ -367,10 +416,17 @@ impl<B: ExecutorBackend> ExecutorBackend for ChaosBackend<B> {
 
     fn poll_fault(&mut self) -> Option<FaultEvent> {
         self.sync_timeline();
-        if let Some(fault) = self.faults.pop_front() {
-            return Some(fault);
+        let fault = self
+            .faults
+            .pop_front()
+            .or_else(|| self.inner.poll_fault())?;
+        self.obs.inc(fault_counter(&fault));
+        let mut event = TraceEvent::new(TraceKind::FaultInjected, fault.at());
+        if let Some(shard) = fault_shard(&fault) {
+            event = event.with_shard(shard);
         }
-        self.inner.poll_fault()
+        self.obs.emit(event);
+        Some(fault)
     }
 
     fn known_query_count(&self) -> Option<usize> {

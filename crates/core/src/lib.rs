@@ -66,6 +66,7 @@ pub mod scheduler;
 pub mod session;
 pub mod state;
 
+pub use bq_obs::{Obs, TraceEvent, TraceKind};
 pub use gantt::{GanttBar, GanttChart};
 pub use heuristics::{FifoScheduler, McfScheduler, RandomScheduler};
 pub use log::{EpisodeLog, ExecutionHistory, FaultRecord, QueryRecord};

@@ -39,8 +39,16 @@ impl StrategyEvaluation {
 
     /// Relative improvement of this strategy over `other` in mean makespan
     /// (positive = this strategy is faster), as a fraction.
+    ///
+    /// Degenerate evaluations (no rounds, a zero/negative mean, or a
+    /// non-finite mean from a poisoned makespan) report 0 rather than a
+    /// NaN/inf that would leak into summaries: `NaN <= 0.0` is false, so
+    /// the positivity guard alone would wave NaN straight through.
     pub fn improvement_over(&self, other: &StrategyEvaluation) -> f64 {
-        if other.mean_makespan <= 0.0 {
+        if other.mean_makespan <= 0.0
+            || !other.mean_makespan.is_finite()
+            || !self.mean_makespan.is_finite()
+        {
             return 0.0;
         }
         (other.mean_makespan - self.mean_makespan) / other.mean_makespan
@@ -73,22 +81,42 @@ pub fn degraded_evaluation(log: &EpisodeLog) -> DegradedEvaluation {
     }
 }
 
-/// Arithmetic mean (0 for an empty slice).
+/// Arithmetic mean over the **finite** values (0 for an empty slice, and a
+/// NaN/inf entry is skipped rather than poisoning the whole summary — the
+/// same hardening the bench gate applies to its metrics).
 pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for &v in values {
+        if v.is_finite() {
+            sum += v;
+            n += 1;
+        }
+    }
+    if n == 0 {
         0.0
     } else {
-        values.iter().sum::<f64>() / values.len() as f64
+        sum / n as f64
     }
 }
 
-/// Population standard deviation (0 for fewer than two values).
+/// Population standard deviation over the **finite** values (0 for fewer
+/// than two of them, matching the paper's `σ_ov` convention for degenerate
+/// single-round evaluations).
 pub fn std_dev(values: &[f64]) -> f64 {
-    if values.len() < 2 {
+    let m = mean(values);
+    let mut sum_sq = 0.0;
+    let mut n = 0u64;
+    for &v in values {
+        if v.is_finite() {
+            sum_sq += (v - m) * (v - m);
+            n += 1;
+        }
+    }
+    if n < 2 {
         return 0.0;
     }
-    let m = mean(values);
-    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+    (sum_sq / n as f64).sqrt()
 }
 
 /// Run `rounds` scheduling rounds of `workload` on `profile` under `policy`
@@ -162,6 +190,41 @@ mod tests {
         let b = StrategyEvaluation::from_makespans("slow", vec![10.0]);
         assert!((a.improvement_over(&b) - 0.2).abs() < 1e-9);
         assert!(b.improvement_over(&a) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_makespan_vectors_never_leak_nan() {
+        // Empty: zero-round evaluation (a cell that never ran).
+        let empty = StrategyEvaluation::from_makespans("empty", vec![]);
+        assert_eq!(empty.mean_makespan, 0.0);
+        assert_eq!(empty.std_makespan, 0.0);
+        // Single round: σ_ov degenerates to 0, not NaN.
+        let single = StrategyEvaluation::from_makespans("single", vec![42.0]);
+        assert_eq!(single.mean_makespan, 42.0);
+        assert_eq!(single.std_makespan, 0.0);
+        // A poisoned round (NaN/inf makespan) is skipped, not propagated.
+        let poisoned =
+            StrategyEvaluation::from_makespans("poisoned", vec![10.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(poisoned.mean_makespan, 10.0);
+        assert_eq!(poisoned.std_makespan, 0.0);
+        // improvement_over is finite on every pairing of the above.
+        let healthy = StrategyEvaluation::from_makespans("healthy", vec![8.0, 12.0]);
+        for base in [&empty, &single, &poisoned, &healthy] {
+            for this in [&empty, &single, &poisoned, &healthy] {
+                let imp = this.improvement_over(base);
+                assert!(
+                    imp.is_finite(),
+                    "{} over {}: {imp}",
+                    this.strategy,
+                    base.strategy
+                );
+            }
+        }
+        // An all-NaN mean on either side reports 0, never NaN.
+        let mut nan_eval = StrategyEvaluation::from_makespans("nan", vec![]);
+        nan_eval.mean_makespan = f64::NAN;
+        assert_eq!(nan_eval.improvement_over(&healthy), 0.0);
+        assert_eq!(healthy.improvement_over(&nan_eval), 0.0);
     }
 
     #[test]

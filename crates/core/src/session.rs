@@ -33,6 +33,7 @@ use crate::scheduler::{
 };
 use crate::state::{QueryRuntime, QueryStatus, SchedulingState};
 use bq_dbms::{DbmsKind, QueryCompletion, RunParams};
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::{QueryId, Workload};
 
 /// Callback invoked on every completion (including timeout cancellations).
@@ -56,6 +57,7 @@ pub struct ScheduleSessionBuilder<'a> {
     on_completion: Option<CompletionHook<'a>>,
     router: Option<Box<dyn ShardRouter + 'a>>,
     recovery: Option<RecoveryPolicy>,
+    obs: Obs,
 }
 
 impl<'a> ScheduleSessionBuilder<'a> {
@@ -70,6 +72,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
             on_completion: None,
             router: None,
             recovery: None,
+            obs: Obs::off(),
         }
     }
 
@@ -150,6 +153,19 @@ impl<'a> ScheduleSessionBuilder<'a> {
         self
     }
 
+    /// Observe the round through `obs`: per-round decision counts, queue
+    /// depth and latency histograms land in its metrics registry, and a
+    /// typed trace event is emitted for every decision, completion and
+    /// recovery resubmission. Observation is strictly read-only — the
+    /// episode is byte-identical with observability off, on, or recording
+    /// (pinned by the conformance passthrough cell). Metric names are
+    /// pre-registered at build time so steady-state recording stays
+    /// allocation-free. Default: [`Obs::off`].
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The common "one round on a fresh simulated DBMS" shape: build an
     /// [`ExecutionEngine`](bq_dbms::ExecutionEngine) from `profile` seeded
     /// with `seed` and run `policy` to completion. Unless the caller set
@@ -180,6 +196,14 @@ impl<'a> ScheduleSessionBuilder<'a> {
             })
             .collect();
         let topology = backend.shard_topology();
+        self.obs.preregister(
+            &["session_decisions", "session_fills", "session_queries_lost"],
+            &[
+                "session_queue_depth",
+                "session_query_duration",
+                "session_recovery_latency",
+            ],
+        );
         ScheduleSession {
             workload: self.workload,
             dbms: self.dbms.unwrap_or(DbmsKind::X),
@@ -189,6 +213,7 @@ impl<'a> ScheduleSessionBuilder<'a> {
             on_completion: self.on_completion,
             router: self.router,
             recovery: self.recovery,
+            obs: self.obs,
             topology,
             backend,
             runtimes,
@@ -216,6 +241,8 @@ pub struct ScheduleSession<'a, E> {
     router: Option<Box<dyn ShardRouter + 'a>>,
     /// Resubmit-on-loss policy; `None` = any lost query fails the round.
     recovery: Option<RecoveryPolicy>,
+    /// Observability handle; [`Obs::off`] unless the builder attached one.
+    obs: Obs,
     /// The backend's slot-space partition, queried once at build time.
     topology: ShardTopology,
     backend: &'a mut E,
@@ -230,9 +257,11 @@ pub struct ScheduleSession<'a, E> {
     /// reserved slots before the batch reaches the backend.
     slot_scratch: Vec<ConnectionSlot>,
     /// Lost queries waiting out their recovery backoff: `(eligible_at,
-    /// query)`. Flipped back to `Pending` once the clock reaches
-    /// `eligible_at`, re-entering the fill loop's admission path.
-    cooling: Vec<(f64, QueryId)>,
+    /// lost_at, query)`. Flipped back to `Pending` once the clock reaches
+    /// `eligible_at`, re-entering the fill loop's admission path; the loss
+    /// instant rides along so the resubmission can report its recovery
+    /// latency.
+    cooling: Vec<(f64, f64, QueryId)>,
     /// Per-query resubmission count, checked against the recovery budget.
     resubmit_attempts: Vec<u32>,
     /// Consecutive idle polls with pending-but-unroutable queries; bounds
@@ -320,7 +349,7 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                         let earliest = self
                             .cooling
                             .iter()
-                            .map(|(at, _)| *at)
+                            .map(|(at, ..)| *at)
                             .fold(f64::INFINITY, f64::min);
                         if earliest > self.backend.now() + TIME_EPS {
                             self.backend.advance_to(earliest);
@@ -413,8 +442,14 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                     *attempt,
                     policy.max_retries
                 );
+                self.obs.inc("session_queries_lost");
+                self.obs.emit(
+                    TraceEvent::new(TraceKind::FaultInjected, at)
+                        .with_round(self.round)
+                        .with_query(query.0),
+                );
                 let eligible = at + policy.backoff(*attempt, query.0 as u64);
-                self.cooling.push((eligible, query));
+                self.cooling.push((eligible, at, query));
             }
         }
     }
@@ -431,8 +466,8 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         let mut i = 0;
         while i < self.cooling.len() {
             if self.cooling[i].0 <= now + TIME_EPS {
-                let (_, query) = self.cooling.swap_remove(i);
-                self.release_lost_query(query, now, log);
+                let (_, lost_at, query) = self.cooling.swap_remove(i);
+                self.release_lost_query(query, lost_at, now, log);
                 released += 1;
             } else {
                 i += 1;
@@ -453,12 +488,12 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         else {
             return; // nothing cooling — the caller's guard already held
         };
-        let (_, query) = self.cooling.swap_remove(i);
+        let (_, lost_at, query) = self.cooling.swap_remove(i);
         let now = self.backend.now();
-        self.release_lost_query(query, now, log);
+        self.release_lost_query(query, lost_at, now, log);
     }
 
-    fn release_lost_query(&mut self, query: QueryId, now: f64, log: &mut EpisodeLog) {
+    fn release_lost_query(&mut self, query: QueryId, lost_at: f64, now: f64, log: &mut EpisodeLog) {
         let rt = &mut self.runtimes[query.0];
         debug_assert!(
             rt.status == QueryStatus::Running,
@@ -469,6 +504,13 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         rt.elapsed = 0.0;
         self.pending_count += 1;
         self.idle_spins = 0;
+        self.obs.observe("session_recovery_latency", now - lost_at);
+        self.obs.emit(
+            TraceEvent::new(TraceKind::RecoveryResubmission, now)
+                .with_round(self.round)
+                .with_query(query.0)
+                .with_value(now - lost_at),
+        );
         log.push_fault(&FaultEvent::QueryResubmitted {
             query,
             attempt: self.resubmit_attempts[query.0],
@@ -538,6 +580,9 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
             rt.params = Some(params);
             rt.elapsed = elapsed;
         }
+        self.obs.inc("session_fills");
+        self.obs
+            .observe("session_queue_depth", self.pending_count as f64);
         while self.pending_count > 0 {
             let routed = match &mut self.router {
                 Some(router) => router.route(&self.topology, &self.slot_scratch),
@@ -578,6 +623,13 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
                     self.workload.len()
                 );
             }
+            self.obs.inc("session_decisions");
+            self.obs.emit(
+                TraceEvent::new(TraceKind::Decision, now)
+                    .with_round(self.round)
+                    .with_connection(free)
+                    .with_query(action.query.0),
+            );
             self.slot_scratch[free] = ConnectionSlot::Pending {
                 query: action.query,
                 params: action.params,
@@ -605,6 +657,14 @@ impl<'a, E: ExecutorBackend> ScheduleSession<'a, E> {
         rt.elapsed = completion.finished_at - completion.started_at;
         self.finished += 1;
         self.idle_spins = 0;
+        self.obs.observe("session_query_duration", rt.elapsed);
+        self.obs.emit(
+            TraceEvent::new(TraceKind::CompletionDelivered, completion.finished_at)
+                .with_round(self.round)
+                .with_connection(completion.connection)
+                .with_query(completion.query.0)
+                .with_value(rt.elapsed),
+        );
         policy.observe_completion(&completion);
         log.push_completion(self.workload, &completion);
         if let Some(hook) = self.on_completion.as_mut() {

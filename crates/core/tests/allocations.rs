@@ -5,7 +5,7 @@
 //! decision *and* per fill iteration; the session's borrowed views reduce the
 //! episode to O(completions) allocations (log records and their name strings).
 
-use bq_core::{Action, QueryStatus, ScheduleSession, SchedulerPolicy, SchedulingState};
+use bq_core::{Action, Obs, QueryStatus, ScheduleSession, SchedulerPolicy, SchedulingState};
 use bq_dbms::{DbmsProfile, ExecutionEngine, RunParams};
 use bq_plan::{generate, Benchmark, QueryId, WorkloadSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -98,5 +98,54 @@ fn session_episode_allocations_scale_with_completions_not_decisions() {
         allocs <= budget,
         "session episode allocated {allocs} times for {n} queries (budget {budget}); \
          the hot loop is no longer allocation-free"
+    );
+}
+
+/// The same budget must hold with observability *enabled* (metrics plus the
+/// no-op sink): every metric name is pre-registered when the handle is
+/// attached, so steady-state recording is counter bumps and histogram
+/// bucket increments into storage that already exists — zero allocations
+/// per decision. This is what makes "leave metrics on in production" a
+/// non-decision.
+#[test]
+fn session_episode_stays_within_budget_with_observability_enabled() {
+    let w = generate(&WorkloadSpec::new(Benchmark::TpcDs, 1.0, 1));
+    let profile = DbmsProfile::dbms_x();
+    let n = w.len() as u64;
+
+    let obs = Obs::enabled();
+    // Warm-up: scratch buffers AND the obs registry reach steady state
+    // (pre-registration happens at attach/build time, before measurement).
+    {
+        let mut engine = ExecutionEngine::new(profile.clone(), &w, 0);
+        engine.set_obs(obs.clone());
+        let log = ScheduleSession::builder(&w)
+            .obs(obs.clone())
+            .build(&mut engine)
+            .run(&mut FirstPending);
+        assert_eq!(log.len(), w.len());
+    }
+
+    let mut engine = ExecutionEngine::new(profile.clone(), &w, 1);
+    engine.set_obs(obs.clone());
+    let session = ScheduleSession::builder(&w)
+        .obs(obs.clone())
+        .build(&mut engine);
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let log = session.run(&mut FirstPending);
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(log.len(), w.len());
+    assert!(
+        obs.counter("session_decisions") >= 2 * n,
+        "both rounds must actually have been observed"
+    );
+    let budget = 4 * n + 32;
+    assert!(
+        allocs <= budget,
+        "observed session episode allocated {allocs} times for {n} queries \
+         (budget {budget}); recording must not allocate per decision"
     );
 }

@@ -17,6 +17,7 @@
 use crate::buffer::BufferPool;
 use crate::params::RunParams;
 use crate::profiles::DbmsProfile;
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::{QueryId, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -202,6 +203,7 @@ pub struct ExecutionEngine {
     scratch: RateScratch,
     last_stall: Option<AdvanceStall>,
     advance_budget_override: Option<usize>,
+    obs: Obs,
 }
 
 /// Reusable buffers for the rate computation, so advancing virtual time does
@@ -259,7 +261,19 @@ impl ExecutionEngine {
             scratch: RateScratch::default(),
             last_stall: None,
             advance_budget_override: None,
+            obs: Obs::off(),
         }
+    }
+
+    /// Observe this engine's virtual-time advances through `obs`: each
+    /// productive advance increments `engine_advances` and emits a
+    /// [`TraceKind::ShardAdvance`] event; a budget-exhausted advance
+    /// increments `engine_stalls`. Observation is read-only — dynamics,
+    /// clocks and noise draws are untouched, so an observed episode stays
+    /// byte-identical to an unobserved one.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.preregister(&["engine_advances", "engine_stalls"], &[]);
+        self.obs = obs;
     }
 
     /// The DBMS profile this engine models.
@@ -629,6 +643,17 @@ impl ExecutionEngine {
     /// [`AdvanceStall`] (readable via [`ExecutionEngine::stall_diagnostic`])
     /// so the partially-advanced state is diagnosable instead of silent.
     fn advance_bounded(&mut self, until: f64) {
+        let before = self.now;
+        self.advance_bounded_inner(until);
+        if self.now > before {
+            self.obs.inc("engine_advances");
+            self.obs.emit(
+                TraceEvent::new(TraceKind::ShardAdvance, self.now).with_value(self.now - before),
+            );
+        }
+    }
+
+    fn advance_bounded_inner(&mut self, until: f64) {
         let busy = self.busy_count();
         if busy == 0 {
             return;
@@ -714,6 +739,7 @@ impl ExecutionEngine {
             false,
             "engine advance budget exhausted without progress: {stall:?}"
         );
+        self.obs.inc("engine_stalls");
         self.last_stall = Some(stall);
     }
     // bq-lint: hot-path-end

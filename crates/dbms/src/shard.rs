@@ -64,6 +64,7 @@
 use crate::engine::{AdvanceStall, ConnectionSlot, ExecutionEngine, QueryCompletion};
 use crate::params::RunParams;
 use crate::profiles::DbmsProfile;
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::{QueryId, Workload};
 use std::collections::VecDeque;
 
@@ -104,6 +105,11 @@ pub struct ShardedEngine {
     /// merge loop runs once per delivered completion, so the selection must
     /// not allocate per poll.
     advance_ids: Vec<usize>,
+    /// Observability handle; [`Obs::off`] unless [`ShardedEngine::set_obs`]
+    /// installed one. Only the *serial* merge code emits — the scoped
+    /// worker closures never touch it — so metric and event order is a pure
+    /// function of the merge order, independent of thread timing.
+    obs: Obs,
 }
 
 impl ShardedEngine {
@@ -136,6 +142,32 @@ impl ShardedEngine {
             id_index: (0..total).collect(),
             delivered: 0,
             advance_ids: Vec::with_capacity(shards),
+            obs: Obs::off(),
+        }
+    }
+
+    /// Observe the cross-shard merge through `obs`: per-shard advance
+    /// counts (`shard_advance_<i>` plus a [`TraceKind::ShardAdvance`] event
+    /// per selected shard), delivered completions (`sharded_deliveries`),
+    /// merge-set depth at each delivery (`sharded_merge_queue_depth`) and
+    /// all-shards-stalled polls (`sharded_stall_events`). The shard engines
+    /// themselves stay unobserved — workers on the scoped pool must remain
+    /// silent so recorded order is deterministic — and observation is
+    /// read-only, so episodes stay byte-identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.preregister(
+            &["sharded_deliveries", "sharded_stall_events"],
+            &["sharded_merge_queue_depth"],
+        );
+        self.obs = obs;
+    }
+
+    /// Record the shards just integrated by one serial merge step.
+    fn note_shard_advances(&self) {
+        for &s in &self.advance_ids {
+            self.obs.inc_indexed("shard_advance", s);
+            self.obs
+                .emit(TraceEvent::new(TraceKind::ShardAdvance, self.shards[s].now()).with_shard(s));
         }
     }
 
@@ -401,11 +433,17 @@ impl ShardedEngine {
                         }
                     }
                     Self::advance_shards(&mut self.shards, &self.advance_ids, f64::INFINITY);
+                    self.note_shard_advances();
                     for i in 0..self.advance_ids.len() {
                         let s = self.advance_ids[i];
                         self.harvest(s);
                     }
                     if !any_busy || self.min_pending().is_none() {
+                        if any_busy {
+                            // Busy shards produced no event: every one of
+                            // them stalled mid-advance.
+                            self.obs.inc("sharded_stall_events");
+                        }
                         // Idle, or every busy shard stalled mid-advance
                         // (diagnosable via `stall_diagnostic`).
                         return None;
@@ -429,12 +467,16 @@ impl ShardedEngine {
                     }
                     if !self.advance_ids.is_empty() {
                         Self::advance_shards(&mut self.shards, &self.advance_ids, t);
+                        self.note_shard_advances();
                         for i in 0..self.advance_ids.len() {
                             let s = self.advance_ids[i];
                             self.harvest(s);
                         }
                         continue; // an earlier candidate may have surfaced
                     }
+                    self.obs.inc("sharded_deliveries");
+                    self.obs
+                        .observe("sharded_merge_queue_depth", self.pending.len() as f64);
                     let completion = self.pending.remove(idx);
                     debug_assert!(completion.finished_at + TIME_EPS >= self.clock);
                     self.clock = self.clock.max(completion.finished_at);
@@ -489,6 +531,7 @@ impl ShardedEngine {
             }
         }
         Self::advance_shards(&mut self.shards, &self.advance_ids, bound);
+        self.note_shard_advances();
         for s in 0..self.shards.len() {
             self.harvest(s);
         }

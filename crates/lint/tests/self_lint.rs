@@ -22,6 +22,17 @@ fn workspace_is_clean_under_default_config() {
         "workspace violates its own determinism contract:\n{}",
         report.human_lines().join("\n")
     );
+    // The escape-hatch count is pinned: every `bq-lint: allow` in the tree
+    // is an audited, justified exception, and a new one must consciously
+    // bump this number in the same PR that adds it — silently accreting
+    // allows would hollow the audit out. (The count includes the single
+    // sanctioned wall-clock read in `bq_obs::profile`; every other
+    // profiling hook must inject a `WallClock` instead.)
+    assert_eq!(
+        report.allows_used, 29,
+        "the number of `bq-lint: allow` escapes changed — if the new allow \
+         is justified, update this pin in the same PR"
+    );
 }
 
 #[test]

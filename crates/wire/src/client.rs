@@ -28,6 +28,7 @@ use bq_core::{ExecEvent, ExecutorBackend, FaultEvent, RecoveryPolicy, ShardTopol
 use bq_dbms::{
     AdvanceStall, ConnectionSlot, DbmsProfile, ExecutionEngine, QueryCompletion, RunParams,
 };
+use bq_obs::{Obs, TraceEvent, TraceKind};
 use bq_plan::{QueryId, Workload};
 use std::fmt;
 
@@ -90,6 +91,9 @@ pub struct WireBackend<B, T = InMemoryDuplex> {
     /// Retransmissions performed, surfaced through
     /// [`ExecutorBackend::poll_fault`].
     faults: std::collections::VecDeque<FaultEvent>,
+    /// Observability handle; [`Obs::off`] unless
+    /// [`WireBackend::set_obs`] installed one.
+    obs: Obs,
 }
 
 impl<B: ExecutorBackend> WireBackend<B, InMemoryDuplex> {
@@ -146,6 +150,7 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
             epoch: 0,
             recovery: None,
             faults: std::collections::VecDeque::new(),
+            obs: Obs::off(),
         };
         match client.call(Request::Hello {
             magic: HANDSHAKE_MAGIC,
@@ -182,6 +187,27 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
         &self.server
     }
 
+    /// Observe the wire through `obs`: frame and byte counters per
+    /// direction, per-direction transit-latency histograms
+    /// (`wire_transit_to_server` = request send → server arrival,
+    /// `wire_transit_to_client` = server arrival → response delivery) and
+    /// a [`TraceKind::FrameSent`]/[`TraceKind::FrameReceived`] event pair
+    /// per completed exchange, stamped with the exchange's `(epoch, seq)`
+    /// identity. Observation is read-only — clocks, framing and retries
+    /// are untouched, so episodes stay byte-identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.preregister(
+            &[
+                "wire_frames_sent",
+                "wire_frames_received",
+                "wire_bytes_sent",
+                "wire_bytes_received",
+            ],
+            &["wire_transit_to_server", "wire_transit_to_client"],
+        );
+        self.obs = obs;
+    }
+
     /// Survive transport losses: when an exchange's response never arrives
     /// (a fault-injecting transport dropped or truncated it), retransmit the
     /// request after a seeded backoff instead of panicking, up to
@@ -214,10 +240,28 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
         let message = request.encode();
         let mut attempt = 0u32;
         let response = loop {
-            self.transport
-                .send_to_server(&frame(&seal(seq, &message)), self.now);
+            let wire_frame = frame(&seal(seq, &message));
+            let sent_at = self.now;
+            let arrival = self.transport.send_to_server(&wire_frame, self.now);
+            self.obs.inc("wire_frames_sent");
+            self.obs.inc_by("wire_bytes_sent", wire_frame.len() as u64);
+            self.obs
+                .observe("wire_transit_to_server", (arrival - sent_at).max(0.0));
+            self.obs.emit(
+                TraceEvent::new(TraceKind::FrameSent, sent_at)
+                    .with_epoch(self.epoch)
+                    .with_seq(seq)
+                    .with_value(wire_frame.len() as f64),
+            );
             self.server.service(&mut self.transport);
             if let Some(response) = self.receive_matching(seq) {
+                self.obs
+                    .observe("wire_transit_to_client", (self.now - arrival).max(0.0));
+                self.obs.emit(
+                    TraceEvent::new(TraceKind::FrameReceived, self.now)
+                        .with_epoch(self.epoch)
+                        .with_seq(seq),
+                );
                 break response;
             }
             // The exchange was lost in transit (request or response).
@@ -265,6 +309,8 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
                 self.reader.reset();
                 self.epoch = delivery.epoch;
             }
+            self.obs
+                .inc_by("wire_bytes_received", delivery.bytes.len() as u64);
             self.reader.feed(&delivery.bytes);
             // The observable clock is the delivery instant of what we have
             // actually received — never the send instant of something still
@@ -278,6 +324,7 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
                 // bq-lint: allow(panic-surface): a desynced response stream is a documented fatal protocol violation (client contract, see module docs)
                 .unwrap_or_else(|e| panic!("response stream lost framing: {e}"))
             {
+                self.obs.inc("wire_frames_received");
                 let (rseq, body) =
                     // bq-lint: allow(panic-surface): documented fatal protocol violation (client contract)
                     unseal(&payload).unwrap_or_else(|e| panic!("unsealable response frame: {e}"));

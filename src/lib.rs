@@ -15,6 +15,8 @@
 //!   pair putting real serialization between the session and any backend,
 //! * [`chaos`] — deterministic fault injection: replayable fault schedules
 //!   and chaos decorators for transports and backends,
+//! * [`obs`] — deterministic observability: metrics registry, log-scale
+//!   latency histograms, typed trace events and wall-clock profiling hooks,
 //! * [`encoder`] — plan encoder and attention-based state representation,
 //! * [`rl`] — PPO / PPG / IQ-PPO,
 //! * [`sched`] — the BQSched agent, masking, clustering and the learned
@@ -32,6 +34,7 @@ pub use bq_core as core;
 pub use bq_dbms as dbms;
 pub use bq_encoder as encoder;
 pub use bq_nn as nn;
+pub use bq_obs as obs;
 pub use bq_plan as plan;
 pub use bq_rl as rl;
 pub use bq_sched as sched;

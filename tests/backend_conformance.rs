@@ -664,6 +664,192 @@ fn chaos_episode_replays_identically_and_matches_golden_artifact() {
     common::assert_matches_golden("chaos_stall_death_tpch_seed0.json", &log.to_json());
 }
 
+// --- The observability layer (`bq-obs`) -----------------------------------
+//
+// The tracing-never-perturbs contract: attaching a *recording* observability
+// handle to any layer of any backend stack must leave the episode log
+// byte-identical to the unobserved run — observation reads virtual time and
+// identities, and nothing flows back. One cell per backend family, each
+// observing both the backend and the session, each also proving the run was
+// actually observed (a vacuous pass with an inert handle proves nothing).
+
+use bqsched::obs::Obs;
+
+fn check_recording_obs_never_perturbs<E, F, G>(
+    name: &str,
+    w: &Workload,
+    mut fresh: F,
+    mut attach: G,
+    backend_counter: &'static str,
+) where
+    E: ExecutorBackend,
+    F: FnMut(u64) -> E,
+    G: FnMut(&mut E, Obs),
+{
+    for seed in [0u64, 3] {
+        let plain = {
+            let mut backend = fresh(seed);
+            ScheduleSession::builder(w)
+                .round(seed)
+                .build(&mut backend)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        let obs = Obs::recording();
+        let observed = {
+            let mut backend = fresh(seed);
+            attach(&mut backend, obs.clone());
+            ScheduleSession::builder(w)
+                .round(seed)
+                .obs(obs.clone())
+                .build(&mut backend)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        assert_eq!(
+            plain, observed,
+            "{name}: recording observability perturbed the episode (seed {seed})"
+        );
+        assert!(
+            obs.counter("session_decisions") > 0,
+            "{name}: the session layer must actually have been observed"
+        );
+        assert!(
+            obs.counter(backend_counter) > 0,
+            "{name}: the backend layer must actually have been observed \
+             ({backend_counter} stayed 0)"
+        );
+        assert!(
+            !obs.trace_jsonl().is_empty(),
+            "{name}: the recording sink must have captured events"
+        );
+    }
+}
+
+#[test]
+fn recording_observability_never_perturbs_any_backend_family() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    check_recording_obs_never_perturbs(
+        "engine",
+        &w,
+        |seed| ExecutionEngine::new(profile.clone(), &w, seed),
+        |b, o| b.set_obs(o),
+        "engine_advances",
+    );
+    check_recording_obs_never_perturbs(
+        "sharded2",
+        &w,
+        |seed| ShardedEngine::new(profile.clone(), &w, seed, 2),
+        |b, o| b.set_obs(o),
+        "sharded_deliveries",
+    );
+    check_recording_obs_never_perturbs(
+        "adapter(engine)",
+        &w,
+        |seed| {
+            AsyncAdapter::new(
+                ExecutionEngine::new(profile.clone(), &w, seed),
+                DispatchProfile::fixed(0.2)
+                    .with_max_in_flight(2)
+                    .with_max_batch(2)
+                    .with_seed(seed),
+            )
+        },
+        |b, o| b.set_obs(o),
+        "adapter_admissions",
+    );
+    check_recording_obs_never_perturbs(
+        "wire(engine)",
+        &w,
+        |seed| {
+            WireBackend::over_engine(
+                &profile,
+                &w,
+                seed,
+                TransportProfile::fixed(0.05).with_seed(seed),
+            )
+        },
+        |b, o| b.set_obs(o),
+        "wire_frames_sent",
+    );
+}
+
+/// The chaos family needs its own cell: a recovered episode requires the
+/// fault-aware router and a recovery policy on the session, and the thing
+/// worth pinning is that observing the *faulted* path — fault events, lost
+/// queries, recovery resubmissions — perturbs nothing either.
+#[test]
+fn recording_observability_never_perturbs_a_recovered_chaos_episode() {
+    let w = tpch();
+    let profile = DbmsProfile::dbms_x();
+    let schedule = FaultSchedule::from_events(vec![
+        FaultSpec::ShardStall {
+            shard: 0,
+            at: 0.2,
+            resume_at: 0.4,
+        },
+        FaultSpec::ShardDeath { shard: 1, at: 0.5 },
+    ]);
+    for seed in [0u64, 3] {
+        let run = |obs: Option<Obs>| {
+            let mut chaotic =
+                ChaosBackend::new(ShardedEngine::new(profile.clone(), &w, seed, 2), &schedule);
+            let mut builder = ScheduleSession::builder(&w)
+                .round(seed)
+                .router(FaultAwareRouter::new(LeastLoadedRouter))
+                .recovery(RecoveryPolicy::bounded());
+            if let Some(obs) = obs {
+                chaotic.set_obs(obs.clone());
+                builder = builder.obs(obs);
+            }
+            builder
+                .build(&mut chaotic)
+                .run(&mut FifoScheduler::new())
+                .to_json()
+        };
+        let obs = Obs::recording();
+        assert_eq!(
+            run(None),
+            run(Some(obs.clone())),
+            "chaos: recording observability perturbed the episode (seed {seed})"
+        );
+        assert!(
+            obs.counter("chaos_shard_died") >= 1,
+            "the observed run must have seen the death"
+        );
+        assert!(
+            obs.counter("session_queries_lost") >= 1
+                && obs.histogram("session_recovery_latency").is_some(),
+            "the recovery path must have been observed"
+        );
+    }
+}
+
+/// The canonical trace artifact — one recording FIFO episode over the plain
+/// engine on TPC-H seed 0, the exact JSONL `--trace-out` dumps — is a pure
+/// function of the episode: two cold recordings are byte-identical, and the
+/// artifact is pinned on disk. Re-bless deliberately with `BLESS=1`.
+#[test]
+fn golden_trace_artifact_replays_identically() {
+    let w = tpch();
+    let first = bq_bench::trace_artifact();
+    let second = bq_bench::trace_artifact();
+    assert_eq!(
+        first, second,
+        "the trace artifact must replay byte-identically"
+    );
+    // At minimum one decision and one completion event per query, plus
+    // engine advances — and every line is a self-contained JSON object.
+    assert!(first.lines().count() >= 2 * w.len());
+    assert!(first.lines().all(|l| l.starts_with("{\"kind\":\"")));
+    assert!(first.lines().any(|l| l.contains("\"kind\":\"decision\"")));
+    assert!(first
+        .lines()
+        .any(|l| l.contains("\"kind\":\"completion_delivered\"")));
+    common::assert_matches_golden("trace_engine_tpch_seed0.jsonl", &first);
+}
+
 /// Cross-version pin for a nonzero-latency adapter configuration: fixed
 /// (workload, profile, seed, dispatch profile) must keep reproducing the
 /// same on-disk log. Re-bless deliberately with `BLESS=1`.
