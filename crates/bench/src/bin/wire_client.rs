@@ -1,0 +1,160 @@
+//! One client process of the process-level wire bench: connects to a
+//! `bq-serve` process over a real socket, runs one FIFO episode, and
+//! prints a single-line JSON summary carrying its makespan, exchange
+//! count, and bit-exact latency histograms for the orchestrator
+//! (`bench_process`) to merge. Wall-clock round-trips are timed through
+//! the injected [`bq_obs::SystemClock`] — the lint gate's single
+//! `Instant::now` — and never touch the episode's virtual time.
+//!
+//! ```text
+//! wire_client (--uds PATH | --tcp ADDR) [--round N] [--transit F]
+//!             [--benchmark tpcds|tpch|job] [--scale F] [--trace-out PATH]
+//! ```
+
+use bq_bench::process::client_summary_line;
+use bq_core::{FifoScheduler, ScheduleSession};
+use bq_dbms::DbmsProfile;
+use bq_obs::{Histogram, Obs, SystemClock};
+use bq_plan::{generate, Benchmark, WorkloadSpec};
+use bq_wire::net::{connect_remote, Endpoint, SocketClient};
+use bq_wire::TransportProfile;
+
+struct Args {
+    endpoint: Endpoint,
+    round: u64,
+    transit: f64,
+    benchmark: Benchmark,
+    scale: f64,
+    trace_out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut endpoint = None;
+    let mut round = 0u64;
+    let mut transit = 0.0f64;
+    let mut benchmark = Benchmark::TpcDs;
+    let mut scale = 1.0f64;
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--tcp" => endpoint = Some(Endpoint::tcp(value("--tcp")?)),
+            "--uds" => endpoint = Some(Endpoint::uds(value("--uds")?)),
+            "--round" => {
+                round = value("--round")?
+                    .parse()
+                    .map_err(|e| format!("--round: {e}"))?
+            }
+            "--transit" => {
+                transit = value("--transit")?
+                    .parse()
+                    .map_err(|e| format!("--transit: {e}"))?
+            }
+            "--benchmark" => {
+                benchmark = match value("--benchmark")?.as_str() {
+                    "tpcds" => Benchmark::TpcDs,
+                    "tpch" => Benchmark::TpcH,
+                    "job" => Benchmark::Job,
+                    other => return Err(format!("unknown benchmark {other:?}")),
+                }
+            }
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--trace-out" => trace_out = Some(std::path::PathBuf::from(value("--trace-out")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        endpoint: endpoint.ok_or("one of --tcp ADDR or --uds PATH is required")?,
+        round,
+        transit,
+        benchmark,
+        scale,
+        trace_out,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(detail) => {
+            eprintln!("wire_client: {detail}");
+            std::process::exit(2);
+        }
+    };
+    // The same workload the server built from its flags: the protocol
+    // ships query *ids*, so both processes must generate the identical
+    // catalogue.
+    let workload = generate(&WorkloadSpec::new(args.benchmark, args.scale, 1));
+    let profile = DbmsProfile::dbms_x();
+    let obs = if args.trace_out.is_some() {
+        Obs::recording()
+    } else {
+        Obs::enabled()
+    };
+
+    // The transport preamble declares this latency model to the server, so
+    // both directions of the link draw from one profile — exactly like the
+    // in-memory duplex in fig5(f).
+    let transport = TransportProfile::fixed(args.transit).with_seed(args.round);
+    let mut client = match SocketClient::connect(args.endpoint.clone(), transport) {
+        Ok(client) => client.with_wall_clock(Box::new(SystemClock::new())),
+        Err(e) => {
+            eprintln!("wire_client: connecting to {}: {e}", args.endpoint);
+            std::process::exit(1);
+        }
+    };
+    client.set_obs(obs.clone());
+    let mut backend = match connect_remote(client) {
+        Ok(backend) => backend,
+        Err(e) => {
+            eprintln!("wire_client: handshake failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    backend.set_obs(obs.clone());
+
+    let log = ScheduleSession::builder(&workload)
+        .dbms(profile.kind)
+        .round(args.round)
+        .obs(obs.clone())
+        .build(&mut backend)
+        .run(&mut FifoScheduler::new());
+
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, obs.trace_jsonl()) {
+            eprintln!("wire_client: writing trace to {}: {e}", path.display());
+        }
+    }
+
+    let metrics = vec![
+        ("makespan".to_string(), log.makespan()),
+        (
+            "wire_exchanges".to_string(),
+            obs.counter("wire_frames_sent") as f64,
+        ),
+        (
+            "wire_reconnects".to_string(),
+            obs.counter("wire_reconnects") as f64,
+        ),
+    ];
+    let histograms = vec![
+        (
+            "wire_transit".to_string(),
+            obs.merged_histogram(&["wire_transit_to_server", "wire_transit_to_client"]),
+        ),
+        (
+            "wire_rtt_wall".to_string(),
+            obs.histogram("wire_rtt_wall")
+                .unwrap_or_else(Histogram::new),
+        ),
+    ];
+    println!(
+        "{}",
+        client_summary_line(args.round, args.transit, &metrics, &histograms)
+    );
+}

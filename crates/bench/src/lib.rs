@@ -38,6 +38,7 @@ use bq_sched::{
 use bq_wire::{TransportProfile, WireBackend};
 
 pub mod gate;
+pub mod process;
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

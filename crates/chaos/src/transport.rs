@@ -204,6 +204,14 @@ impl<T: WireTransport> WireTransport for ChaosTransport<T> {
             .expect("every forwarded chunk queued its epoch");
         Some(delivery)
     }
+
+    fn wait_for_client_data(&mut self) -> bool {
+        // Forward the blocking seam verbatim: fault injection rewrites what
+        // a delivery looks like, never when the inner transport can
+        // produce one. Over the in-memory link this stays `false`, keeping
+        // the empty-schedule passthrough byte-identical.
+        self.inner.wait_for_client_data()
+    }
 }
 
 #[cfg(test)]

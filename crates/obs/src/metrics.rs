@@ -79,6 +79,69 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
+    /// Reconstruct a histogram from its serialized parts — the inverse of
+    /// what [`Histogram::to_json`] emits (`count`, the `*_bits` IEEE-754
+    /// bit patterns, and the non-empty `[index, count]` bucket pairs).
+    /// This is how a process-based bench merges histograms across OS
+    /// processes: each client serializes its registry, the orchestrator
+    /// rebuilds each histogram bit-exactly and folds them with
+    /// [`Histogram::merge`].
+    ///
+    /// A zero `count` returns the empty histogram regardless of the other
+    /// parts (an empty histogram serializes its extrema as `0.0`, not as
+    /// the `±inf` sentinels it carries in memory). Bucket indices beyond
+    /// the ladder and bucket totals disagreeing with `count` are rejected
+    /// as `Err` — a summary that fails this round trip is corrupt, and a
+    /// silently mis-bucketed merge would skew every percentile downstream.
+    pub fn from_parts(
+        count: u64,
+        min_bits: u64,
+        max_bits: u64,
+        sum_bits: u64,
+        buckets: &[(usize, u64)],
+    ) -> Result<Self, String> {
+        if count == 0 {
+            return Ok(Self::new());
+        }
+        let mut h = Self::new();
+        let mut total = 0u64;
+        for &(index, n) in buckets {
+            if index > BUCKETS {
+                return Err(format!(
+                    "bucket index {index} beyond the ladder ({} buckets + overflow)",
+                    BUCKETS
+                ));
+            }
+            h.counts[index] += n;
+            total += n;
+        }
+        if total != count {
+            return Err(format!(
+                "bucket totals sum to {total} but count says {count}"
+            ));
+        }
+        h.count = count;
+        h.min = f64::from_bits(min_bits);
+        h.max = f64::from_bits(max_bits);
+        h.sum = f64::from_bits(sum_bits);
+        if !h.min.is_finite() || !h.max.is_finite() || !h.sum.is_finite() {
+            return Err("non-finite extrema in a non-empty histogram".to_string());
+        }
+        Ok(h)
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the bucket shape
+    /// [`Histogram::to_json`] serializes and [`Histogram::from_parts`]
+    /// accepts back.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
     /// Fold `other` into `self` — the per-shard / per-connection merge.
     /// Both sides share the standard ladder, so the merge is exact.
     pub fn merge(&mut self, other: &Histogram) {
@@ -414,6 +477,49 @@ mod tests {
         one.observe(0.25);
         assert_eq!(one.p50(), 0.25);
         assert_eq!(one.p99(), 0.25);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_histogram_bit_exactly() {
+        let mut h = Histogram::new();
+        for v in [0.1 + 0.2, 1.0 / 3.0, 7e-5, 0.0, 1e12] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.min().to_bits(),
+            h.max().to_bits(),
+            h.sum().to_bits(),
+            &h.nonzero_buckets(),
+        )
+        .expect("round trip");
+        assert_eq!(rebuilt, h);
+        // Merging rebuilt halves equals merging the originals.
+        let mut doubled = h.clone();
+        doubled.merge(&rebuilt);
+        assert_eq!(doubled.count(), 10);
+        assert_eq!(doubled.min(), h.min());
+        assert_eq!(doubled.max(), h.max());
+        // Empty round trip: the parts of an empty summary rebuild empty.
+        let empty = Histogram::from_parts(0, 0, 0, 0, &[]).expect("empty");
+        assert_eq!(empty, Histogram::new());
+        assert_eq!(empty.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_summaries() {
+        assert!(
+            Histogram::from_parts(1, 0, 0, 0, &[(99, 1)]).is_err(),
+            "bucket index beyond the ladder"
+        );
+        assert!(
+            Histogram::from_parts(3, 0, 0, 0, &[(0, 1)]).is_err(),
+            "bucket totals disagree with count"
+        );
+        assert!(
+            Histogram::from_parts(1, f64::NAN.to_bits(), 0, 0, &[(0, 1)]).is_err(),
+            "non-finite extrema"
+        );
     }
 
     #[test]

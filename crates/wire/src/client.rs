@@ -298,9 +298,27 @@ impl<B: ExecutorBackend, T: WireTransport> WireBackend<B, T> {
     }
 
     /// Drain every delivered chunk and extract the response to exchange
-    /// `seq`, if it arrived. Duplicates of earlier exchanges (replays whose
-    /// original also made it through) are discarded by sequence number.
+    /// `seq`, blocking on [`WireTransport::wait_for_client_data`] between
+    /// drains until it arrives or the transport gives up. Duplicates of
+    /// earlier exchanges (replays whose original also made it through) are
+    /// discarded by sequence number.
+    ///
+    /// In-memory transports never wait (the default seam returns `false`),
+    /// so for them this is exactly one synchronous drain — the
+    /// byte-identical path is untouched by the socket seam.
     fn receive_matching(&mut self, seq: u64) -> Option<Response> {
+        loop {
+            if let Some(response) = self.drain_client_deliveries(seq) {
+                return Some(response);
+            }
+            if !self.transport.wait_for_client_data() {
+                return None;
+            }
+        }
+    }
+
+    /// One synchronous drain of everything the transport has delivered.
+    fn drain_client_deliveries(&mut self, seq: u64) -> Option<Response> {
         let mut response = None;
         while let Some(delivery) = self.transport.recv_at_client() {
             if delivery.epoch != self.epoch {

@@ -22,6 +22,10 @@
 //!   error frames);
 //! * [`transport`] — the [`WireTransport`] byte-stream trait and the
 //!   in-memory duplex with seeded, deterministic virtual-time latency;
+//! * [`net`] — the same trait over real TCP and Unix-domain sockets
+//!   (carrier envelopes stamp each chunk's modeled virtual arrival, so
+//!   determinism survives the kernel), plus the accept-side machinery the
+//!   `bq-serve` binary pumps;
 //! * [`server`] — [`WireServer`]: owns any backend (engine, sharded,
 //!   learned simulator, or an async adapter composition) and services the
 //!   protocol;
@@ -61,15 +65,20 @@
 
 pub mod client;
 pub mod frame;
+pub mod net;
 pub mod proto;
 pub mod server;
 pub mod transport;
 
 pub use client::{WireBackend, WireError};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
+pub use net::{
+    connect_remote, serve_connection, Endpoint, FillOutcome, NullBackend, RemoteBackend,
+    ServerConn, ServerSocket, SocketClient,
+};
 pub use proto::{
     seal, unseal, Request, Response, WireErrorCode, HANDSHAKE_MAGIC, PROTOCOL_VERSION,
-    UNSOLICITED_SEQ,
+    REQUEST_TAGS, RESPONSE_TAGS, UNSOLICITED_SEQ,
 };
 pub use server::WireServer;
 pub use transport::{Delivery, Direction, InMemoryDuplex, TransportProfile, WireTransport};

@@ -10,8 +10,12 @@
 //! dynamics. Chunks are never reordered or dropped (TCP-like semantics);
 //! delivery instants are monotone per direction.
 //!
-//! A future TCP/UDS transport implements the same trait over real sockets;
-//! nothing above the trait changes.
+//! [`crate::net`] implements the same trait over real TCP and Unix-domain
+//! sockets; nothing above the trait changes. The only seam a blocking
+//! socket needs is [`WireTransport::wait_for_client_data`]: the in-memory
+//! link's deliveries are synchronously available, so its default (`false`,
+//! nothing more is coming) is exact, while the socket client blocks on the
+//! kernel there.
 
 use bq_core::rng;
 
@@ -154,6 +158,21 @@ pub trait WireTransport {
 
     /// Pop the next chunk delivered to the client.
     fn recv_at_client(&mut self) -> Option<Delivery>;
+
+    /// Block until more client-bound data may be available, returning
+    /// `true` when another [`WireTransport::recv_at_client`] drain is worth
+    /// attempting and `false` when nothing more will arrive for this
+    /// exchange (the client then falls back to its recovery policy, or —
+    /// without one — treats the missing response as fatal).
+    ///
+    /// In-memory transports deliver synchronously, so the default is
+    /// `false`: once a drain comes up empty, no amount of waiting produces
+    /// more. A socket transport overrides this with a bounded blocking
+    /// read (and its reconnect machinery). Decorating transports must
+    /// forward to the inner transport or the seam is lost.
+    fn wait_for_client_data(&mut self) -> bool {
+        false
+    }
 }
 
 /// In-memory duplex link: delivers chunks verbatim, in order, with the

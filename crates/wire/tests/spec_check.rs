@@ -1,0 +1,67 @@
+//! Cross-checks `docs/WIRE_PROTOCOL.md` against the implementation: the
+//! spec's tag tables must list exactly the tags and message names the
+//! codec exports as [`bq_wire::REQUEST_TAGS`] / [`bq_wire::RESPONSE_TAGS`],
+//! in the same order — so the normative document and the wire format
+//! cannot drift apart silently.
+
+use bq_wire::{REQUEST_TAGS, RESPONSE_TAGS};
+use std::path::Path;
+
+fn spec_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/WIRE_PROTOCOL.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Every tag-table row in the spec, in document order: lines of the form
+/// ``| `0xNN` | `Name` | ... |``.
+fn spec_tag_rows(spec: &str) -> Vec<(u8, String)> {
+    let mut rows = Vec::new();
+    for line in spec.lines() {
+        let Some(rest) = line.trim().strip_prefix("| `0x") else {
+            continue;
+        };
+        let Some((hex, rest)) = rest.split_once('`') else {
+            continue;
+        };
+        let Ok(tag) = u8::from_str_radix(hex, 16) else {
+            continue; // wider constants like the handshake magic
+        };
+        let mut cells = rest.split('`');
+        cells.next(); // the " | " between the tag and the name
+        let name = cells
+            .next()
+            .unwrap_or_else(|| panic!("tag row {line:?} has no backticked message name"));
+        rows.push((tag, name.to_string()));
+    }
+    rows
+}
+
+#[test]
+fn the_spec_tag_tables_match_the_codec() {
+    let spec = spec_text();
+    let rows = spec_tag_rows(&spec);
+    let (responses, requests): (Vec<_>, Vec<_>) = rows.into_iter().partition(|(t, _)| *t >= 0x80);
+
+    let doc_requests: Vec<(u8, &str)> = requests.iter().map(|(t, n)| (*t, n.as_str())).collect();
+    assert_eq!(
+        doc_requests, REQUEST_TAGS,
+        "docs/WIRE_PROTOCOL.md request-tag table diverges from proto.rs"
+    );
+    let doc_responses: Vec<(u8, &str)> = responses.iter().map(|(t, n)| (*t, n.as_str())).collect();
+    assert_eq!(
+        doc_responses, RESPONSE_TAGS,
+        "docs/WIRE_PROTOCOL.md response-tag table diverges from proto.rs"
+    );
+}
+
+#[test]
+fn the_spec_pins_the_protocol_constants() {
+    let spec = spec_text();
+    let version = format!("version `u16` = `{}`", bq_wire::PROTOCOL_VERSION);
+    for needle in ["0x6271_7770", "0x6271_7470", &version, "65 536"] {
+        assert!(
+            spec.contains(needle),
+            "docs/WIRE_PROTOCOL.md no longer states {needle:?}"
+        );
+    }
+}
